@@ -1,0 +1,38 @@
+/// \file
+/// Shared helpers for the table/figure reproduction binaries.
+
+#ifndef ROSEBUD_BENCH_COMMON_H
+#define ROSEBUD_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.h"
+#include "sim/resources.h"
+
+namespace rosebud::bench {
+
+inline void
+heading(const std::string& title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+print_resource_table(const std::string& title,
+                     const std::vector<System::ResourceRow>& rows) {
+    heading(title);
+    std::printf("%-22s%16s%16s%16s%16s%16s\n", "Component", "LUTs", "Registers",
+                "BRAM", "URAM", "DSP");
+    for (const auto& row : rows) {
+        bool is_device = row.name == "VU9P device";
+        std::printf("%s\n",
+                    sim::format_footprint_row(row.name, row.fp,
+                                              is_device ? sim::ResourceFootprint{}
+                                                        : sim::kXcvu9p)
+                        .c_str());
+    }
+}
+
+}  // namespace rosebud::bench
+
+#endif  // ROSEBUD_BENCH_COMMON_H

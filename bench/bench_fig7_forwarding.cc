@@ -1,0 +1,44 @@
+/// Figure 7 (a) and (b): packet-forwarding throughput as a function of
+/// packet size, for the 16-RPU and 8-RPU layouts at 100 and 200 Gbps.
+/// Paper headlines reproduced:
+///  * 16 RPUs, 200G, 64 B: 88% of line = 250 MPPS (the 16-cycle loop cap);
+///  * 16 RPUs: line rate for every other size;
+///  * 8 RPUs: 125 MPPS cap, full 200G line rate from 1 KB packets;
+///  * single port (100G): 88%/89% at 64/65 B for both layouts.
+
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace rosebud;
+
+namespace {
+
+void
+sweep(unsigned rpus, unsigned ports) {
+    std::printf("\n--- %u RPUs, %u x 100 Gbps ---\n", rpus, ports);
+    std::printf("%8s %14s %14s %12s %12s %8s\n", "size(B)", "achieved(Gbps)",
+                "line(Gbps)", "rate(Mpps)", "max(Mpps)", "frac");
+    for (uint32_t size : exp::figure7_sizes()) {
+        exp::ForwardingParams p;
+        p.rpu_count = rpus;
+        p.size = size;
+        p.ports = ports;
+        auto r = exp::run_forwarding(p);
+        std::printf("%8u %14.2f %14.2f %12.2f %12.2f %7.1f%%\n", size, r.achieved_gbps,
+                    r.line_gbps, r.achieved_mpps, r.line_mpps,
+                    100.0 * r.achieved_gbps / r.line_gbps);
+    }
+}
+
+}  // namespace
+
+int
+main() {
+    bench::heading("Figure 7a: forwarding throughput, 16 RPUs");
+    sweep(16, 2);
+    sweep(16, 1);
+    bench::heading("Figure 7b: forwarding throughput, 8 RPUs");
+    sweep(8, 2);
+    sweep(8, 1);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/// Figure 7 (c): round-trip forwarding latency vs packet size, at low and
+/// maximum load, against the paper's serialization model (Equation 1):
+///
+///   est. latency (us) = size * 8 * (2/100 + 2/32) / 1000 + 0.765
+///
+/// Paper headlines reproduced: low-load latency tracks Eq. 1 (0.7-7 us
+/// over the size sweep); maximum load adds only marginal latency except at
+/// 64 B, where the full receive FIFO adds ~32.8 us.
+
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace rosebud;
+
+int
+main() {
+    bench::heading("Figure 7c: round-trip latency vs packet size");
+    std::printf("%8s %12s %12s %12s %12s %14s\n", "size(B)", "low(us)", "eq1(us)",
+                "max(us)", "min(us)", "maxload(us)");
+    for (uint32_t size : exp::figure7_sizes()) {
+        exp::LatencyParams low;
+        low.size = size;
+        low.load = 0.05;
+        auto l = exp::run_latency(low);
+
+        exp::LatencyParams full;
+        full.size = size;
+        full.load = 1.0;
+        full.warmup = 130000;  // let the receive FIFO reach steady state
+        full.window = 50000;
+        auto f = exp::run_latency(full);
+
+        std::printf("%8u %12.3f %12.3f %12.3f %12.3f %14.3f\n", size, l.mean_us,
+                    l.eq1_us, l.max_us, l.min_us, f.mean_us);
+    }
+    std::printf("\npaper: 64 B maximum load adds ~32.8 us (full receive FIFO)\n");
+    return 0;
+}

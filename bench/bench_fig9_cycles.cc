@@ -1,0 +1,49 @@
+/// Figure 9: average RISC-V cycles spent per packet, derived from the
+/// Figure 8 packet rates (cycles = rpus * clock / rate) plus the paper's
+/// single-RPU simulation numbers (61 safe-TCP / 59 safe-UDP / 82 attack
+/// for HW reorder; ~138 at 64 B for SW reorder).
+
+#include "bench_common.h"
+#include "core/experiments.h"
+
+using namespace rosebud;
+
+int
+main() {
+    bench::heading("Figure 9: average cycles per packet (from measured packet rates)");
+    std::printf("%8s %18s %18s\n", "size(B)", "HW reorder", "SW reorder");
+    for (uint32_t size : {64u, 128u, 256u, 512u, 800u, 1024u, 1500u, 2048u}) {
+        exp::IpsParams p;
+        p.size = size;
+        p.mode = exp::IpsMode::kHwReorder;
+        auto hw = exp::run_ips(p);
+        p.mode = exp::IpsMode::kSwReorder;
+        auto sw = exp::run_ips(p);
+        std::printf("%8u %18.1f %18.1f\n", size, hw.cycles_per_packet,
+                    sw.cycles_per_packet);
+    }
+    std::printf("(At line-rate-limited sizes the metric stops reflecting software "
+                "cost, as in the paper.)\n");
+
+    bench::heading("Single-RPU simulation (paper: 61 TCP / 59 UDP / 82 attack; 138 SW@64B)");
+    exp::SingleRpuParams s;
+    s.mode = exp::IpsMode::kHwReorder;
+    std::printf("HW reorder, safe TCP : %6.1f cycles/packet\n",
+                exp::run_single_rpu_cycles_per_packet(s));
+    s.udp = true;
+    std::printf("HW reorder, safe UDP : %6.1f cycles/packet\n",
+                exp::run_single_rpu_cycles_per_packet(s));
+    s.udp = false;
+    s.attack = true;
+    std::printf("HW reorder, attack   : %6.1f cycles/packet\n",
+                exp::run_single_rpu_cycles_per_packet(s));
+    s.attack = false;
+    s.mode = exp::IpsMode::kSwReorder;
+    s.size = 64;
+    std::printf("SW reorder, 64 B     : %6.1f cycles/packet\n",
+                exp::run_single_rpu_cycles_per_packet(s));
+    s.size = 1024;
+    std::printf("SW reorder, 1024 B   : %6.1f cycles/packet\n",
+                exp::run_single_rpu_cycles_per_packet(s));
+    return 0;
+}

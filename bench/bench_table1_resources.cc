@@ -1,0 +1,14 @@
+/// Table 1: base resource utilization for the 16-RPU Rosebud runtime.
+
+#include "bench_common.h"
+
+int
+main() {
+    rosebud::SystemConfig cfg;
+    cfg.rpu_count = 16;
+    rosebud::System sys(cfg);
+    rosebud::bench::print_resource_table(
+        "Table 1: Base resource utilization for 16 RPUs (paper: 259713 LUTs total)",
+        sys.resource_report());
+    return 0;
+}

@@ -1,0 +1,14 @@
+/// Table 2: base resource utilization for the 8-RPU Rosebud runtime.
+
+#include "bench_common.h"
+
+int
+main() {
+    rosebud::SystemConfig cfg;
+    cfg.rpu_count = 8;
+    rosebud::System sys(cfg);
+    rosebud::bench::print_resource_table(
+        "Table 2: Base resource utilization for 8 RPUs (paper: 164699 LUTs total)",
+        sys.resource_report());
+    return 0;
+}

@@ -1,0 +1,67 @@
+/// Table 3: average resource utilization inside each Pigasus RPU (8-RPU
+/// layout) and the accompanying hash-based LB, plus the fit analysis of
+/// Section 7.1.2 (32 engines do not fit; 16 engines do).
+
+#include <memory>
+
+#include "accel/pigasus.h"
+#include "bench_common.h"
+#include "net/rules.h"
+#include "rpu/accelerator.h"
+
+using namespace rosebud;
+
+int
+main() {
+    sim::Rng rng(1);
+    auto rules = net::IdsRuleSet::synthesize(64, rng);
+
+    SystemConfig cfg;
+    cfg.rpu_count = 8;
+    cfg.lb_policy = lb::Policy::kHash;
+    System sys(cfg);
+    sys.attach_accelerators([&] { return std::make_unique<accel::PigasusMatcher>(rules); });
+
+    bench::heading("Table 3: resource utilization per Pigasus RPU (percent of the "
+                   "8-RPU region)");
+    auto region = pr_region_capacity(8);
+    auto print_row = [&](const char* name, sim::ResourceFootprint fp) {
+        std::printf("%s\n", sim::format_footprint_row(name, fp, region).c_str());
+    };
+    sim::ResourceFootprint core{.luts = 2048, .regs = 1051};
+    uint64_t bram = 24, uram = 32;
+    sim::ResourceFootprint mem{.luts = 400 + 55 * bram + 28 * uram + 332 * 4,
+                               .regs = 450 + 12 * bram + 6 * uram + 18 * 4,
+                               .bram = 16,  // per Table 3 accounting (data-side BRAM)
+                               .uram = 32};
+    auto mgr = rpu::accel_manager_footprint(4);
+    auto pig = sys.rpu(0).accelerator()->resources();
+    print_row("RISCV core", core);
+    print_row("Mem. subsystem", mem);
+    print_row("Accel. manager", mgr);
+    print_row("Pigasus", pig);
+    print_row("Total", core + mem + mgr + pig);
+    std::printf("%s\n", sim::format_footprint_row("RPU (region)", region,
+                                                  sim::ResourceFootprint{})
+                            .c_str());
+
+    bench::heading("Hash-based LB (paper: 10467 LUTs / 24872 FFs / 26 BRAM)");
+    std::printf("%s\n",
+                sim::format_footprint_row("LB", sys.lb().resources(), sim::kXcvu9p)
+                    .c_str());
+
+    bench::heading("Fit analysis (Section 7.1.2)");
+    accel::PigasusMatcher::Params p32;
+    p32.engines = 32;
+    accel::PigasusMatcher full(rules, p32);
+    std::printf("32 engines: %llu LUTs vs 16-RPU region %llu -> %s\n",
+                (unsigned long long)full.resources().luts,
+                (unsigned long long)pr_region_capacity(16).luts,
+                full.resources().luts > pr_region_capacity(16).luts ? "DOES NOT FIT"
+                                                                    : "fits");
+    std::printf("16 engines: %llu LUTs vs  8-RPU region %llu -> %s "
+                "(8 RPUs x 16 engines = 4x the original parallelism)\n",
+                (unsigned long long)pig.luts, (unsigned long long)region.luts,
+                pig.luts < region.luts ? "FITS" : "does not fit");
+    return 0;
+}

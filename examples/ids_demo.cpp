@@ -1,0 +1,113 @@
+/// The Section 7.1 case study: Pigasus-style IDS/IPS on Rosebud. Rules
+/// are written in the simplified Snort syntax, compiled into the
+/// string/port-matcher accelerator, and the firmware delivers matched
+/// packets (rule id appended) to the host while safe traffic is forwarded
+/// at line rate.
+///
+///   $ ./examples/ids_demo
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "accel/pigasus.h"
+#include "core/system.h"
+#include "firmware/programs.h"
+#include "net/headers.h"
+
+using namespace rosebud;
+
+int
+main() {
+    auto rules = net::IdsRuleSet::parse(
+        "alert tcp any any -> any 80 (msg:\"fake exploit kit\"; "
+        "content:\"GET /dropper.exe\"; sid:2001;)\n"
+        "alert tcp any any -> any any (msg:\"shellcode marker\"; "
+        "content:\"|DE AD BE EF|sled\"; sid:2002;)\n"
+        "alert udp any any -> any 53 (msg:\"dns tunnel\"; "
+        "content:\"exfil.bad.example\"; sid:2003;)\n");
+    std::printf("ruleset: %zu rules compiled into the fast-pattern matcher\n",
+                rules.size());
+
+    SystemConfig cfg;
+    cfg.rpu_count = 8;
+    cfg.lb_policy = lb::Policy::kRoundRobin;
+    cfg.hw_reassembler = true;  // the HW-reorder configuration (pigasus2)
+    System sys(cfg);
+    sys.attach_accelerators([&] { return std::make_unique<accel::PigasusMatcher>(rules); });
+    auto fw = fwlib::pigasus_hw_reorder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_us(2.0);
+
+    // Alerts arrive at the host with the matched rule id appended.
+    sys.host().set_rx_handler([&](net::PacketPtr p) {
+        uint32_t sid = 0;
+        if (p->data.size() >= 4) std::memcpy(&sid, &p->data[p->data.size() - 4], 4);
+        const net::IdsRule* rule = rules.find_sid(sid);
+        std::printf("  ALERT sid=%u (%s) — %u-byte packet flagged\n", sid,
+                    rule ? rule->msg.c_str() : "?", p->size());
+    });
+
+    auto send = [&](net::PacketPtr p, const char* what) {
+        std::printf("sending %s...\n", what);
+        sys.fabric().mac_rx(0, p);
+        sys.run_us(5.0);
+    };
+
+    net::PacketBuilder benign;
+    benign.ipv4(net::parse_ipv4_addr("10.1.1.1"), net::parse_ipv4_addr("10.2.2.2"))
+        .tcp(40000, 80)
+        .payload_str("GET /index.html HTTP/1.1")
+        .frame_size(512);
+    send(benign.build(), "benign HTTP request");
+
+    net::PacketBuilder dropper;
+    dropper.ipv4(net::parse_ipv4_addr("10.6.6.6"), net::parse_ipv4_addr("10.2.2.2"))
+        .tcp(40001, 80)
+        .payload_str("GET /dropper.exe HTTP/1.1")
+        .frame_size(512);
+    send(dropper.build(), "exploit-kit download");
+
+    net::PacketBuilder shell;
+    shell.ipv4(net::parse_ipv4_addr("10.6.6.7"), net::parse_ipv4_addr("10.2.2.2"))
+        .tcp(40002, 9999)
+        .payload({0xde, 0xad, 0xbe, 0xef, 's', 'l', 'e', 'd'})
+        .frame_size(256);
+    send(shell.build(), "shellcode marker on a random port");
+
+    net::PacketBuilder dns;
+    dns.ipv4(net::parse_ipv4_addr("10.6.6.8"), net::parse_ipv4_addr("10.2.2.2"))
+        .udp(5353, 53)
+        .payload_str("query exfil.bad.example")
+        .frame_size(128);
+    send(dns.build(), "DNS tunnel beacon");
+
+    std::printf("\nsafe traffic forwarded to the wire: %llu packet(s)\n",
+                (unsigned long long)(sys.sink(0).frames() + sys.sink(1).frames()));
+
+    // Runtime ruleset update — the capability Rosebud adds over the
+    // original Pigasus (Section 7.1.2): swap the tables without reloading
+    // the FPGA image.
+    std::printf("\nupdating the ruleset at runtime (no FPGA reload)...\n");
+    auto rules_v2 = net::IdsRuleSet::parse(
+        "alert tcp any any -> any any (msg:\"new campaign\"; "
+        "content:\"totally-new-pattern\"; sid:3001;)\n");
+    for (unsigned i = 0; i < sys.rpu_count(); ++i) {
+        static_cast<accel::PigasusMatcher*>(sys.rpu(i).accelerator())
+            ->load_rules(rules_v2);
+    }
+    net::PacketBuilder fresh;
+    fresh.ipv4(net::parse_ipv4_addr("10.6.6.9"), net::parse_ipv4_addr("10.2.2.2"))
+        .tcp(40003, 1234)
+        .payload_str("xx totally-new-pattern yy")
+        .frame_size(256);
+    // Rebind the alert printer against the new ruleset.
+    sys.host().set_rx_handler([&](net::PacketPtr p) {
+        uint32_t sid = 0;
+        if (p->data.size() >= 4) std::memcpy(&sid, &p->data[p->data.size() - 4], 4);
+        std::printf("  ALERT sid=%u (new ruleset live)\n", sid);
+    });
+    send(fresh.build(), "packet matching only the new ruleset");
+    return 0;
+}

@@ -1,0 +1,156 @@
+/// Command-line driver for the experiment harnesses — the equivalent of
+/// the artifact's `make do TEST=... RECV=... PKT_SIZE=...` workflow, for
+/// users who want single data points without writing C++.
+///
+///   $ ./examples/rosebud_cli forward --rpus 16 --size 64 --ports 2
+///   $ ./examples/rosebud_cli latency --size 1500 --load 0.05
+///   $ ./examples/rosebud_cli ips --mode sw --size 800
+///   $ ./examples/rosebud_cli firewall --size 256
+///   $ ./examples/rosebud_cli loopback --size 65
+///   $ ./examples/rosebud_cli broadcast --rpus 16
+///   $ ./examples/rosebud_cli resources --rpus 8
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/experiments.h"
+#include "firmware/programs.h"
+
+using namespace rosebud;
+
+namespace {
+
+struct Args {
+    std::string experiment;
+    std::map<std::string, std::string> kv;
+
+    bool has(const std::string& k) const { return kv.count(k) > 0; }
+    uint32_t u32(const std::string& k, uint32_t dflt) const {
+        auto it = kv.find(k);
+        return it == kv.end() ? dflt : uint32_t(std::stoul(it->second));
+    }
+    double f64(const std::string& k, double dflt) const {
+        auto it = kv.find(k);
+        return it == kv.end() ? dflt : std::stod(it->second);
+    }
+    std::string str(const std::string& k, const std::string& dflt) const {
+        auto it = kv.find(k);
+        return it == kv.end() ? dflt : it->second;
+    }
+};
+
+int
+usage() {
+    std::fprintf(stderr,
+                 "usage: rosebud_cli <experiment> [--key value]...\n"
+                 "experiments:\n"
+                 "  forward    --rpus N --size N --ports 1|2 --load F\n"
+                 "  latency    --size N --load F\n"
+                 "  ips        --mode hw|sw --size N --rpus N --attack F\n"
+                 "  firewall   --size N --rpus N --attack F\n"
+                 "  loopback   --rpus N --size N\n"
+                 "  broadcast  --rpus N\n"
+                 "  reconfig   --rpus N --loads N\n"
+                 "  resources  --rpus N\n");
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    Args args;
+    args.experiment = argv[1];
+    for (int i = 2; i + 1 < argc; i += 2) {
+        if (std::strncmp(argv[i], "--", 2) != 0) return usage();
+        args.kv[argv[i] + 2] = argv[i + 1];
+    }
+
+    if (args.experiment == "forward") {
+        exp::ForwardingParams p;
+        p.rpu_count = args.u32("rpus", 16);
+        p.size = args.u32("size", 1024);
+        p.ports = args.u32("ports", 2);
+        p.load = args.f64("load", 1.0);
+        auto r = exp::run_forwarding(p);
+        std::printf("size=%u rpus=%u: %.2f Gbps (%.2f Mpps), line %.2f Gbps "
+                    "(%.1f%% of line)\n",
+                    r.size, r.rpu_count, r.achieved_gbps, r.achieved_mpps, r.line_gbps,
+                    100.0 * r.achieved_gbps / r.line_gbps);
+    } else if (args.experiment == "latency") {
+        exp::LatencyParams p;
+        p.size = args.u32("size", 64);
+        p.load = args.f64("load", 0.05);
+        if (p.load > 0.5) p.warmup = 130000;
+        auto r = exp::run_latency(p);
+        std::printf("size=%u load=%.2f: mean %.3f us (min %.3f, max %.3f, p99 %.3f); "
+                    "Eq.1 predicts %.3f us\n",
+                    r.size, p.load, r.mean_us, r.min_us, r.max_us, r.p99_us, r.eq1_us);
+    } else if (args.experiment == "ips") {
+        exp::IpsParams p;
+        p.mode = args.str("mode", "hw") == "sw" ? exp::IpsMode::kSwReorder
+                                                : exp::IpsMode::kHwReorder;
+        p.size = args.u32("size", 1024);
+        p.rpu_count = args.u32("rpus", 8);
+        p.attack_fraction = args.f64("attack", 0.01);
+        auto r = exp::run_ips(p);
+        std::printf("%s reorder, size=%u: %.1f Gbps (%.2f Mpps), %.1f cycles/packet, "
+                    "%llu/%llu attacks to host\n",
+                    p.mode == exp::IpsMode::kHwReorder ? "HW" : "SW", r.size,
+                    r.achieved_gbps, r.achieved_mpps, r.cycles_per_packet,
+                    (unsigned long long)r.matched_to_host,
+                    (unsigned long long)r.expected_attacks);
+    } else if (args.experiment == "firewall") {
+        exp::FirewallParams p;
+        p.size = args.u32("size", 1024);
+        p.rpu_count = args.u32("rpus", 16);
+        p.attack_fraction = args.f64("attack", 0.01);
+        auto r = exp::run_firewall(p);
+        std::printf("size=%u: absorbed %.1f Gbps (%.1f%% of line), blocked %llu "
+                    "(expected %llu), forwarded %llu\n",
+                    r.size, r.achieved_gbps, 100.0 * r.achieved_gbps / r.line_gbps,
+                    (unsigned long long)r.blocked,
+                    (unsigned long long)r.expected_blocked,
+                    (unsigned long long)r.forwarded);
+    } else if (args.experiment == "loopback") {
+        auto r = exp::run_loopback(args.u32("rpus", 16), args.u32("size", 64));
+        std::printf("size=%u: %.2f Gbps through the loopback chain (%.1f%% of line)\n",
+                    r.size, r.achieved_gbps, 100.0 * r.fraction_of_line);
+    } else if (args.experiment == "broadcast") {
+        auto r = exp::run_broadcast(args.u32("rpus", 16));
+        std::printf("sparse %.0f..%.0f ns, saturated %.0f..%.0f ns over %llu messages\n",
+                    r.sparse_min_ns, r.sparse_max_ns, r.saturated_min_ns,
+                    r.saturated_max_ns, (unsigned long long)r.messages);
+    } else if (args.experiment == "reconfig") {
+        SystemConfig cfg;
+        cfg.rpu_count = args.u32("rpus", 16);
+        System sys(cfg);
+        auto fw = fwlib::forwarder();
+        sys.host().load_firmware_all(fw.image, fw.entry);
+        sys.host().boot_all();
+        sys.run_cycles(500);
+        sim::Rng rng(args.u32("seed", 1));
+        unsigned loads = args.u32("loads", 10);
+        double total = 0;
+        for (unsigned i = 0; i < loads; ++i) {
+            total += sys.host()
+                         .reconfigure(i % cfg.rpu_count, nullptr, fw.image, fw.entry, rng)
+                         .total_ms;
+        }
+        std::printf("%u loads: %.1f ms average pause+load+boot\n", loads, total / loads);
+    } else if (args.experiment == "resources") {
+        SystemConfig cfg;
+        cfg.rpu_count = args.u32("rpus", 16);
+        System sys(cfg);
+        for (const auto& row : sys.resource_report()) {
+            std::printf("%s\n",
+                        sim::format_footprint_row(row.name, row.fp, sim::kXcvu9p).c_str());
+        }
+    } else {
+        return usage();
+    }
+    return 0;
+}

@@ -1,0 +1,186 @@
+#include "accel/nat.h"
+
+#include "net/headers.h"
+
+namespace rosebud::accel {
+
+namespace {
+
+/// Incremental internet-checksum update (RFC 1624): replace 16-bit word
+/// `old_w` by `new_w` in a header whose checksum is `check`.
+uint16_t
+checksum_fixup(uint16_t check, uint16_t old_w, uint16_t new_w) {
+    uint32_t sum = uint32_t(uint16_t(~check)) + uint32_t(uint16_t(~old_w)) + new_w;
+    while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+    return uint16_t(~sum);
+}
+
+/// Apply a 32-bit field replacement to a checksum (two 16-bit fixups).
+uint16_t
+checksum_fixup32(uint16_t check, uint32_t old_v, uint32_t new_v) {
+    check = checksum_fixup(check, uint16_t(old_v >> 16), uint16_t(new_v >> 16));
+    return checksum_fixup(check, uint16_t(old_v), uint16_t(new_v));
+}
+
+}  // namespace
+
+NatEngine::NatEngine() : NatEngine(Params{}) {}
+
+NatEngine::NatEngine(Params params) : params_(params) {}
+
+void
+NatEngine::reset() {
+    queue_.clear();
+    done_.clear();
+    busy_ = false;
+    staging_ = Job{};
+    // Connection state survives partial reconfiguration only if the host
+    // saves and restores it; a fresh boot starts empty.
+    forward_.clear();
+    reverse_.clear();
+    next_port_ = 0;
+}
+
+bool
+NatEngine::is_internal(uint32_t ip) const {
+    uint32_t mask = params_.internal_prefix_len == 0
+                        ? 0
+                        : ~uint32_t(0) << (32 - params_.internal_prefix_len);
+    return (ip & mask) == (params_.internal_prefix & mask);
+}
+
+uint32_t
+NatEngine::translate(rpu::AccelContext& ctx, const Job& job) {
+    uint32_t off = job.addr;
+    if (off >= 0x01000000) off -= 0x01000000;  // full address -> PMEM offset
+    if (off + job.len > ctx.pmem.size() || job.len < 34) return kNatPassThrough;
+
+    // Read the headers straight out of packet memory.
+    std::vector<uint8_t> hdr(std::min<uint32_t>(job.len, 64));
+    ctx.pmem.read_block(off, hdr.data(), uint32_t(hdr.size()));
+    if (net::load_be16(&hdr[12]) != net::kEtherTypeIpv4) return kNatPassThrough;
+    uint8_t proto = hdr[23];
+    if (proto != net::kIpProtoTcp && proto != net::kIpProtoUdp) return kNatPassThrough;
+
+    uint32_t src_ip = net::load_be32(&hdr[26]);
+    uint32_t dst_ip = net::load_be32(&hdr[30]);
+    uint16_t src_port = net::load_be16(&hdr[34]);
+    uint16_t dst_port = net::load_be16(&hdr[36]);
+    uint16_t ip_check = net::load_be16(&hdr[24]);
+
+    if (is_internal(src_ip)) {
+        // Outbound: allocate (or reuse) an external port.
+        uint64_t key = uint64_t(src_ip) << 16 | src_port;
+        auto it = forward_.find(key);
+        uint16_t ext_port;
+        if (it != forward_.end()) {
+            ext_port = it->second;
+        } else {
+            if (forward_.size() >= params_.port_count) {
+                ctx.stats.counter("nat.table_full").add();
+                return kNatDropped;
+            }
+            // Linear-probe this engine's slice of the port space
+            // (hardware uses a CAM/hash).
+            do {
+                ext_port = uint16_t(params_.port_base + params_.port_offset +
+                                    next_port_ * params_.port_stride);
+                next_port_ = uint16_t((next_port_ + 1) % params_.port_count);
+            } while (reverse_.count(ext_port));
+            forward_[key] = ext_port;
+            reverse_[ext_port] = key;
+            ctx.stats.counter("nat.mappings_created").add();
+        }
+        // Rewrite src ip/port in place, with incremental checksum fixes.
+        uint16_t new_check = checksum_fixup32(ip_check, src_ip, params_.external_ip);
+        ctx.pmem.write8(off + 26, uint8_t(params_.external_ip >> 24));
+        ctx.pmem.write8(off + 27, uint8_t(params_.external_ip >> 16));
+        ctx.pmem.write8(off + 28, uint8_t(params_.external_ip >> 8));
+        ctx.pmem.write8(off + 29, uint8_t(params_.external_ip));
+        ctx.pmem.write8(off + 24, uint8_t(new_check >> 8));
+        ctx.pmem.write8(off + 25, uint8_t(new_check));
+        ctx.pmem.write8(off + 34, uint8_t(ext_port >> 8));
+        ctx.pmem.write8(off + 35, uint8_t(ext_port));
+        ctx.stats.counter("nat.translated_out").add();
+        return kNatTranslated;
+    }
+
+    if (dst_ip == params_.external_ip) {
+        // Inbound: reverse translation.
+        auto it = reverse_.find(dst_port);
+        if (it == reverse_.end()) {
+            ctx.stats.counter("nat.no_mapping").add();
+            return kNatDropped;
+        }
+        uint32_t int_ip = uint32_t(it->second >> 16);
+        uint16_t int_port = uint16_t(it->second);
+        uint16_t new_check = checksum_fixup32(ip_check, dst_ip, int_ip);
+        ctx.pmem.write8(off + 30, uint8_t(int_ip >> 24));
+        ctx.pmem.write8(off + 31, uint8_t(int_ip >> 16));
+        ctx.pmem.write8(off + 32, uint8_t(int_ip >> 8));
+        ctx.pmem.write8(off + 33, uint8_t(int_ip));
+        ctx.pmem.write8(off + 24, uint8_t(new_check >> 8));
+        ctx.pmem.write8(off + 25, uint8_t(new_check));
+        ctx.pmem.write8(off + 36, uint8_t(int_port >> 8));
+        ctx.pmem.write8(off + 37, uint8_t(int_port));
+        ctx.stats.counter("nat.translated_in").add();
+        return kNatTranslated;
+    }
+    return kNatPassThrough;
+}
+
+void
+NatEngine::tick(rpu::AccelContext& ctx) {
+    if (busy_) {
+        if (ctx.now_cycles >= done_at_) {
+            done_.push_back({active_.slot, translate(ctx, active_)});
+            busy_ = false;
+        }
+        return;
+    }
+    if (!queue_.empty()) {
+        active_ = queue_.front();
+        queue_.pop_front();
+        // Header read + table access + rewrite pipeline.
+        done_at_ = ctx.now_cycles + params_.pipeline_cycles;
+        busy_ = true;
+    }
+}
+
+bool
+NatEngine::mmio_read(uint32_t offset, uint32_t& value, rpu::AccelContext& ctx) {
+    (void)ctx;
+    switch (offset) {
+    case kNatRegDone: value = done_.empty() ? 0 : 1; return true;
+    case kNatRegSlot: value = done_.empty() ? 0 : done_.front().slot; return true;
+    case kNatRegResult: value = done_.empty() ? 0 : done_.front().result; return true;
+    default: return false;
+    }
+}
+
+bool
+NatEngine::mmio_write(uint32_t offset, uint32_t value, rpu::AccelContext& ctx) {
+    (void)ctx;
+    switch (offset) {
+    case kNatRegCtrl:
+        if (value == 1) queue_.push_back(staging_);
+        return true;
+    case kNatRegAddr: staging_.addr = value; return true;
+    case kNatRegLen: staging_.len = value; return true;
+    case kNatRegSlot: staging_.slot = uint8_t(value); return true;
+    case kNatRegPop:
+        if (!done_.empty()) done_.pop_front();
+        return true;
+    default: return false;
+    }
+}
+
+sim::ResourceFootprint
+NatEngine::resources() const {
+    // Hash/CAM lookup + rewrite datapath; the connection table occupies
+    // accelerator-local BRAM proportional to the port space.
+    uint64_t table_bram = (uint64_t(params_.port_count) * 8 + 4095) / 4096;
+    return {.luts = 1400, .regs = 900, .bram = 2 + table_bram};
+}
+
+}  // namespace rosebud::accel

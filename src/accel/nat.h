@@ -1,0 +1,110 @@
+/// \file
+/// Source-NAT accelerator — a third middlebox built on the RPU abstraction
+/// (beyond the paper's two case studies), demonstrating that new
+/// accelerators reuse the same socket: MMIO job registers, a result FIFO
+/// the firmware polls, and direct packet-memory access for in-place header
+/// rewriting.
+///
+/// Outbound packets (source inside `internal_prefix`) get their source
+/// IP/port rewritten to (external_ip, allocated port); inbound packets to
+/// external_ip get the reverse translation. The connection table lives in
+/// the accelerator's local memory, exactly where the paper puts
+/// accelerator state (Figure 3, right). IPv4 header checksums are fixed
+/// up incrementally, as NAT hardware does.
+///
+///   IO_EXT + 0x00  NAT_CTRL   (W): 1 = start job on the latched registers
+///   IO_EXT + 0x00  NAT_DONE   (R): 1 if a finished job is waiting
+///   IO_EXT + 0x04  NAT_ADDR   (W): packet data address in packet memory
+///   IO_EXT + 0x08  NAT_LEN    (W): packet length
+///   IO_EXT + 0x0c  NAT_SLOT   (W): slot tag / (R): finished job's slot
+///   IO_EXT + 0x10  NAT_RESULT (R): 1 translated, 2 passed through,
+///                                  3 dropped (table full / no mapping)
+///   IO_EXT + 0x14  NAT_POP    (W): pop the finished-job FIFO
+
+#ifndef ROSEBUD_ACCEL_NAT_H
+#define ROSEBUD_ACCEL_NAT_H
+
+#include <deque>
+#include <unordered_map>
+
+#include "rpu/accelerator.h"
+
+namespace rosebud::accel {
+
+inline constexpr uint32_t kNatRegCtrl = 0x00;
+inline constexpr uint32_t kNatRegDone = 0x00;
+inline constexpr uint32_t kNatRegAddr = 0x04;
+inline constexpr uint32_t kNatRegLen = 0x08;
+inline constexpr uint32_t kNatRegSlot = 0x0c;
+inline constexpr uint32_t kNatRegResult = 0x10;
+inline constexpr uint32_t kNatRegPop = 0x14;
+
+/// Job outcome codes visible in NAT_RESULT.
+enum NatResult : uint32_t {
+    kNatTranslated = 1,
+    kNatPassThrough = 2,
+    kNatDropped = 3,
+};
+
+class NatEngine : public rpu::Accelerator {
+ public:
+    struct Params {
+        uint32_t internal_prefix = 0x0a000000;  ///< 10.0.0.0/8
+        uint8_t internal_prefix_len = 8;
+        uint32_t external_ip = 0xc6336401;  ///< 198.51.100.1
+        uint16_t port_base = 20000;
+        uint16_t port_count = 8192;  ///< bounded like a real CGN slice
+        /// Port-space partitioning across RPUs so a custom LB policy can
+        /// route inbound replies to the RPU holding the mapping:
+        /// this engine allocates ports base + offset + k*stride.
+        uint16_t port_stride = 1;
+        uint16_t port_offset = 0;
+        unsigned pipeline_cycles = 6;
+    };
+
+    NatEngine();
+    explicit NatEngine(Params params);
+
+    void reset() override;
+    void tick(rpu::AccelContext& ctx) override;
+    bool mmio_read(uint32_t offset, uint32_t& value, rpu::AccelContext& ctx) override;
+    bool mmio_write(uint32_t offset, uint32_t value, rpu::AccelContext& ctx) override;
+    sim::ResourceFootprint resources() const override;
+    std::string name() const override { return "nat_engine"; }
+    unsigned queue_count() const override { return 1; }
+
+    /// Active (internal ip, internal port) -> external port mappings.
+    size_t mapping_count() const { return forward_.size(); }
+
+    const Params& params() const { return params_; }
+
+ private:
+    struct Job {
+        uint32_t addr = 0;
+        uint32_t len = 0;
+        uint8_t slot = 0;
+    };
+    struct Done {
+        uint8_t slot = 0;
+        uint32_t result = kNatPassThrough;
+    };
+
+    uint32_t translate(rpu::AccelContext& ctx, const Job& job);
+    bool is_internal(uint32_t ip) const;
+
+    Params params_;
+    Job staging_;
+    std::deque<Job> queue_;
+    bool busy_ = false;
+    Job active_;
+    uint64_t done_at_ = 0;
+    std::deque<Done> done_;
+
+    std::unordered_map<uint64_t, uint16_t> forward_;  ///< (ip,port) -> ext port
+    std::unordered_map<uint16_t, uint64_t> reverse_;  ///< ext port -> (ip,port)
+    uint16_t next_port_ = 0;
+};
+
+}  // namespace rosebud::accel
+
+#endif  // ROSEBUD_ACCEL_NAT_H

@@ -1,0 +1,126 @@
+#include "core/system.h"
+
+#include "sim/log.h"
+
+namespace rosebud {
+
+sim::ResourceFootprint
+pr_region_capacity(unsigned rpu_count) {
+    // Floorplan constants of the two shipped layouts (Figures 5-6).
+    if (rpu_count > 8) return {27839, 55920, 36, 32, 168};
+    return {64161, 128880, 114, 64, 384};
+}
+
+sim::ResourceFootprint
+lb_region_capacity(unsigned rpu_count) {
+    if (rpu_count > 8) return {78384, 158400, 144, 48, 576};
+    return {114016, 230400, 180, 96, 648};
+}
+
+System::System(const SystemConfig& config) : config_(config) {
+    if (config_.rpu_count == 0 || config_.rpu_count > 32 || config_.rpu_count % 4 != 0) {
+        sim::fatal("System: rpu_count must be a positive multiple of 4 (<= 32)");
+    }
+
+    // RPUs first: registration order is tick order, and the per-RPU link
+    // serialization must advance before the fabric hands over new packets.
+    for (unsigned i = 0; i < config_.rpu_count; ++i) {
+        rpu::Rpu::Config rc = config_.rpu_template;
+        rc.id = uint8_t(i);
+        rpus_.push_back(std::make_unique<rpu::Rpu>(kernel_, stats_, rc));
+    }
+
+    lb::LoadBalancer::Config lbc;
+    lbc.rpu_count = config_.rpu_count;
+    lbc.policy = config_.lb_policy;
+    lbc.reassembler = config_.hw_reassembler;
+    lbc.custom_steer = config_.lb_custom_steer;
+    lb_ = std::make_unique<lb::LoadBalancer>(stats_, lbc);
+
+    msg::BroadcastNetwork::Config bc = config_.broadcast;
+    bc.rpu_count = config_.rpu_count;
+    broadcast_ = std::make_unique<msg::BroadcastNetwork>(kernel_, stats_, bc);
+
+    dist::FabricConfig fc = config_.fabric;
+    fc.rpu_count = config_.rpu_count;
+    std::vector<rpu::Rpu*> raw;
+    for (auto& r : rpus_) raw.push_back(r.get());
+    fabric_ = std::make_unique<dist::Fabric>(kernel_, stats_, fc, *lb_, raw);
+
+    host_ = std::make_unique<host::HostContext>(kernel_, stats_, *lb_, *fabric_, raw);
+
+    // Wire the control and data channels.
+    for (unsigned i = 0; i < config_.rpu_count; ++i) {
+        rpu::Rpu* r = raw[i];
+        r->set_egress_handler(
+            [this, i](net::PacketPtr pkt) { return fabric_->rpu_egress(uint8_t(i), pkt); });
+        r->set_slot_free_handler(
+            [this](uint8_t rpu, uint8_t slot) { lb_->on_slot_free(rpu, slot); });
+        r->set_slot_config_handler([this](uint8_t rpu, const rpu::SlotConfig& cfg) {
+            lb_->on_slot_config(rpu, cfg);
+        });
+        r->set_slot_request_handler(
+            [this](uint8_t dst) { return lb_->request_slot(dst); });
+        r->set_broadcast_sender([this](uint8_t rpu, uint32_t off, uint32_t val) {
+            return broadcast_->try_send(rpu, off, val);
+        });
+        broadcast_->set_deliver(
+            i, [r](uint32_t off, uint32_t val) { r->broadcast_deliver(off, val); });
+    }
+
+    for (unsigned port = 0; port < 2; ++port) {
+        sinks_.push_back(std::make_unique<dist::TrafficSink>(
+            kernel_, stats_, "sink.port" + std::to_string(port)));
+        dist::TrafficSink* sink = sinks_.back().get();
+        fabric_->set_mac_tx_sink(port,
+                                 [sink](net::PacketPtr pkt) { sink->deliver(pkt); });
+    }
+}
+
+System::~System() = default;
+
+void
+System::attach_accelerators(
+    const std::function<std::unique_ptr<rpu::Accelerator>()>& factory) {
+    for (auto& r : rpus_) r->attach_accelerator(factory());
+}
+
+dist::TrafficSource&
+System::add_source(const dist::TrafficSource::Config& cfg, dist::TrafficSource::GenFn gen) {
+    sources_.push_back(std::make_unique<dist::TrafficSource>(kernel_, stats_, cfg, *fabric_,
+                                                             std::move(gen)));
+    return *sources_.back();
+}
+
+std::vector<System::ResourceRow>
+System::resource_report() const {
+    std::vector<ResourceRow> rows;
+    unsigned n = config_.rpu_count;
+
+    sim::ResourceFootprint rpu_fp = rpus_.front()->base_resources();
+    rows.push_back({"Single RPU", rpu_fp});
+    rows.push_back({"Remaining (PR)", pr_region_capacity(n).saturating_sub(rpu_fp)});
+
+    sim::ResourceFootprint lb_fp = lb_->resources();
+    rows.push_back({"LB", lb_fp});
+    rows.push_back({"Remaining", lb_region_capacity(n).saturating_sub(lb_fp)});
+
+    sim::ResourceFootprint ic = fabric_->interconnect_resources();
+    rows.push_back({"Single Interconnect", ic});
+
+    sim::ResourceFootprint cmac{6397, 14849, 0, 18, 0};
+    sim::ResourceFootprint pcie{41526, 63742, 110, 32, 0};
+    rows.push_back({"CMAC", cmac});
+    rows.push_back({"PCIe", pcie});
+
+    sim::ResourceFootprint sw = fabric_->switching_resources();
+    rows.push_back({"Switching", sw});
+
+    sim::ResourceFootprint total =
+        rpu_fp * n + lb_fp + ic * n + cmac + pcie + sw;
+    rows.push_back({"Complete design", total});
+    rows.push_back({"VU9P device", sim::kXcvu9p});
+    return rows;
+}
+
+}  // namespace rosebud

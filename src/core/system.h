@@ -1,0 +1,114 @@
+/// \file
+/// The top-level Rosebud system (paper Figure 2): N RPUs in four clusters,
+/// the customizable load balancer, the two-plane packet-distribution
+/// fabric, the inter-RPU broadcast network, the host control plane, and
+/// the traffic endpoints standing in for the tester FPGA.
+///
+/// This is the primary public entry point of the library:
+///
+///   rosebud::SystemConfig cfg;
+///   cfg.rpu_count = 16;
+///   rosebud::System sys(cfg);
+///   sys.host().load_firmware_all(fwlib::forwarder().image);
+///   sys.host().boot_all();
+///   sys.add_source({.port = 0}, gen);
+///   sys.run_cycles(100'000);
+
+#ifndef ROSEBUD_CORE_SYSTEM_H
+#define ROSEBUD_CORE_SYSTEM_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/fabric.h"
+#include "dist/traffic.h"
+#include "host/host.h"
+#include "lb/load_balancer.h"
+#include "msg/broadcast.h"
+#include "rpu/rpu.h"
+#include "sim/kernel.h"
+#include "sim/resources.h"
+#include "sim/stats.h"
+
+namespace rosebud {
+
+struct SystemConfig {
+    unsigned rpu_count = 16;
+    lb::Policy lb_policy = lb::Policy::kRoundRobin;
+    bool hw_reassembler = false;  ///< inline reorder engine in the LB
+    /// Steering function for lb::Policy::kCustom (tenant pinning, etc.).
+    std::function<uint32_t(const net::Packet&)> lb_custom_steer;
+    /// Overrides applied on top of the derived defaults; rpu_count fields
+    /// inside are filled in by System.
+    dist::FabricConfig fabric{};
+    rpu::Rpu::Config rpu_template{};
+    msg::BroadcastNetwork::Config broadcast{};
+};
+
+/// PR region capacities of the pre-laid-out floorplans (paper Figures 5-6;
+/// equal to the "RPU" rows of Tables 3-4).
+sim::ResourceFootprint pr_region_capacity(unsigned rpu_count);
+
+/// LB PR block capacity ("LB" + "Remaining" rows of Tables 1-2).
+sim::ResourceFootprint lb_region_capacity(unsigned rpu_count);
+
+class System {
+ public:
+    explicit System(const SystemConfig& config);
+    ~System();
+
+    System(const System&) = delete;
+    System& operator=(const System&) = delete;
+
+    sim::Kernel& kernel() { return kernel_; }
+    sim::Stats& stats() { return stats_; }
+    lb::LoadBalancer& lb() { return *lb_; }
+    dist::Fabric& fabric() { return *fabric_; }
+    msg::BroadcastNetwork& broadcast() { return *broadcast_; }
+    host::HostContext& host() { return *host_; }
+    rpu::Rpu& rpu(unsigned idx) { return *rpus_.at(idx); }
+    unsigned rpu_count() const { return unsigned(rpus_.size()); }
+    const SystemConfig& config() const { return config_; }
+
+    /// Install an accelerator (from `factory`) into every RPU.
+    void attach_accelerators(
+        const std::function<std::unique_ptr<rpu::Accelerator>()>& factory);
+
+    /// Tester-side sinks wired to the two physical ports.
+    dist::TrafficSink& sink(unsigned port) { return *sinks_.at(port); }
+
+    /// Add a paced traffic source feeding one physical port.
+    dist::TrafficSource& add_source(const dist::TrafficSource::Config& cfg,
+                                    dist::TrafficSource::GenFn gen);
+
+    /// Advance simulated time.
+    void run_cycles(sim::Cycle n) { kernel_.run(n); }
+    void run_us(double us) { kernel_.run(sim::Cycle(us * 1e3 / sim::kNsPerCycle)); }
+
+    /// One named row of a utilization table.
+    struct ResourceRow {
+        std::string name;
+        sim::ResourceFootprint fp;
+    };
+
+    /// The rows of Tables 1-2 for this configuration.
+    std::vector<ResourceRow> resource_report() const;
+
+ private:
+    SystemConfig config_;
+    sim::Kernel kernel_;
+    sim::Stats stats_;
+    std::vector<std::unique_ptr<rpu::Rpu>> rpus_;
+    std::unique_ptr<lb::LoadBalancer> lb_;
+    std::unique_ptr<msg::BroadcastNetwork> broadcast_;
+    std::unique_ptr<dist::Fabric> fabric_;
+    std::unique_ptr<host::HostContext> host_;
+    std::vector<std::unique_ptr<dist::TrafficSink>> sinks_;
+    std::vector<std::unique_ptr<dist::TrafficSource>> sources_;
+};
+
+}  // namespace rosebud
+
+#endif  // ROSEBUD_CORE_SYSTEM_H

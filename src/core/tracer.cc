@@ -1,0 +1,70 @@
+#include "core/tracer.h"
+
+#include <cstdio>
+
+namespace rosebud {
+
+const std::vector<PacketTracer::Event> PacketTracer::kEmpty;
+
+void
+PacketTracer::attach(System& sys) {
+    sim::Kernel* kernel = &sys.kernel();
+    sys.fabric().set_trace([this, kernel](const char* stage, const net::Packet& pkt) {
+        record(stage, pkt, kernel->now());
+    });
+    for (unsigned i = 0; i < sys.rpu_count(); ++i) {
+        sys.rpu(i).set_trace([this, kernel](const char* stage, const net::Packet& pkt) {
+            record(stage, pkt, kernel->now());
+        });
+    }
+}
+
+void
+PacketTracer::record(const char* stage, const net::Packet& pkt, sim::Cycle cycle) {
+    Event e;
+    e.cycle = cycle;
+    e.stage = stage;
+    e.size = pkt.size();
+    e.rpu = pkt.dest_rpu;
+    events_[pkt.id].push_back(std::move(e));
+    ++event_count_;
+}
+
+const std::vector<PacketTracer::Event>&
+PacketTracer::timeline(uint64_t packet_id) const {
+    auto it = events_.find(packet_id);
+    return it == events_.end() ? kEmpty : it->second;
+}
+
+std::string
+PacketTracer::format_timeline(uint64_t packet_id) const {
+    const auto& tl = timeline(packet_id);
+    if (tl.empty()) return "packet " + std::to_string(packet_id) + ": no events\n";
+    std::string out = "packet " + std::to_string(packet_id) + ":\n";
+    sim::Cycle start = tl.front().cycle;
+    char buf[128];
+    for (const auto& e : tl) {
+        std::snprintf(buf, sizeof(buf), "  +%6llu cyc (%8.1f ns)  %-20s rpu=%u size=%u\n",
+                      (unsigned long long)(e.cycle - start),
+                      sim::cycles_to_ns(e.cycle - start), e.stage.c_str(), e.rpu, e.size);
+        out += buf;
+    }
+    return out;
+}
+
+std::vector<uint64_t>
+PacketTracer::packet_ids() const {
+    std::vector<uint64_t> out;
+    out.reserve(events_.size());
+    for (const auto& [id, _] : events_) out.push_back(id);
+    return out;
+}
+
+sim::Cycle
+PacketTracer::transit_cycles(uint64_t packet_id) const {
+    const auto& tl = timeline(packet_id);
+    if (tl.size() < 2) return 0;
+    return tl.back().cycle - tl.front().cycle;
+}
+
+}  // namespace rosebud

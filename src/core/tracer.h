@@ -1,0 +1,65 @@
+/// \file
+/// Per-packet lifecycle tracing — the simulator's answer to "FPGA
+/// developers frequently debug their designs by looking at simulation
+/// waveforms" (paper Section 2.3). Attach a PacketTracer to a System and
+/// every packet's path through the middlebox is recorded as a timeline of
+/// (cycle, stage) events: MAC arrival, LB assignment, link dispatch, DMA
+/// completion, firmware send/drop, egress, wire/host departure.
+
+#ifndef ROSEBUD_CORE_TRACER_H
+#define ROSEBUD_CORE_TRACER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace rosebud {
+
+class PacketTracer {
+ public:
+    struct Event {
+        sim::Cycle cycle = 0;
+        std::string stage;
+        uint32_t size = 0;
+        uint8_t rpu = 0;
+    };
+
+    /// Start recording every packet event in `sys`. The tracer must
+    /// outlive the system's remaining simulation.
+    void attach(System& sys);
+
+    /// Events recorded for one packet id, in time order.
+    const std::vector<Event>& timeline(uint64_t packet_id) const;
+
+    /// Human-readable timeline for one packet.
+    std::string format_timeline(uint64_t packet_id) const;
+
+    /// All packet ids seen.
+    std::vector<uint64_t> packet_ids() const;
+
+    /// Cycles from first to last recorded event of a packet (0 if <2
+    /// events).
+    sim::Cycle transit_cycles(uint64_t packet_id) const;
+
+    /// Total events recorded.
+    size_t event_count() const { return event_count_; }
+
+    void clear() {
+        events_.clear();
+        event_count_ = 0;
+    }
+
+ private:
+    void record(const char* stage, const net::Packet& pkt, sim::Cycle cycle);
+
+    std::map<uint64_t, std::vector<Event>> events_;
+    size_t event_count_ = 0;
+    static const std::vector<Event> kEmpty;
+};
+
+}  // namespace rosebud
+
+#endif  // ROSEBUD_CORE_TRACER_H

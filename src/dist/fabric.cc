@@ -1,0 +1,314 @@
+#include "dist/fabric.h"
+
+#include "sim/log.h"
+
+namespace rosebud::dist {
+
+namespace {
+
+uint32_t
+div_ceil(uint32_t a, uint32_t b) {
+    return (a + b - 1) / b;
+}
+
+}  // namespace
+
+Fabric::Fabric(sim::Kernel& kernel, sim::Stats& stats, const FabricConfig& config,
+               lb::LoadBalancer& lb, std::vector<rpu::Rpu*> rpus)
+    : sim::Component(kernel, "fabric"),
+      config_(config),
+      stats_(stats),
+      lb_(lb),
+      rpus_(std::move(rpus)),
+      rpus_per_cluster_((config.rpu_count + config.clusters - 1) / config.clusters),
+      voqs_(config.rpu_count * kSourceCount),
+      rpu_rr_(config.rpu_count, 0),
+      egress_queues_(config.rpu_count) {
+    if (rpus_.size() != config.rpu_count) sim::fatal("Fabric: rpu vector size mismatch");
+}
+
+bool
+Fabric::mac_rx(unsigned port, net::PacketPtr pkt) {
+    if (port > 1) sim::fatal("mac_rx: bad port");
+    stats_.counter("port" + std::to_string(port) + ".rx_frames").add();
+    stats_.counter("port" + std::to_string(port) + ".rx_bytes").add(pkt->size());
+    pkt->in_iface = net::Iface(port);
+
+    // The hardware reassembler (when configured into the LB) sits before
+    // the MAC FIFO logically: it may hold the packet or release several.
+    std::vector<net::PacketPtr> released = lb_.reassemble(std::move(pkt));
+
+    IngressSource& src = sources_[port];
+    bool all_ok = true;
+    for (auto& p : released) {
+        if (src.queue_bytes + p->size() > config_.mac_rx_fifo_bytes) {
+            stats_.counter("port" + std::to_string(port) + ".rx_fifo_drops").add();
+            trace("mac_rx_fifo_drop", *p);
+            all_ok = false;
+            continue;
+        }
+        trace("mac_rx", *p);
+        src.queue_bytes += p->size();
+        src.queue.push_back(std::move(p));
+    }
+    return all_ok;
+}
+
+bool
+Fabric::host_inject(net::PacketPtr pkt) {
+    IngressSource& src = sources_[kSrcHost];
+    if (src.queue.size() >= config_.host_queue_packets) return false;
+    pkt->in_iface = net::Iface::kHost;
+    src.queue_bytes += pkt->size();
+    src.queue.push_back(std::move(pkt));
+    stats_.counter("host.tx_frames").add();
+    return true;
+}
+
+bool
+Fabric::rpu_egress(uint8_t rpu, net::PacketPtr pkt) {
+    auto& q = egress_queues_[rpu];
+    if (q.size() >= config_.egress_queue_depth) return false;
+    trace("rpu_egress", *pkt);
+    q.push_back({std::move(pkt), now() + 1});
+    return true;
+}
+
+void
+Fabric::set_mac_tx_sink(unsigned port, SinkFn fn) {
+    mac_tx_[port].sink = std::move(fn);
+}
+
+void
+Fabric::set_host_sink(SinkFn fn) {
+    host_sink_ = std::move(fn);
+}
+
+void
+Fabric::tick() {
+    for (unsigned s = 0; s < kSourceCount; ++s) tick_ingress_source(s);
+    tick_rpu_links();
+    tick_egress();
+    tick_loopback();
+    tick_mac_tx();
+
+    // Host-bound packets: PCIe DMA with bounded bandwidth (byte credit
+    // accrues at the link rate) and a fixed latency per transfer.
+    pcie_credit_ = std::min(pcie_credit_ + config_.pcie_gbps * 1e9 / 8.0 / sim::kClockHz,
+                            16.0 * 1024);
+    while (!host_out_.empty() && host_out_.front().ready <= now() &&
+           pcie_credit_ >= double(host_out_.front().pkt->size())) {
+        pcie_credit_ -= double(host_out_.front().pkt->size());
+        --pcie_tags_in_use_;
+        trace("host_deliver", *host_out_.front().pkt);
+        if (host_sink_) host_sink_(host_out_.front().pkt);
+        stats_.counter("host.rx_frames").add();
+        stats_.counter("host.rx_bytes").add(host_out_.front().pkt->size());
+        host_out_.pop_front();
+    }
+}
+
+void
+Fabric::tick_ingress_source(unsigned s) {
+    IngressSource& src = sources_[s];
+
+    if (src.issue_cd > 0) --src.issue_cd;
+
+    // Retry a cut-through push that found its VOQ full.
+    if (src.stalled) {
+        auto& q = voq(src.stalled->dest_rpu, s);
+        if (q.size() < config_.voq_depth) {
+            q.push_back({src.stalled, now() + config_.ingress_pipe_cycles});
+            src.stalled.reset();
+        } else {
+            stats_.counter("fabric.voq_stall").add();
+        }
+    }
+
+    // Advance the active stage-1 transfer (bandwidth accounting only: the
+    // switch is cut-through, the packet was pushed downstream at start).
+    if (src.active) {
+        if (src.cycles_left > 0) --src.cycles_left;
+        if (src.cycles_left > 0) return;
+        src.active.reset();
+    }
+
+    if (src.issue_cd > 0 || src.stalled || src.queue.empty()) return;
+
+    net::PacketPtr head = src.queue.front();
+    // Loopback packets carry their destination already (the sending RPU
+    // asked the LB for a remote slot); everything else goes to the LB.
+    if (s != kSrcLoopback) {
+        if (!lb_.try_assign(head)) return;  // wait: no eligible slot
+        trace("lb_assign", *head);
+    }
+    src.queue.pop_front();
+    src.queue_bytes -= head->size();
+    src.active = head;
+    uint32_t bytes = head->size() + (head->hash_prepended ? 4 : 0);
+    src.cycles_left = div_ceil(bytes, config_.stage1_bytes_per_cycle);
+    src.issue_cd = config_.issue_interval_cycles;
+
+    // Cut-through: hand the packet to the cluster VOQ now; it becomes
+    // visible to the per-RPU link after the fixed distribution pipe.
+    auto& q = voq(head->dest_rpu, s);
+    if (q.size() < config_.voq_depth) {
+        q.push_back({head, now() + config_.ingress_pipe_cycles});
+    } else {
+        src.stalled = head;
+    }
+}
+
+void
+Fabric::tick_rpu_links() {
+    for (unsigned r = 0; r < config_.rpu_count; ++r) {
+        rpu::Rpu* rpu = rpus_[r];
+        if (!rpu->rx_ready()) continue;
+        for (unsigned i = 0; i < kSourceCount; ++i) {
+            unsigned s = (rpu_rr_[r] + i) % kSourceCount;
+            auto& q = voq(uint8_t(r), s);
+            if (q.empty() || q.front().ready > now()) continue;
+            trace("rpu_link_dispatch", *q.front().pkt);
+            rpu->begin_rx(q.front().pkt);
+            q.pop_front();
+            rpu_rr_[r] = (s + 1) % kSourceCount;
+            break;
+        }
+    }
+}
+
+void
+Fabric::tick_egress() {
+    for (unsigned d = 0; d < kSourceCount; ++d) {
+        EgressDest& dest = egress_[d];
+
+        // Retry a cut-through handoff that found no downstream space.
+        if (dest.done && try_egress_handoff(d, dest.done)) dest.done.reset();
+
+        // Advance the active egress serialization (bandwidth accounting;
+        // the switch is cut-through, the handoff happened at pick time).
+        if (dest.active) {
+            if (dest.cycles_left > 0) --dest.cycles_left;
+            if (dest.cycles_left > 0) continue;
+            dest.active.reset();
+        }
+        if (dest.done) continue;
+
+        // Pick the next RPU egress queue with a packet for this destination.
+        for (unsigned i = 0; i < config_.rpu_count; ++i) {
+            unsigned r = (dest.rr + i) % config_.rpu_count;
+            auto& q = egress_queues_[r];
+            if (q.empty() || q.front().ready > now()) continue;
+            if (unsigned(q.front().pkt->out_iface) != d) continue;
+            dest.active = q.front().pkt;
+            dest.cycles_left = div_ceil(dest.active->size(), config_.stage1_bytes_per_cycle);
+            q.pop_front();
+            dest.rr = (r + 1) % config_.rpu_count;
+            if (!try_egress_handoff(d, dest.active)) dest.done = dest.active;
+            break;
+        }
+    }
+}
+
+bool
+Fabric::try_egress_handoff(unsigned d, const net::PacketPtr& p) {
+    if (d <= 1) {
+        MacTx& mac = mac_tx_[d];
+        if (mac.fifo_bytes + p->size() > config_.mac_tx_fifo_bytes) return false;
+        mac.fifo_bytes += p->size();
+        mac.fifo.push_back({p, now() + config_.egress_pipe_cycles});
+        return true;
+    }
+    if (d == kSrcHost) {
+        // DMA-tag admission: each in-flight host transfer holds a tag.
+        if (pcie_tags_in_use_ >= config_.pcie_tags) {
+            stats_.counter("host.tag_stall").add();
+            return false;
+        }
+        ++pcie_tags_in_use_;
+        host_out_.push_back({p, now() + config_.pcie_latency_cycles});
+        return true;
+    }
+    // Loopback: the single 100G channel with a per-packet routing header.
+    IngressSource& lp = sources_[kSrcLoopback];
+    if (loopback_.active || lp.queue.size() >= config_.loopback_queue_packets) return false;
+    loopback_.active = p;
+    uint32_t wire = p->size() + config_.loopback_header_bytes;
+    uint32_t need = wire > loopback_.line_credit ? wire - loopback_.line_credit : 0;
+    loopback_.cycles_left = std::max(1u, div_ceil(need, config_.line_bytes_per_cycle));
+    loopback_.line_credit =
+        loopback_.cycles_left * config_.line_bytes_per_cycle + loopback_.line_credit - wire;
+    if (loopback_.line_credit > config_.line_bytes_per_cycle) {
+        loopback_.line_credit = config_.line_bytes_per_cycle;
+    }
+    return true;
+}
+
+void
+Fabric::tick_loopback() {
+    if (!loopback_.active) return;
+    if (loopback_.cycles_left > 0) --loopback_.cycles_left;
+    if (loopback_.cycles_left == 0) {
+        IngressSource& lp = sources_[kSrcLoopback];
+        lp.queue_bytes += loopback_.active->size();
+        lp.queue.push_back(loopback_.active);
+        trace("loopback_reenter", *loopback_.active);
+        stats_.counter("loopback.frames").add();
+        stats_.counter("loopback.bytes").add(loopback_.active->size());
+        loopback_.active.reset();
+    }
+}
+
+void
+Fabric::tick_mac_tx() {
+    for (unsigned port = 0; port < 2; ++port) {
+        MacTx& mac = mac_tx_[port];
+        if (mac.active) {
+            if (mac.cycles_left > 0) --mac.cycles_left;
+            if (mac.cycles_left > 0) continue;
+            stats_.counter("port" + std::to_string(port) + ".tx_frames").add();
+            stats_.counter("port" + std::to_string(port) + ".tx_bytes")
+                .add(mac.active->size());
+            trace("mac_tx", *mac.active);
+            if (mac.sink) mac.sink(mac.active);
+            mac.active.reset();
+            // Fall through: the line is back-to-back at full rate.
+        }
+        if (!mac.fifo.empty() && mac.fifo.front().ready <= now()) {
+            mac.active = mac.fifo.front().pkt;
+            mac.fifo_bytes -= mac.active->size();
+            mac.fifo.pop_front();
+            // Bit-serial line: carry the fractional-cycle remainder so the
+            // long-run rate is exactly line_bytes_per_cycle.
+            uint32_t wire = mac.active->wire_size();
+            uint32_t need = wire > mac.line_credit ? wire - mac.line_credit : 0;
+            mac.cycles_left = std::max(1u, div_ceil(need, config_.line_bytes_per_cycle));
+            mac.line_credit =
+                mac.cycles_left * config_.line_bytes_per_cycle + mac.line_credit - wire;
+            if (mac.line_credit > config_.line_bytes_per_cycle) {
+                mac.line_credit = config_.line_bytes_per_cycle;
+            }
+        }
+    }
+}
+
+sim::ResourceFootprint
+Fabric::switching_resources() const {
+    // Calibrated to the "Switching" rows of Tables 1-2: both unidirectional
+    // planes scale with RPU count on top of a fixed port-side stage.
+    uint64_t n = config_.rpu_count;
+    return {.luts = 10570 + 4729 * n,
+            .regs = 14126 + 6845 * n,
+            .bram = 24 + 3 * n / 2,
+            .uram = 4 * n};
+}
+
+sim::ResourceFootprint
+Fabric::interconnect_resources() const {
+    // "Single Interconnect" row: mildly larger per instance in smaller
+    // configurations (wider per-RPU arbitration share).
+    uint64_t n = config_.rpu_count;
+    return {.luts = 3135 - 21 * n, .regs = 3147 - 12 * n};
+}
+
+}  // namespace rosebud::dist

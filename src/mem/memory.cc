@@ -1,0 +1,17 @@
+#include "mem/memory.h"
+
+namespace rosebud::mem {
+
+sim::ResourceFootprint
+bram_footprint(uint32_t bytes) {
+    uint64_t blocks = (bytes + 4095) / 4096;
+    return sim::ResourceFootprint{.luts = 8 * blocks, .regs = 4 * blocks, .bram = blocks};
+}
+
+sim::ResourceFootprint
+uram_footprint(uint32_t bytes) {
+    uint64_t blocks = (bytes + 32767) / 32768;
+    return sim::ResourceFootprint{.luts = 12 * blocks, .regs = 8 * blocks, .uram = blocks};
+}
+
+}  // namespace rosebud::mem

@@ -1,0 +1,80 @@
+#include "net/flow.h"
+
+#include <algorithm>
+#include <array>
+
+namespace rosebud::net {
+
+namespace {
+
+std::array<uint32_t, 256>
+make_crc32c_table() {
+    std::array<uint32_t, 256> table{};
+    constexpr uint32_t poly = 0x82f63b78;  // reflected CRC32C
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int b = 0; b < 8; ++b) crc = (crc >> 1) ^ (poly & (0u - (crc & 1)));
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> kCrcTable = make_crc32c_table();
+
+}  // namespace
+
+uint32_t
+crc32c(const uint8_t* data, size_t len, uint32_t seed) {
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < len; ++i) crc = (crc >> 8) ^ kCrcTable[(crc ^ data[i]) & 0xff];
+    return ~crc;
+}
+
+uint32_t
+flow_hash(const FiveTuple& t) {
+    // Canonicalize direction so that (a->b) and (b->a) hash identically.
+    uint32_t ip_lo = std::min(t.src_ip, t.dst_ip);
+    uint32_t ip_hi = std::max(t.src_ip, t.dst_ip);
+    uint16_t port_lo;
+    uint16_t port_hi;
+    if (t.src_ip < t.dst_ip || (t.src_ip == t.dst_ip && t.src_port <= t.dst_port)) {
+        port_lo = t.src_port;
+        port_hi = t.dst_port;
+    } else {
+        port_lo = t.dst_port;
+        port_hi = t.src_port;
+    }
+    uint8_t buf[13];
+    store_be32(buf, ip_lo);
+    store_be32(buf + 4, ip_hi);
+    store_be16(buf + 8, port_lo);
+    store_be16(buf + 10, port_hi);
+    buf[12] = t.protocol;
+    return crc32c(buf, sizeof(buf));
+}
+
+FiveTuple
+extract_five_tuple(const ParsedPacket& p) {
+    FiveTuple t;
+    if (!p.has_ipv4) return t;
+    t.src_ip = p.ipv4.src_ip;
+    t.dst_ip = p.ipv4.dst_ip;
+    t.protocol = p.ipv4.protocol;
+    if (p.has_tcp) {
+        t.src_port = p.tcp.src_port;
+        t.dst_port = p.tcp.dst_port;
+    } else if (p.has_udp) {
+        t.src_port = p.udp.src_port;
+        t.dst_port = p.udp.dst_port;
+    }
+    return t;
+}
+
+uint32_t
+packet_flow_hash(const Packet& pkt) {
+    auto parsed = parse_packet(pkt);
+    if (!parsed || !parsed->has_ipv4) return 0;
+    return flow_hash(extract_five_tuple(*parsed));
+}
+
+}  // namespace rosebud::net

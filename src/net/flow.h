@@ -1,0 +1,55 @@
+/// \file
+/// Five-tuple flows and the flow hash used by the hash-based load balancer.
+///
+/// The paper's hash LB (Section 7.1.2) computes a 32-bit flow hash inline,
+/// steers the flow by 3 bits of it (8 RPUs), and pads the 4-byte hash to
+/// the front of the packet so firmware can reuse it. We use a CRC32C hash
+/// over the canonicalized 5-tuple — real enough to exhibit the "non-perfect
+/// load balancing among the RPUs due to non-uniformity of the flow hash"
+/// the paper observes.
+
+#ifndef ROSEBUD_NET_FLOW_H
+#define ROSEBUD_NET_FLOW_H
+
+#include <cstdint>
+#include <functional>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace rosebud::net {
+
+/// The classic connection 5-tuple.
+struct FiveTuple {
+    uint32_t src_ip = 0;
+    uint32_t dst_ip = 0;
+    uint16_t src_port = 0;
+    uint16_t dst_port = 0;
+    uint8_t protocol = 0;
+
+    bool operator==(const FiveTuple&) const = default;
+};
+
+/// CRC32C (Castagnoli) over a byte buffer; table-driven, bit-reflected.
+uint32_t crc32c(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+/// 32-bit flow hash of a 5-tuple (symmetric in direction: a flow and its
+/// reverse hash identically, as middlebox LBs require).
+uint32_t flow_hash(const FiveTuple& t);
+
+/// Extract the 5-tuple from a parsed packet. Ports are 0 for non-TCP/UDP.
+FiveTuple extract_five_tuple(const ParsedPacket& p);
+
+/// Convenience: parse + extract + hash. Returns 0 for non-IP frames.
+uint32_t packet_flow_hash(const Packet& pkt);
+
+}  // namespace rosebud::net
+
+template <>
+struct std::hash<rosebud::net::FiveTuple> {
+    size_t operator()(const rosebud::net::FiveTuple& t) const noexcept {
+        return rosebud::net::flow_hash(t);
+    }
+};
+
+#endif  // ROSEBUD_NET_FLOW_H

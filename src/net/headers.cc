@@ -1,0 +1,303 @@
+#include "net/headers.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace rosebud::net {
+
+uint16_t
+load_be16(const uint8_t* p) {
+    return uint16_t(uint16_t(p[0]) << 8 | p[1]);
+}
+
+uint32_t
+load_be32(const uint8_t* p) {
+    return uint32_t(p[0]) << 24 | uint32_t(p[1]) << 16 | uint32_t(p[2]) << 8 | uint32_t(p[3]);
+}
+
+void
+store_be16(uint8_t* p, uint16_t v) {
+    p[0] = uint8_t(v >> 8);
+    p[1] = uint8_t(v);
+}
+
+void
+store_be32(uint8_t* p, uint32_t v) {
+    p[0] = uint8_t(v >> 24);
+    p[1] = uint8_t(v >> 16);
+    p[2] = uint8_t(v >> 8);
+    p[3] = uint8_t(v);
+}
+
+uint16_t
+internet_checksum(const uint8_t* data, size_t len) {
+    uint64_t sum = 0;
+    size_t i = 0;
+    for (; i + 1 < len; i += 2) sum += load_be16(data + i);
+    if (i < len) sum += uint16_t(data[i]) << 8;
+    while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+    return uint16_t(~sum);
+}
+
+EthHeader
+EthHeader::parse(const uint8_t* p) {
+    EthHeader h;
+    std::memcpy(h.dst.data(), p, 6);
+    std::memcpy(h.src.data(), p + 6, 6);
+    h.ether_type = load_be16(p + 12);
+    return h;
+}
+
+void
+EthHeader::serialize(uint8_t* p) const {
+    std::memcpy(p, dst.data(), 6);
+    std::memcpy(p + 6, src.data(), 6);
+    store_be16(p + 12, ether_type);
+}
+
+Ipv4Header
+Ipv4Header::parse(const uint8_t* p) {
+    Ipv4Header h;
+    h.version_ihl = p[0];
+    h.dscp_ecn = p[1];
+    h.total_length = load_be16(p + 2);
+    h.identification = load_be16(p + 4);
+    h.flags_fragment = load_be16(p + 6);
+    h.ttl = p[8];
+    h.protocol = p[9];
+    h.checksum = load_be16(p + 10);
+    h.src_ip = load_be32(p + 12);
+    h.dst_ip = load_be32(p + 16);
+    return h;
+}
+
+void
+Ipv4Header::serialize(uint8_t* p) const {
+    p[0] = version_ihl;
+    p[1] = dscp_ecn;
+    store_be16(p + 2, total_length);
+    store_be16(p + 4, identification);
+    store_be16(p + 6, flags_fragment);
+    p[8] = ttl;
+    p[9] = protocol;
+    store_be16(p + 10, 0);
+    store_be32(p + 12, src_ip);
+    store_be32(p + 16, dst_ip);
+    store_be16(p + 10, internet_checksum(p, kIpv4HeaderSize));
+}
+
+TcpHeader
+TcpHeader::parse(const uint8_t* p) {
+    TcpHeader h;
+    h.src_port = load_be16(p);
+    h.dst_port = load_be16(p + 2);
+    h.seq = load_be32(p + 4);
+    h.ack = load_be32(p + 8);
+    h.data_offset = p[12] >> 4;
+    h.flags = p[13];
+    h.window = load_be16(p + 14);
+    h.checksum = load_be16(p + 16);
+    h.urgent = load_be16(p + 18);
+    return h;
+}
+
+void
+TcpHeader::serialize(uint8_t* p) const {
+    store_be16(p, src_port);
+    store_be16(p + 2, dst_port);
+    store_be32(p + 4, seq);
+    store_be32(p + 8, ack);
+    p[12] = uint8_t(data_offset << 4);
+    p[13] = flags;
+    store_be16(p + 14, window);
+    store_be16(p + 16, checksum);
+    store_be16(p + 18, urgent);
+}
+
+UdpHeader
+UdpHeader::parse(const uint8_t* p) {
+    UdpHeader h;
+    h.src_port = load_be16(p);
+    h.dst_port = load_be16(p + 2);
+    h.length = load_be16(p + 4);
+    h.checksum = load_be16(p + 6);
+    return h;
+}
+
+void
+UdpHeader::serialize(uint8_t* p) const {
+    store_be16(p, src_port);
+    store_be16(p + 2, dst_port);
+    store_be16(p + 4, length);
+    store_be16(p + 6, checksum);
+}
+
+std::optional<ParsedPacket>
+parse_packet(const Packet& pkt) {
+    const auto& d = pkt.data;
+    if (d.size() < kEthHeaderSize) return std::nullopt;
+    ParsedPacket out;
+    out.eth = EthHeader::parse(d.data());
+    out.l3_offset = kEthHeaderSize;
+    if (out.eth.ether_type != kEtherTypeIpv4) return out;
+    if (d.size() < out.l3_offset + kIpv4HeaderSize) return std::nullopt;
+    out.has_ipv4 = true;
+    out.ipv4 = Ipv4Header::parse(d.data() + out.l3_offset);
+    if (out.ipv4.header_len() < kIpv4HeaderSize) return std::nullopt;
+    out.l4_offset = out.l3_offset + out.ipv4.header_len();
+    if (out.ipv4.protocol == kIpProtoTcp) {
+        if (d.size() < out.l4_offset + kTcpHeaderSize) return std::nullopt;
+        out.has_tcp = true;
+        out.tcp = TcpHeader::parse(d.data() + out.l4_offset);
+        out.payload_offset = out.l4_offset + out.tcp.header_len();
+    } else if (out.ipv4.protocol == kIpProtoUdp) {
+        if (d.size() < out.l4_offset + kUdpHeaderSize) return std::nullopt;
+        out.has_udp = true;
+        out.udp = UdpHeader::parse(d.data() + out.l4_offset);
+        out.payload_offset = out.l4_offset + kUdpHeaderSize;
+    }
+    if (out.payload_offset != 0 && out.payload_offset <= d.size()) {
+        out.payload_len = uint32_t(d.size()) - out.payload_offset;
+    }
+    return out;
+}
+
+uint32_t
+parse_ipv4_addr(const std::string& s) {
+    uint32_t parts[4];
+    int n = 0;
+    std::istringstream is(s);
+    std::string tok;
+    while (std::getline(is, tok, '.')) {
+        if (n >= 4 || tok.empty() || tok.size() > 3) sim::fatal("bad IPv4 address: " + s);
+        unsigned long v = 0;
+        for (char c : tok) {
+            if (c < '0' || c > '9') sim::fatal("bad IPv4 address: " + s);
+            v = v * 10 + unsigned(c - '0');
+        }
+        if (v > 255) sim::fatal("bad IPv4 address: " + s);
+        parts[n++] = uint32_t(v);
+    }
+    if (n != 4) sim::fatal("bad IPv4 address: " + s);
+    return parts[0] << 24 | parts[1] << 16 | parts[2] << 8 | parts[3];
+}
+
+std::string
+format_ipv4_addr(uint32_t ip) {
+    std::ostringstream os;
+    os << (ip >> 24) << "." << ((ip >> 16) & 0xff) << "." << ((ip >> 8) & 0xff) << "."
+       << (ip & 0xff);
+    return os.str();
+}
+
+PacketBuilder&
+PacketBuilder::eth_src(const std::array<uint8_t, 6>& mac) {
+    eth_.src = mac;
+    return *this;
+}
+
+PacketBuilder&
+PacketBuilder::eth_dst(const std::array<uint8_t, 6>& mac) {
+    eth_.dst = mac;
+    return *this;
+}
+
+PacketBuilder&
+PacketBuilder::ipv4(uint32_t src_ip, uint32_t dst_ip) {
+    has_ip_ = true;
+    eth_.ether_type = kEtherTypeIpv4;
+    ip_.src_ip = src_ip;
+    ip_.dst_ip = dst_ip;
+    return *this;
+}
+
+PacketBuilder&
+PacketBuilder::tcp(uint16_t sport, uint16_t dport, uint32_t seq) {
+    has_tcp_ = true;
+    has_udp_ = false;
+    ip_.protocol = kIpProtoTcp;
+    tcp_.src_port = sport;
+    tcp_.dst_port = dport;
+    tcp_.seq = seq;
+    return *this;
+}
+
+PacketBuilder&
+PacketBuilder::tcp_flags(uint8_t flags) {
+    tcp_.flags = flags;
+    return *this;
+}
+
+PacketBuilder&
+PacketBuilder::udp(uint16_t sport, uint16_t dport) {
+    has_udp_ = true;
+    has_tcp_ = false;
+    ip_.protocol = kIpProtoUdp;
+    udp_.src_port = sport;
+    udp_.dst_port = dport;
+    return *this;
+}
+
+PacketBuilder&
+PacketBuilder::payload(std::vector<uint8_t> bytes) {
+    payload_ = std::move(bytes);
+    return *this;
+}
+
+PacketBuilder&
+PacketBuilder::payload_str(const std::string& s) {
+    payload_.assign(s.begin(), s.end());
+    return *this;
+}
+
+PacketBuilder&
+PacketBuilder::frame_size(uint32_t size) {
+    frame_size_ = size;
+    return *this;
+}
+
+PacketPtr
+PacketBuilder::build() const {
+    uint32_t hdr = kEthHeaderSize;
+    if (has_ip_) hdr += kIpv4HeaderSize;
+    if (has_tcp_) hdr += kTcpHeaderSize;
+    if (has_udp_) hdr += kUdpHeaderSize;
+
+    std::vector<uint8_t> pl = payload_;
+    uint32_t size = frame_size_ ? frame_size_ : hdr + uint32_t(pl.size());
+    if (size < hdr + pl.size()) {
+        sim::fatal("frame_size smaller than headers + payload");
+    }
+    // Pad the payload deterministically (0xa5 then incrementing) so padded
+    // bytes never accidentally form rule patterns.
+    while (hdr + pl.size() < size) pl.push_back(uint8_t(0xa5 + pl.size()));
+
+    auto p = make_packet(size);
+    uint8_t* d = p->data.data();
+    EthHeader eth = eth_;
+    eth.serialize(d);
+    uint32_t off = kEthHeaderSize;
+    if (has_ip_) {
+        Ipv4Header ip = ip_;
+        ip.total_length = uint16_t(size - kEthHeaderSize);
+        uint8_t* ip_at = d + off;
+        off += kIpv4HeaderSize;
+        if (has_tcp_) {
+            TcpHeader t = tcp_;
+            t.serialize(d + off);
+            off += kTcpHeaderSize;
+        } else if (has_udp_) {
+            UdpHeader u = udp_;
+            u.length = uint16_t(kUdpHeaderSize + pl.size());
+            u.serialize(d + off);
+            off += kUdpHeaderSize;
+        }
+        ip.serialize(ip_at);
+    }
+    std::memcpy(d + off, pl.data(), pl.size());
+    return p;
+}
+
+}  // namespace rosebud::net

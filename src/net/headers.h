@@ -1,0 +1,161 @@
+/// \file
+/// Ethernet / IPv4 / TCP / UDP header structures with big-endian
+/// parse/serialize, the internet checksum, and a packet builder.
+///
+/// This is the substrate the RPU firmware, accelerators, trace generators
+/// and the software-IDS baseline all share: real header bytes, real
+/// checksums, so parsing in firmware exercises the same fields the paper's
+/// RISC-V C code reads (Appendix B/C).
+
+#ifndef ROSEBUD_NET_HEADERS_H
+#define ROSEBUD_NET_HEADERS_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace rosebud::net {
+
+inline constexpr uint32_t kEthHeaderSize = 14;
+inline constexpr uint32_t kIpv4HeaderSize = 20;  ///< without options
+inline constexpr uint32_t kTcpHeaderSize = 20;   ///< without options
+inline constexpr uint32_t kUdpHeaderSize = 8;
+
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr uint16_t kEtherTypeArp = 0x0806;
+
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+
+/// Read a big-endian 16-bit value at `p`.
+uint16_t load_be16(const uint8_t* p);
+/// Read a big-endian 32-bit value at `p`.
+uint32_t load_be32(const uint8_t* p);
+/// Store a big-endian 16-bit value at `p`.
+void store_be16(uint8_t* p, uint16_t v);
+/// Store a big-endian 32-bit value at `p`.
+void store_be32(uint8_t* p, uint32_t v);
+
+/// RFC 1071 internet checksum over `len` bytes.
+uint16_t internet_checksum(const uint8_t* data, size_t len);
+
+struct EthHeader {
+    std::array<uint8_t, 6> dst{};
+    std::array<uint8_t, 6> src{};
+    uint16_t ether_type = 0;
+
+    static EthHeader parse(const uint8_t* p);
+    void serialize(uint8_t* p) const;
+};
+
+struct Ipv4Header {
+    uint8_t version_ihl = 0x45;
+    uint8_t dscp_ecn = 0;
+    uint16_t total_length = 0;
+    uint16_t identification = 0;
+    uint16_t flags_fragment = 0;
+    uint8_t ttl = 64;
+    uint8_t protocol = 0;
+    uint16_t checksum = 0;
+    uint32_t src_ip = 0;
+    uint32_t dst_ip = 0;
+
+    uint32_t header_len() const { return uint32_t(version_ihl & 0x0f) * 4; }
+
+    static Ipv4Header parse(const uint8_t* p);
+    /// Serializes and fills in the header checksum.
+    void serialize(uint8_t* p) const;
+};
+
+struct TcpHeader {
+    uint16_t src_port = 0;
+    uint16_t dst_port = 0;
+    uint32_t seq = 0;
+    uint32_t ack = 0;
+    uint8_t data_offset = 5;  ///< in 32-bit words
+    uint8_t flags = 0x10;     ///< ACK
+    uint16_t window = 0xffff;
+    uint16_t checksum = 0;
+    uint16_t urgent = 0;
+
+    uint32_t header_len() const { return uint32_t(data_offset) * 4; }
+
+    static TcpHeader parse(const uint8_t* p);
+    void serialize(uint8_t* p) const;
+};
+
+struct UdpHeader {
+    uint16_t src_port = 0;
+    uint16_t dst_port = 0;
+    uint16_t length = 0;
+    uint16_t checksum = 0;
+
+    static UdpHeader parse(const uint8_t* p);
+    void serialize(uint8_t* p) const;
+};
+
+/// A decoded view of a packet; offsets index into Packet::data.
+struct ParsedPacket {
+    EthHeader eth;
+    bool has_ipv4 = false;
+    Ipv4Header ipv4;
+    bool has_tcp = false;
+    TcpHeader tcp;
+    bool has_udp = false;
+    UdpHeader udp;
+    uint32_t l3_offset = 0;
+    uint32_t l4_offset = 0;
+    uint32_t payload_offset = 0;  ///< 0 when no recognized L4
+    uint32_t payload_len = 0;
+};
+
+/// Parse a frame. Returns nullopt for truncated/garbled packets.
+std::optional<ParsedPacket> parse_packet(const Packet& pkt);
+
+/// Dotted-quad to host-order uint32 ("10.1.2.3"). Throws sim::FatalError
+/// on malformed input.
+uint32_t parse_ipv4_addr(const std::string& s);
+
+/// Host-order uint32 to dotted-quad.
+std::string format_ipv4_addr(uint32_t ip);
+
+/// Fluent builder that produces well-formed frames with valid lengths and
+/// checksums, padding the payload to reach an exact frame size.
+class PacketBuilder {
+ public:
+    PacketBuilder& eth_src(const std::array<uint8_t, 6>& mac);
+    PacketBuilder& eth_dst(const std::array<uint8_t, 6>& mac);
+    PacketBuilder& ipv4(uint32_t src_ip, uint32_t dst_ip);
+    PacketBuilder& tcp(uint16_t sport, uint16_t dport, uint32_t seq = 0);
+    PacketBuilder& tcp_flags(uint8_t flags);
+    PacketBuilder& udp(uint16_t sport, uint16_t dport);
+    PacketBuilder& payload(std::vector<uint8_t> bytes);
+    PacketBuilder& payload_str(const std::string& s);
+
+    /// Total frame size (headers + payload, no FCS). Payload is padded
+    /// with a deterministic byte pattern to reach it; fatal if smaller
+    /// than the headers + payload already supplied.
+    PacketBuilder& frame_size(uint32_t size);
+
+    /// Assemble the frame. May be called repeatedly (e.g. varying seq).
+    PacketPtr build() const;
+
+ private:
+    EthHeader eth_{};
+    bool has_ip_ = false;
+    Ipv4Header ip_{};
+    bool has_tcp_ = false;
+    TcpHeader tcp_{};
+    bool has_udp_ = false;
+    UdpHeader udp_{};
+    std::vector<uint8_t> payload_;
+    uint32_t frame_size_ = 0;  ///< 0 = natural size
+};
+
+}  // namespace rosebud::net
+
+#endif  // ROSEBUD_NET_HEADERS_H

@@ -1,0 +1,22 @@
+#include "net/packet.h"
+
+namespace rosebud::net {
+
+PacketPtr
+make_packet(uint32_t size) {
+    auto p = std::make_shared<Packet>();
+    p->data.assign(size, 0);
+    return p;
+}
+
+double
+line_rate_pps(uint32_t size, double gbps) {
+    return gbps * 1e9 / (double(size + kWireOverhead) * 8.0);
+}
+
+double
+line_rate_goodput_gbps(uint32_t size, double gbps) {
+    return line_rate_pps(size, gbps) * double(size) * 8.0 / 1e9;
+}
+
+}  // namespace rosebud::net

@@ -1,0 +1,92 @@
+/// \file
+/// Packet buffer and simulation metadata.
+///
+/// A Packet carries the frame bytes (FCS excluded, as in the paper's size
+/// conventions) plus out-of-band simulation metadata: generator timestamps
+/// for latency measurement, the ingress interface, the load balancer's
+/// destination assignment, and IDS match results appended by accelerators.
+
+#ifndef ROSEBUD_NET_PACKET_H
+#define ROSEBUD_NET_PACKET_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rosebud::net {
+
+/// Per-frame wire overhead in bytes: 4 FCS + 8 preamble/SFD + 12 IFG.
+/// Paper packet sizes exclude the FCS, so a size-S packet occupies
+/// S + kWireOverhead bytes of line time.
+inline constexpr uint32_t kWireOverhead = 24;
+
+/// Interface identifiers used in descriptors (paper Section 4.3): two
+/// physical 100G ports, the host (virtual Ethernet / DRAM), and loopback.
+enum class Iface : uint8_t {
+    kPort0 = 0,
+    kPort1 = 1,
+    kHost = 2,
+    kLoopback = 3,
+};
+
+/// A network packet plus simulation metadata.
+struct Packet {
+    /// Frame bytes starting at the Ethernet destination MAC; no FCS.
+    std::vector<uint8_t> data;
+
+    /// Monotonic id assigned by the generator (debug/tracking).
+    uint64_t id = 0;
+
+    /// Generator timestamp in simulated ns (latency measurement).
+    double tx_ns = 0.0;
+
+    /// Ingress interface at the DUT.
+    Iface in_iface = Iface::kPort0;
+
+    /// Egress interface chosen by firmware (descriptor "port" field).
+    Iface out_iface = Iface::kPort0;
+
+    /// Destination RPU chosen by the load balancer.
+    uint8_t dest_rpu = 0;
+
+    /// Packet-memory slot within the destination RPU (LB-assigned).
+    uint8_t dest_slot = 0;
+
+    /// Flow hash prepended by the hash-based LB (0 when unused).
+    uint32_t lb_hash = 0;
+
+    /// True when the hash LB padded the 4-byte hash in front of the frame.
+    bool hash_prepended = false;
+
+    /// IDS rule ids appended to the packet by the matcher accelerator.
+    std::vector<uint32_t> matched_rules;
+
+    /// True for packets the trace generator crafted to match a rule
+    /// (ground truth for verification, not visible to the DUT).
+    bool is_attack = false;
+
+    /// Ground-truth flow sequence number used to verify reordering logic.
+    uint64_t flow_seq = 0;
+
+    uint32_t size() const { return uint32_t(data.size()); }
+
+    /// Line occupancy in bytes, including FCS + preamble + IFG.
+    uint32_t wire_size() const { return size() + kWireOverhead; }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/// Convenience factory for an empty packet of `size` zero bytes.
+PacketPtr make_packet(uint32_t size);
+
+/// Theoretical maximum packet rate (packets/s) for `size`-byte packets on a
+/// link of `gbps` (the dotted lines in Figures 7 and 8).
+double line_rate_pps(uint32_t size, double gbps);
+
+/// Effective data rate (Gbps of frame bytes) when `size`-byte packets fully
+/// occupy a `gbps` link; accounts for wire overhead.
+double line_rate_goodput_gbps(uint32_t size, double gbps);
+
+}  // namespace rosebud::net
+
+#endif  // ROSEBUD_NET_PACKET_H

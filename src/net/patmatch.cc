@@ -1,0 +1,83 @@
+#include "net/patmatch.h"
+
+#include <queue>
+
+#include "sim/log.h"
+
+namespace rosebud::net {
+
+void
+AhoCorasick::add_pattern(const std::vector<uint8_t>& bytes, uint32_t id) {
+    if (finalized_) sim::panic("AhoCorasick: add_pattern after finalize");
+    if (bytes.empty()) return;
+    int cur = 0;
+    for (uint8_t b : bytes) {
+        if (nodes_[cur].next[b] < 0) {
+            nodes_[cur].next[b] = int(nodes_.size());
+            nodes_.emplace_back();
+        }
+        cur = nodes_[cur].next[b];
+    }
+    nodes_[cur].outputs.push_back(id);
+    ++pattern_count_;
+}
+
+void
+AhoCorasick::finalize() {
+    // Convert the trie into a DFA with failure links folded into `next`
+    // (goto function totalization), BFS order.
+    std::vector<int> fail(nodes_.size(), 0);
+    std::queue<int> q;
+    for (int b = 0; b < 256; ++b) {
+        int v = nodes_[0].next[b];
+        if (v < 0) {
+            nodes_[0].next[b] = 0;
+        } else {
+            fail[v] = 0;
+            q.push(v);
+        }
+    }
+    while (!q.empty()) {
+        int u = q.front();
+        q.pop();
+        for (uint32_t id : nodes_[fail[u]].outputs) nodes_[u].outputs.push_back(id);
+        for (int b = 0; b < 256; ++b) {
+            int v = nodes_[u].next[b];
+            if (v < 0) {
+                nodes_[u].next[b] = nodes_[fail[u]].next[b];
+            } else {
+                fail[v] = nodes_[fail[u]].next[b];
+                q.push(v);
+            }
+        }
+    }
+    finalized_ = true;
+}
+
+size_t
+AhoCorasick::scan(const uint8_t* data, size_t len, std::vector<PatternMatch>& out) const {
+    if (!finalized_) sim::panic("AhoCorasick: scan before finalize");
+    size_t found = 0;
+    int state = 0;
+    for (size_t i = 0; i < len; ++i) {
+        state = nodes_[state].next[data[i]];
+        for (uint32_t id : nodes_[state].outputs) {
+            out.push_back({id, uint32_t(i + 1)});
+            ++found;
+        }
+    }
+    return found;
+}
+
+bool
+AhoCorasick::matches_any(const uint8_t* data, size_t len) const {
+    if (!finalized_) sim::panic("AhoCorasick: scan before finalize");
+    int state = 0;
+    for (size_t i = 0; i < len; ++i) {
+        state = nodes_[state].next[data[i]];
+        if (!nodes_[state].outputs.empty()) return true;
+    }
+    return false;
+}
+
+}  // namespace rosebud::net

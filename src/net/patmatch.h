@@ -1,0 +1,62 @@
+/// \file
+/// Multi-pattern string matching (Aho-Corasick automaton).
+///
+/// This is the functional heart shared by three components: the Pigasus
+/// string-matching-engine accelerator model (which matches for real, with
+/// FPGA streaming timing layered on top), the Snort-like software baseline,
+/// and trace-verification in tests. Building the automaton corresponds to
+/// the rule-compilation step of the paper's workflow.
+
+#ifndef ROSEBUD_NET_PATMATCH_H
+#define ROSEBUD_NET_PATMATCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rosebud::net {
+
+/// A match emitted by the automaton.
+struct PatternMatch {
+    uint32_t pattern_id = 0;  ///< index passed at add_pattern time
+    uint32_t end_offset = 0;  ///< offset one past the last matched byte
+};
+
+/// Aho-Corasick automaton over raw bytes. Build once, scan many.
+class AhoCorasick {
+ public:
+    AhoCorasick() = default;
+
+    /// Register a pattern; `id` is reported on match. Empty patterns are
+    /// ignored. Must be called before finalize().
+    void add_pattern(const std::vector<uint8_t>& bytes, uint32_t id);
+
+    /// Build failure links. Scanning before finalize() is invalid.
+    void finalize();
+
+    /// Scan `len` bytes; append every match to `out`. Returns the number
+    /// of matches found.
+    size_t scan(const uint8_t* data, size_t len, std::vector<PatternMatch>& out) const;
+
+    /// True if any pattern matches (early-exit scan).
+    bool matches_any(const uint8_t* data, size_t len) const;
+
+    size_t pattern_count() const { return pattern_count_; }
+    size_t node_count() const { return nodes_.size(); }
+    bool finalized() const { return finalized_; }
+
+ private:
+    struct Node {
+        int next[256];
+        std::vector<uint32_t> outputs;
+        Node() { for (int& n : next) n = -1; }
+    };
+
+    std::vector<Node> nodes_{1};
+    size_t pattern_count_ = 0;
+    bool finalized_ = false;
+};
+
+}  // namespace rosebud::net
+
+#endif  // ROSEBUD_NET_PATMATCH_H

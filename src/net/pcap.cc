@@ -1,0 +1,170 @@
+#include "net/pcap.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/log.h"
+
+namespace rosebud::net {
+
+namespace {
+
+constexpr uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr uint32_t kMagicNano = 0xa1b23c4d;
+constexpr uint32_t kLinkTypeEthernet = 1;
+
+void
+put32(std::vector<uint8_t>& out, uint32_t v) {
+    out.push_back(uint8_t(v));
+    out.push_back(uint8_t(v >> 8));
+    out.push_back(uint8_t(v >> 16));
+    out.push_back(uint8_t(v >> 24));
+}
+
+void
+put16(std::vector<uint8_t>& out, uint16_t v) {
+    out.push_back(uint8_t(v));
+    out.push_back(uint8_t(v >> 8));
+}
+
+class Reader {
+ public:
+    Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+    uint32_t u32() {
+        if (pos_ + 4 > bytes_.size()) sim::fatal("pcap: truncated file");
+        uint32_t v;
+        std::memcpy(&v, &bytes_[pos_], 4);
+        pos_ += 4;
+        return swap_ ? __builtin_bswap32(v) : v;
+    }
+
+    uint16_t u16() {
+        if (pos_ + 2 > bytes_.size()) sim::fatal("pcap: truncated file");
+        uint16_t v;
+        std::memcpy(&v, &bytes_[pos_], 2);
+        pos_ += 2;
+        return swap_ ? __builtin_bswap16(v) : v;
+    }
+
+    std::vector<uint8_t> blob(uint32_t len) {
+        if (pos_ + len > bytes_.size()) sim::fatal("pcap: truncated record");
+        std::vector<uint8_t> out(bytes_.begin() + long(pos_),
+                                 bytes_.begin() + long(pos_ + len));
+        pos_ += len;
+        return out;
+    }
+
+    bool eof() const { return pos_ >= bytes_.size(); }
+    void set_swap(bool s) { swap_ = s; }
+
+ private:
+    const std::vector<uint8_t>& bytes_;
+    size_t pos_ = 0;
+    bool swap_ = false;
+};
+
+}  // namespace
+
+std::vector<uint8_t>
+pcap_serialize(const std::vector<PcapRecord>& records, uint32_t snaplen) {
+    std::vector<uint8_t> out;
+    put32(out, kMagicNano);
+    put16(out, 2);  // version 2.4
+    put16(out, 4);
+    put32(out, 0);  // thiszone
+    put32(out, 0);  // sigfigs
+    put32(out, snaplen);
+    put32(out, kLinkTypeEthernet);
+    for (const auto& rec : records) {
+        uint64_t total_ns = uint64_t(rec.ts_ns < 0 ? 0 : rec.ts_ns);
+        put32(out, uint32_t(total_ns / 1000000000ull));
+        put32(out, uint32_t(total_ns % 1000000000ull));
+        uint32_t caplen = uint32_t(std::min<size_t>(rec.data.size(), snaplen));
+        put32(out, caplen);
+        put32(out, uint32_t(rec.data.size()));
+        out.insert(out.end(), rec.data.begin(), rec.data.begin() + caplen);
+    }
+    return out;
+}
+
+std::vector<PcapRecord>
+pcap_parse(const std::vector<uint8_t>& bytes) {
+    Reader r(bytes);
+    uint32_t magic = r.u32();
+    bool nano = false;
+    if (magic == kMagicNano) {
+        nano = true;
+    } else if (magic == kMagicMicro) {
+        nano = false;
+    } else if (magic == __builtin_bswap32(kMagicNano)) {
+        r.set_swap(true);
+        nano = true;
+    } else if (magic == __builtin_bswap32(kMagicMicro)) {
+        r.set_swap(true);
+        nano = false;
+    } else {
+        sim::fatal("pcap: bad magic");
+    }
+    uint16_t major = r.u16();
+    r.u16();  // minor
+    if (major != 2) sim::fatal("pcap: unsupported version");
+    r.u32();  // thiszone
+    r.u32();  // sigfigs
+    r.u32();  // snaplen
+    uint32_t linktype = r.u32();
+    if (linktype != kLinkTypeEthernet) sim::fatal("pcap: only Ethernet linktype supported");
+
+    std::vector<PcapRecord> out;
+    while (!r.eof()) {
+        PcapRecord rec;
+        uint32_t sec = r.u32();
+        uint32_t frac = r.u32();
+        uint32_t caplen = r.u32();
+        uint32_t origlen = r.u32();
+        (void)origlen;
+        rec.ts_ns = double(sec) * 1e9 + double(frac) * (nano ? 1.0 : 1e3);
+        rec.data = r.blob(caplen);
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
+void
+pcap_write_file(const std::string& path, const std::vector<PacketPtr>& packets) {
+    std::vector<PcapRecord> records;
+    records.reserve(packets.size());
+    for (const auto& p : packets) records.push_back({p->tx_ns, p->data});
+    auto bytes = pcap_serialize(records);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) sim::fatal("pcap: cannot open " + path + " for writing");
+    size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (written != bytes.size()) sim::fatal("pcap: short write to " + path);
+}
+
+std::vector<PacketPtr>
+pcap_read_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) sim::fatal("pcap: cannot open " + path);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size), 0);
+    size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size()) sim::fatal("pcap: short read from " + path);
+
+    std::vector<PacketPtr> out;
+    uint64_t id = 0;
+    for (auto& rec : pcap_parse(bytes)) {
+        auto p = std::make_shared<Packet>();
+        p->data = std::move(rec.data);
+        p->tx_ns = rec.ts_ns;
+        p->id = id++;
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+}  // namespace rosebud::net

@@ -1,0 +1,48 @@
+/// \file
+/// Classic libpcap (.pcap) file reading and writing.
+///
+/// The paper's experiment workflow generates attack traces as pcap files
+/// and replays them with tcpreplay; this module gives the simulator the
+/// same interchange format: traces generated here can be inspected with
+/// tcpdump/Wireshark, and externally captured pcaps can be replayed into
+/// the simulated middlebox.
+///
+/// Supports the classic format (magic 0xa1b2c3d4, microsecond timestamps)
+/// in either byte order plus the nanosecond variant (0xa1b23c4d), LINKTYPE
+/// Ethernet.
+
+#ifndef ROSEBUD_NET_PCAP_H
+#define ROSEBUD_NET_PCAP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace rosebud::net {
+
+/// One captured record: frame bytes + capture timestamp.
+struct PcapRecord {
+    double ts_ns = 0;  ///< capture timestamp in nanoseconds
+    std::vector<uint8_t> data;
+};
+
+/// Serialize records into pcap file bytes (classic format, little-endian,
+/// nanosecond timestamps).
+std::vector<uint8_t> pcap_serialize(const std::vector<PcapRecord>& records,
+                                    uint32_t snaplen = 65535);
+
+/// Parse pcap file bytes. Throws sim::FatalError on malformed input.
+/// Handles both byte orders and both microsecond/nanosecond magics.
+std::vector<PcapRecord> pcap_parse(const std::vector<uint8_t>& bytes);
+
+/// Write packets (with their simulation timestamps) to a pcap file on disk.
+void pcap_write_file(const std::string& path, const std::vector<PacketPtr>& packets);
+
+/// Load a pcap file from disk into packets (tx_ns = capture timestamp).
+std::vector<PacketPtr> pcap_read_file(const std::string& path);
+
+}  // namespace rosebud::net
+
+#endif  // ROSEBUD_NET_PCAP_H

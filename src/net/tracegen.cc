@@ -1,0 +1,147 @@
+#include "net/tracegen.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace rosebud::net {
+
+TraceGenerator::TraceGenerator(const TrafficSpec& spec, const IdsRuleSet* rules,
+                               const Blacklist* blacklist)
+    : spec_(spec), rules_(rules), blacklist_(blacklist), rng_(spec.seed) {
+    if (spec_.flow_count == 0) sim::fatal("flow_count must be > 0");
+    flows_.reserve(spec_.flow_count);
+    for (size_t i = 0; i < spec_.flow_count; ++i) {
+        FlowState f;
+        // Safe traffic lives in 10/8; the synthesized blacklist avoids it.
+        f.tuple.src_ip = 0x0a000000 | uint32_t(rng_.below(1 << 24));
+        f.tuple.dst_ip = 0x0a000000 | uint32_t(rng_.below(1 << 24));
+        f.tuple.src_port = uint16_t(rng_.range(1024, 65535));
+        f.tuple.dst_port = uint16_t(rng_.range(1, 65535));
+        f.is_udp = rng_.chance(spec_.udp_fraction);
+        f.tuple.protocol = f.is_udp ? kIpProtoUdp : kIpProtoTcp;
+        // A subset of flows is designated to carry attack packets; their
+        // port/protocol must satisfy the chosen rule so the pattern
+        // actually triggers (mirrors idstools-crafted attack pcaps).
+        if (rules_ && !rules_->rules().empty() && rng_.chance(0.25)) {
+            const IdsRule& r = rules_->at(rng_.below(rules_->size()));
+            f.attack_sid = r.sid;
+            if (r.proto == RuleProto::kUdp) {
+                f.is_udp = true;
+                f.tuple.protocol = kIpProtoUdp;
+            } else if (r.proto == RuleProto::kTcp) {
+                f.is_udp = false;
+                f.tuple.protocol = kIpProtoTcp;
+            }
+            if (r.dst_port) f.tuple.dst_port = *r.dst_port;
+        }
+        flows_.push_back(f);
+    }
+}
+
+PacketPtr
+TraceGenerator::craft(FlowState& flow, bool attack) {
+    uint32_t hdr = kEthHeaderSize + kIpv4HeaderSize +
+                   (flow.is_udp ? kUdpHeaderSize : kTcpHeaderSize);
+    uint32_t size = std::max(spec_.packet_size, hdr + 8);
+    uint32_t payload_len = size - hdr;
+
+    std::vector<uint8_t> payload(payload_len, 0);
+    for (uint32_t i = 0; i < payload_len; ++i) payload[i] = uint8_t(0x80 | (i * 7));
+
+    uint32_t src_ip = flow.tuple.src_ip;
+    bool attack_effective = false;
+    if (attack) {
+        if (blacklist_ && !blacklist_->entries().empty()) {
+            const auto& e = blacklist_->entries()[rng_.below(blacklist_->size())];
+            src_ip = e.prefix | (e.length < 32
+                                     ? uint32_t(rng_.below(1ull << (32 - e.length)))
+                                     : 0);
+            attack_effective = true;
+        }
+        // Only flows set up to satisfy a rule's protocol/port constraints
+        // can carry that rule's pattern (idstools crafts matching flows).
+        if (rules_ && flow.attack_sid != 0) {
+            const IdsRule* rule = rules_->find_sid(flow.attack_sid);
+            if (rule) {
+                // Embed *every* content of the rule back-to-back so the
+                // verification stage also fires.
+                size_t total = 0;
+                for (const auto& c : rule->contents) total += c.bytes.size();
+                if (total <= payload_len) {
+                    size_t off = rng_.below(payload_len - total + 1);
+                    for (const auto& c : rule->contents) {
+                        std::copy(c.bytes.begin(), c.bytes.end(), payload.begin() + off);
+                        off += c.bytes.size();
+                    }
+                    attack_effective = true;
+                }
+            }
+        }
+    }
+
+    PacketBuilder b;
+    b.eth_src({0x02, 0, 0, 0, 0, 1}).eth_dst({0x02, 0, 0, 0, 0, 2});
+    b.ipv4(src_ip, flow.tuple.dst_ip);
+    if (flow.is_udp) {
+        b.udp(flow.tuple.src_port, flow.tuple.dst_port);
+    } else {
+        b.tcp(flow.tuple.src_port, flow.tuple.dst_port, flow.next_seq);
+        flow.next_seq += payload_len;
+    }
+    b.payload(std::move(payload));
+    b.frame_size(size);
+
+    PacketPtr p = b.build();
+    p->id = next_id_++;
+    p->is_attack = attack_effective;
+    p->flow_seq = flow.packets_sent++;
+    return p;
+}
+
+PacketPtr
+TraceGenerator::next() {
+    if (!pending_.empty()) {
+        PacketPtr p = pending_.front();
+        pending_.pop_front();
+        return p;
+    }
+
+    bool attack = rng_.chance(spec_.attack_fraction);
+    FlowState* flow = &flows_[rng_.below(flows_.size())];
+    if (attack && rules_ && !blacklist_ && flow->attack_sid == 0) {
+        // Attacks ride flows crafted to satisfy their rule; redraw among
+        // the attack-capable flows (falls back to safe if none exist).
+        FlowState* candidate = nullptr;
+        for (size_t tries = 0; tries < 8 && !candidate; ++tries) {
+            FlowState& f = flows_[rng_.below(flows_.size())];
+            if (f.attack_sid != 0) candidate = &f;
+        }
+        if (candidate) {
+            flow = candidate;
+        } else {
+            attack = false;
+        }
+    }
+    PacketPtr p = craft(*flow, attack);
+
+    // Reordering: emit the *next* packet of the same flow first, holding
+    // this one back — a one-slot swap, the typical middlebox reordering
+    // pattern the paper injects at 0.3%.
+    if (!flow->is_udp && spec_.reorder_fraction > 0 && rng_.chance(spec_.reorder_fraction)) {
+        PacketPtr later = craft(*flow, false);
+        pending_.push_back(p);
+        return later;
+    }
+    return p;
+}
+
+std::vector<PacketPtr>
+TraceGenerator::make(size_t n) {
+    std::vector<PacketPtr> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(next());
+    return out;
+}
+
+}  // namespace rosebud::net

@@ -1,0 +1,76 @@
+/// \file
+/// The accelerator socket of an RPU (paper Sections 3.3, 4.1, Appendix A.2).
+///
+/// Accelerators plug into an RPU behind a thin wrapper that exposes their
+/// registers over the IO_EXT MMIO window and gives them streaming access to
+/// the shared packet memory and both ports of their local memory. The
+/// firmware orchestrates them exactly as the paper's C code does: write a
+/// few registers (payload pointer/length, ports, slot), kick a control
+/// register, poll/drain a result FIFO.
+///
+/// Accelerators are the unit of partial reconfiguration: the host can swap
+/// the accelerator (and firmware) of a drained RPU at runtime.
+
+#ifndef ROSEBUD_RPU_ACCELERATOR_H
+#define ROSEBUD_RPU_ACCELERATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mem/memory.h"
+#include "sim/resources.h"
+#include "sim/stats.h"
+
+namespace rosebud::rpu {
+
+/// Everything an accelerator may touch during a cycle.
+struct AccelContext {
+    mem::Memory& pmem;       ///< shared packet memory (accelerator port)
+    mem::Memory& local_mem;  ///< accelerator local memory (lookup tables)
+    sim::Stats& stats;
+    uint64_t now_cycles;     ///< current simulation time
+};
+
+/// Base class for RPU accelerators.
+class Accelerator {
+ public:
+    virtual ~Accelerator() = default;
+
+    /// Reset internal state (on RPU boot and after reconfiguration).
+    virtual void reset() {}
+
+    /// One clock cycle of work.
+    virtual void tick(AccelContext& ctx) = 0;
+
+    /// MMIO read at `offset` within the IO_EXT window.
+    /// Returns false for unmapped offsets (reads as 0).
+    virtual bool mmio_read(uint32_t offset, uint32_t& value, AccelContext& ctx) = 0;
+
+    /// MMIO write at `offset` within the IO_EXT window.
+    virtual bool mmio_write(uint32_t offset, uint32_t value, AccelContext& ctx) = 0;
+
+    /// FPGA footprint of the accelerator logic itself (excluding the
+    /// wrapper/manager, which the RPU accounts separately).
+    virtual sim::ResourceFootprint resources() const = 0;
+
+    /// Human-readable name for reports.
+    virtual std::string name() const = 0;
+
+    /// Number of packet-memory streaming ports the wrapper muxes for this
+    /// accelerator (drives the memory-subsystem footprint).
+    virtual unsigned stream_ports() const { return 0; }
+
+    /// Number of hardware queues the wrapper instantiates (drives the
+    /// accelerator-manager footprint).
+    virtual unsigned queue_count() const { return 0; }
+};
+
+/// Footprint of the accelerator manager/wrapper (queues + address decode),
+/// calibrated to Table 3's "Accel. manager" row (scales mildly with the
+/// number of hardware queues the wrapper instantiates).
+sim::ResourceFootprint accel_manager_footprint(unsigned queue_count);
+
+}  // namespace rosebud::rpu
+
+#endif  // ROSEBUD_RPU_ACCELERATOR_H

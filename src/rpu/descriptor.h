@@ -1,0 +1,111 @@
+/// \file
+/// Packet descriptors and the RPU memory map.
+///
+/// The descriptor is the software/hardware contract of the RPU abstraction
+/// (paper Section 3.1): the interconnect hands the RISC-V core a descriptor
+/// for every arriving packet, and the core sends packets by writing a
+/// descriptor back. The 64-bit layout is chosen so the hot firmware paths
+/// are single instructions:
+///
+///   low word :  [3:0] port | [11:4] slot/tag | [31:16] length
+///   high word:  packet data address (0 = slot default)
+///
+/// * toggle output port 0<->1:  xori rd, rs, 1
+/// * drop (length := 0):        andi rd, rs, 0xfff
+/// * extract length:            srli rd, rs, 16
+
+#ifndef ROSEBUD_RPU_DESCRIPTOR_H
+#define ROSEBUD_RPU_DESCRIPTOR_H
+
+#include <cstdint>
+
+namespace rosebud::rpu {
+
+// --- RPU-local address map -------------------------------------------------
+
+inline constexpr uint32_t kImemBase = 0x00000000;
+inline constexpr uint32_t kImemSize = 64 * 1024;
+inline constexpr uint32_t kDmemBase = 0x00800000;
+inline constexpr uint32_t kDmemSize = 32 * 1024;
+inline constexpr uint32_t kPmemBase = 0x01000000;
+inline constexpr uint32_t kPmemSize = 1024 * 1024;  ///< 8 blocks of 128 KB
+inline constexpr uint32_t kAmemBase = 0x01800000;
+inline constexpr uint32_t kAmemSize = 256 * 1024;   ///< accelerator local memory
+inline constexpr uint32_t kIoBase = 0x02000000;
+inline constexpr uint32_t kIoSize = 0x10000;
+inline constexpr uint32_t kIoExtBase = 0x02010000;  ///< accelerator wrapper registers
+inline constexpr uint32_t kIoExtSize = 0x10000;
+inline constexpr uint32_t kBcastBase = 0x02020000;  ///< broadcast (semi-coherent) region
+inline constexpr uint32_t kBcastSize = 4 * 1024;
+
+/// Default header-copy area: upper half of DMEM (paper Appendix B:
+/// header_slot_base = DMEM_BASE + (DMEM_SIZE >> 1)).
+inline constexpr uint32_t kDefaultHdrBase = kDmemBase + kDmemSize / 2;
+inline constexpr uint32_t kDefaultHdrSlotSize = 128;
+
+// --- interconnect MMIO registers (offsets from kIoBase) ---------------------
+
+enum IoReg : uint32_t {
+    kRegRecvLow = 0x00,      ///< R: head RX descriptor low (0 = none)
+    kRegRecvHigh = 0x04,     ///< R: head RX descriptor high (data address)
+    kRegRecvRelease = 0x08,  ///< W: pop the RX descriptor FIFO
+    kRegSendLow = 0x10,      ///< W: latch TX descriptor low
+    kRegSendHigh = 0x14,     ///< W: latch high word and enqueue the send
+    kRegRxReady = 0x18,      ///< R: 1 if an RX descriptor is pending
+    kRegDebugLow = 0x20,     ///< RW: host-visible debug register
+    kRegDebugHigh = 0x24,    ///< RW
+    kRegCycle = 0x28,        ///< R: core cycle counter (low 32 bits)
+    kRegCoreId = 0x2c,       ///< R: this RPU's index
+    kRegIrqMask = 0x30,      ///< W: enabled interrupt bits (set_masks)
+    kRegIrqStatus = 0x34,    ///< R: pending host interrupts (poke/evict)
+    kRegIrqAck = 0x38,       ///< W: clear pending bits
+    kRegSlotCount = 0x40,    ///< W: packet slot configuration (init_slots)
+    kRegSlotBase = 0x44,     ///< W: first slot's data address
+    kRegSlotSize = 0x48,     ///< W: bytes per slot
+    kRegHdrBase = 0x4c,      ///< W: header-copy base (init_hdr_slots)
+    kRegHdrSize = 0x50,      ///< W: bytes per header slot
+    kRegSlotCommit = 0x54,   ///< W: publish slot config to the LB
+    kRegBcastAddr = 0x60,    ///< R: notify FIFO head: region offset
+    kRegBcastData = 0x64,    ///< R: notify FIFO head: value
+    kRegBcastReady = 0x68,   ///< R: 1 if a broadcast notification is pending
+    kRegBcastPop = 0x6c,     ///< W: pop the notify FIFO
+    kRegLbSlotReq = 0x70,    ///< W: request a packet slot in RPU <value> (loopback)
+    kRegLbSlotResp = 0x74,   ///< R: (rpu+1)<<16 | slot when granted, 0 while pending
+    kRegSendDest = 0x78,     ///< W: dest (rpu<<8|slot) latched for the next loopback send
+    kRegTimerCmp = 0x7c,     ///< W: raise the timer interrupt after N cycles (0 = off)
+};
+
+/// Host interrupt bits in kRegIrqStatus/kRegIrqMask (paper: "Enable only
+/// Evict + Poke" == 0x30).
+inline constexpr uint32_t kIrqPoke = 1u << 4;
+inline constexpr uint32_t kIrqEvict = 1u << 5;
+inline constexpr uint32_t kIrqTimer = 1u << 6;  ///< internal watchdog timer
+
+// --- descriptor ------------------------------------------------------------
+
+/// Decoded descriptor. See the packing notes in the file comment.
+struct Desc {
+    uint16_t len = 0;
+    uint8_t slot = 0;
+    uint8_t port = 0;   ///< net::Iface value
+    uint32_t addr = 0;  ///< packet data address; 0 = slot default
+
+    uint32_t low() const {
+        return uint32_t(port & 0xf) | uint32_t(slot) << 4 | uint32_t(len) << 16;
+    }
+
+    uint32_t high() const { return addr; }
+
+    static Desc unpack(uint32_t low, uint32_t high) {
+        Desc d;
+        d.port = uint8_t(low & 0xf);
+        d.slot = uint8_t((low >> 4) & 0xff);
+        d.len = uint16_t(low >> 16);
+        d.addr = high;
+        return d;
+    }
+};
+
+}  // namespace rosebud::rpu
+
+#endif  // ROSEBUD_RPU_DESCRIPTOR_H

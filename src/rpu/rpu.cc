@@ -1,0 +1,476 @@
+#include "rpu/rpu.h"
+
+#include <cstring>
+
+#include "sim/log.h"
+
+namespace rosebud::rpu {
+
+namespace {
+
+/// Ceiling division for transfer-cycle computation.
+uint32_t
+div_ceil(uint32_t a, uint32_t b) {
+    return (a + b - 1) / b;
+}
+
+}  // namespace
+
+sim::ResourceFootprint
+accel_manager_footprint(unsigned queue_count) {
+    return {.luts = 500 + 75ull * queue_count, .regs = 1900 + 200ull * queue_count};
+}
+
+Rpu::Rpu(sim::Kernel& kernel, sim::Stats& stats, const Config& config)
+    : sim::Component(kernel, "rpu" + std::to_string(config.id)),
+      config_(config),
+      stats_(stats),
+      imem_(kImemSize / 4, 0),
+      dmem_("rpu" + std::to_string(config.id) + ".dmem", kDmemSize),
+      pmem_("rpu" + std::to_string(config.id) + ".pmem", kPmemSize),
+      amem_("rpu" + std::to_string(config.id) + ".amem", kAmemSize),
+      bus_(*this),
+      core_("rpu" + std::to_string(config.id) + ".core", bus_),
+      slot_pkts_(256),
+      rx_fifo_(kernel, name() + ".rx_fifo", config.rx_fifo_depth),
+      tx_fifo_(kernel, name() + ".tx_fifo", config.tx_cmd_depth),
+      bcast_mem_(kBcastSize, 0),
+      bcast_notify_(kernel, name() + ".bcast_notify", config.bcast_notify_depth) {}
+
+std::string
+Rpu::stat(const char* suffix) const {
+    return name() + "." + suffix;
+}
+
+void
+Rpu::load_firmware(const std::vector<uint32_t>& image, uint32_t entry) {
+    if (image.size() > imem_.size()) sim::fatal("firmware image larger than IMEM");
+    std::fill(imem_.begin(), imem_.end(), 0);
+    std::copy(image.begin(), image.end(), imem_.begin());
+    entry_pc_ = entry;
+}
+
+void
+Rpu::attach_accelerator(std::unique_ptr<Accelerator> accel) {
+    accel_ = std::move(accel);
+    if (accel_) accel_->reset();
+}
+
+void
+Rpu::boot() {
+    core_.reset(entry_pc_);
+    if (accel_) accel_->reset();
+    slots_ = SlotConfig{};
+    staged_slots_ = SlotConfig{};
+    for (auto& p : slot_pkts_) p.reset();
+    rx_fifo_.clear();
+    tx_fifo_.clear();
+    rx_pkt_.reset();
+    rx_remaining_ = 0;
+    rx_gap_ = 0;
+    tx_cur_.reset();
+    tx_out_.reset();
+    tx_remaining_ = 0;
+    occupancy_ = 0;
+    irq_status_ = 0;
+    timer_cmp_ = 0;
+    slot_resp_.reset();
+}
+
+void
+Rpu::halt() {
+    // Stop fetching; memories and in-flight engines are left intact so the
+    // host can inspect state (paper Section 3.4).
+    core_.stop();
+}
+
+void
+Rpu::begin_rx(net::PacketPtr pkt) {
+    if (!rx_ready()) sim::panic(name() + ": begin_rx while busy");
+    uint32_t bytes = pkt->size() + (pkt->hash_prepended ? 4 : 0);
+    rx_pkt_ = std::move(pkt);
+    rx_remaining_ = div_ceil(bytes == 0 ? 1 : bytes, config_.link_bytes_per_cycle);
+    ++occupancy_;
+}
+
+void
+Rpu::finish_rx() {
+    net::PacketPtr pkt = std::move(rx_pkt_);
+    uint8_t slot = pkt->dest_slot;
+    if (slots_.count == 0 || slot == 0 || slot > slots_.count) {
+        // The LB never dispatches before slot config; treat as a drop.
+        stats_.counter(stat("rx_bad_slot")).add();
+        --occupancy_;
+        return;
+    }
+    uint32_t bytes = pkt->size() + (pkt->hash_prepended ? 4 : 0);
+    uint32_t addr = slots_.base + (slot - 1) * slots_.size;
+    uint32_t pmem_off = addr - kPmemBase;
+    if (addr < kPmemBase || pmem_off + bytes > kPmemSize) {
+        sim::panic(name() + ": slot data outside packet memory");
+    }
+
+    // Write packet (with optional prepended flow hash) into packet memory.
+    if (pkt->hash_prepended) {
+        pmem_.write32(pmem_off, pkt->lb_hash);
+        pmem_.write_block(pmem_off + 4, pkt->data.data(), pkt->size());
+    } else {
+        pmem_.write_block(pmem_off, pkt->data.data(), pkt->size());
+    }
+
+    // Mirror the first bytes into the core's low-latency header slot.
+    uint32_t hdr_bytes = std::min(bytes, slots_.hdr_size);
+    uint32_t hdr_addr = slots_.hdr_base + (slot - 1) * slots_.hdr_size;
+    if (hdr_addr >= kDmemBase && hdr_addr - kDmemBase + hdr_bytes <= kDmemSize) {
+        std::vector<uint8_t> head(hdr_bytes);
+        pmem_.read_block(pmem_off, head.data(), hdr_bytes);
+        dmem_.write_block(hdr_addr - kDmemBase, head.data(), hdr_bytes);
+    }
+
+    slot_pkts_[slot] = pkt;
+    Desc d;
+    d.len = uint16_t(bytes);
+    d.slot = slot;
+    d.port = uint8_t(pkt->in_iface);
+    d.addr = addr;
+    if (!rx_fifo_.push(d)) {
+        // Cannot happen: FIFO depth >= max slot count, and each slot holds
+        // at most one packet.
+        sim::panic(name() + ": rx descriptor fifo overflow");
+    }
+    trace("rpu_rx_complete", *pkt);
+    stats_.counter(stat("rx_packets")).add();
+    stats_.counter(stat("rx_bytes")).add(pkt->size());
+}
+
+void
+Rpu::tick() {
+    // Internal watchdog timer (paper Section 3.4: firmware detects hangs
+    // "using internal timer interrupt").
+    if (timer_cmp_ > 0 && --timer_cmp_ == 0) irq_status_ |= kIrqTimer;
+    core_.set_irq((irq_status_ & irq_mask_) != 0);
+    core_.tick();
+
+    if (accel_) {
+        AccelContext ctx{pmem_, amem_, stats_, now()};
+        accel_->tick(ctx);
+    }
+
+    // RX engine: one packet in flight, 16 B/cycle, then a setup gap.
+    if (rx_remaining_ > 0) {
+        if (--rx_remaining_ == 0) {
+            finish_rx();
+            rx_gap_ = config_.ingress_gap_cycles;
+        }
+    } else if (rx_gap_ > 0) {
+        --rx_gap_;
+    }
+
+    tick_tx();
+}
+
+void
+Rpu::tick_tx() {
+    // Stage 3: a fully serialized packet waiting for egress buffer space.
+    if (tx_out_) {
+        if (egress_ && egress_(tx_out_)) {
+            uint8_t slot = tx_cur_->desc.slot;
+            stats_.counter(stat("tx_packets")).add();
+            stats_.counter(stat("tx_bytes")).add(tx_out_->size());
+            tx_out_.reset();
+            tx_cur_.reset();
+            slot_pkts_[slot].reset();
+            --occupancy_;
+            if (slot_free_) slot_free_(config_.id, slot);
+        } else {
+            stats_.counter(stat("tx_stall_cycles")).add();
+        }
+        return;
+    }
+
+    // Stage 2: serializing out of packet memory.
+    if (tx_cur_) {
+        if (tx_remaining_ > 0) --tx_remaining_;
+        if (tx_remaining_ == 0) {
+            const Desc& d = tx_cur_->desc;
+            uint32_t addr = d.addr ? d.addr
+                                   : slots_.base + (d.slot - 1) * slots_.size;
+            uint32_t off = addr - kPmemBase;
+            if (addr < kPmemBase || off + d.len > kPmemSize) {
+                sim::panic(name() + ": tx descriptor outside packet memory (addr=" +
+                           std::to_string(addr) + " len=" + std::to_string(d.len) +
+                           " slot=" + std::to_string(d.slot) + ")");
+            }
+            net::PacketPtr src = slot_pkts_[d.slot];
+            auto out = std::make_shared<net::Packet>();
+            out->data.resize(d.len);
+            pmem_.read_block(off, out->data.data(), d.len);
+            if (src) {
+                out->id = src->id;
+                out->tx_ns = src->tx_ns;
+                out->in_iface = src->in_iface;
+                out->is_attack = src->is_attack;
+                out->flow_seq = src->flow_seq;
+                out->lb_hash = src->lb_hash;
+            }
+            out->out_iface = net::Iface(d.port & 3);
+            out->dest_rpu = uint8_t(tx_cur_->dest >> 8);
+            out->dest_slot = uint8_t(tx_cur_->dest & 0xff);
+            trace("fw_send", *out);
+            tx_out_ = std::move(out);
+        }
+        return;
+    }
+
+    // Stage 1: accept a new send command from firmware.
+    if (!tx_fifo_.empty()) {
+        TxCmd cmd = tx_fifo_.pop();
+        if (cmd.desc.len == 0) {
+            // Drop: free the slot without transmitting.
+            uint8_t slot = cmd.desc.slot;
+            if (slot_pkts_[slot]) trace("fw_drop", *slot_pkts_[slot]);
+            stats_.counter(stat("dropped_packets")).add();
+            slot_pkts_[slot].reset();
+            --occupancy_;
+            if (slot_free_) slot_free_(config_.id, slot);
+            return;
+        }
+        tx_cur_ = cmd;
+        tx_remaining_ = div_ceil(cmd.desc.len, config_.link_bytes_per_cycle);
+    }
+}
+
+void
+Rpu::broadcast_deliver(uint32_t offset, uint32_t value) {
+    if (offset + 4 > kBcastSize) return;
+    std::memcpy(&bcast_mem_[offset], &value, 4);
+    if (!bcast_notify_.push({offset, value})) ++bcast_notify_drops_;
+}
+
+// --- MMIO -------------------------------------------------------------------
+
+uint32_t
+Rpu::io_read(uint32_t offset) {
+    switch (offset & ~3u) {
+    case kRegRecvLow: return rx_fifo_.empty() ? 0 : rx_fifo_.front().low();
+    case kRegRecvHigh: return rx_fifo_.empty() ? 0 : rx_fifo_.front().high();
+    case kRegRxReady: return rx_fifo_.empty() ? 0 : 1;
+    case kRegDebugLow: return debug_low_;
+    case kRegDebugHigh: return debug_high_;
+    case kRegCycle: return uint32_t(core_.cycles());
+    case kRegCoreId: return config_.id;
+    case kRegIrqStatus: return irq_status_ & irq_mask_;
+    case kRegBcastAddr: return bcast_notify_.empty() ? 0 : bcast_notify_.front().first;
+    case kRegBcastData: return bcast_notify_.empty() ? 0 : bcast_notify_.front().second;
+    case kRegBcastReady: return bcast_notify_.empty() ? 0 : 1;
+    case kRegLbSlotResp:
+        if (slot_resp_ && now() >= slot_resp_ready_cycle_) {
+            uint32_t v = *slot_resp_;
+            slot_resp_.reset();
+            return v;
+        }
+        return 0;
+    default: return 0;
+    }
+}
+
+void
+Rpu::io_write(uint32_t offset, uint32_t value) {
+    switch (offset & ~3u) {
+    case kRegRecvRelease:
+        if (!rx_fifo_.empty()) rx_fifo_.pop();
+        break;
+    case kRegSendLow:
+        send_low_latch_ = value;
+        break;
+    case kRegSendDest:
+        send_dest_latch_ = uint16_t(value);
+        break;
+    case kRegTimerCmp:
+        timer_cmp_ = value;
+        irq_status_ &= ~kIrqTimer;
+        break;
+    case kRegDebugLow: debug_low_ = value; break;
+    case kRegDebugHigh: debug_high_ = value; break;
+    case kRegIrqMask: irq_mask_ = value; break;
+    case kRegIrqAck: irq_status_ &= ~value; break;
+    case kRegSlotCount: staged_slots_.count = value; break;
+    case kRegSlotBase: staged_slots_.base = value; break;
+    case kRegSlotSize: staged_slots_.size = value; break;
+    case kRegHdrBase: staged_slots_.hdr_base = value; break;
+    case kRegHdrSize: staged_slots_.hdr_size = value; break;
+    case kRegSlotCommit:
+        slots_ = staged_slots_;
+        if (slots_.count > 250) sim::fatal("slot count exceeds descriptor tag range");
+        if (slot_config_cb_) slot_config_cb_(config_.id, slots_);
+        break;
+    case kRegBcastPop:
+        if (!bcast_notify_.empty()) bcast_notify_.pop();
+        break;
+    case kRegLbSlotReq:
+        if (slot_req_) {
+            auto granted = slot_req_(uint8_t(value));
+            slot_resp_ = granted ? (uint32_t(value + 1) << 16 | *granted) : 1u;
+            // Control-channel round trip to the LB (paper Figure 4b).
+            slot_resp_ready_cycle_ = uint32_t(now()) + 8;
+        }
+        break;
+    default:
+        break;
+    }
+}
+
+// --- bus ---------------------------------------------------------------------
+
+rv::Bus::Access
+Rpu::RpuBus::load(uint32_t addr, uint32_t size) {
+    Access a;
+    Rpu& r = rpu_;
+    if (addr + size <= kImemSize) {
+        uint32_t word = r.imem_[addr >> 2];
+        a.value = word >> (8 * (addr & 3));
+        a.cycles = mem::kBramLoadCycles;
+    } else if (addr >= kDmemBase && addr + size <= kDmemBase + kDmemSize) {
+        uint32_t off = addr - kDmemBase;
+        a.value = size == 1 ? r.dmem_.read8(off)
+                            : (size == 2 ? r.dmem_.read16(off) : r.dmem_.read32(off));
+        a.cycles = mem::kBramLoadCycles;
+    } else if (addr >= kPmemBase && addr + size <= kPmemBase + kPmemSize) {
+        uint32_t off = addr - kPmemBase;
+        a.value = size == 1 ? r.pmem_.read8(off)
+                            : (size == 2 ? r.pmem_.read16(off) : r.pmem_.read32(off));
+        a.cycles = mem::kUramLoadCycles;
+    } else if (addr >= kAmemBase && addr + size <= kAmemBase + kAmemSize) {
+        uint32_t off = addr - kAmemBase;
+        a.value = size == 1 ? r.amem_.read8(off)
+                            : (size == 2 ? r.amem_.read16(off) : r.amem_.read32(off));
+        a.cycles = mem::kUramLoadCycles;
+    } else if (addr >= kIoBase && addr + size <= kIoBase + kIoSize) {
+        uint32_t word = r.io_read(addr - kIoBase);
+        a.value = word >> (8 * (addr & 3));
+        a.cycles = mem::kMmioLoadCycles;
+    } else if (addr >= kIoExtBase && addr + size <= kIoExtBase + kIoExtSize) {
+        uint32_t word = 0;
+        if (r.accel_) {
+            AccelContext ctx{r.pmem_, r.amem_, r.stats_, r.now()};
+            r.accel_->mmio_read((addr - kIoExtBase) & ~3u, word, ctx);
+        }
+        a.value = word >> (8 * (addr & 3));
+        a.cycles = mem::kMmioLoadCycles;
+    } else if (addr >= kBcastBase && addr + size <= kBcastBase + kBcastSize) {
+        uint32_t off = addr - kBcastBase;
+        uint32_t word;
+        std::memcpy(&word, &r.bcast_mem_[off & ~3u], 4);
+        a.value = word >> (8 * (addr & 3));
+        a.cycles = mem::kBramLoadCycles;
+    } else {
+        a.fault = true;
+    }
+    return a;
+}
+
+rv::Bus::Access
+Rpu::RpuBus::store(uint32_t addr, uint32_t size, uint32_t value) {
+    Access a;
+    Rpu& r = rpu_;
+    if (addr >= kDmemBase && addr + size <= kDmemBase + kDmemSize) {
+        uint32_t off = addr - kDmemBase;
+        if (size == 1) {
+            r.dmem_.write8(off, uint8_t(value));
+        } else if (size == 2) {
+            r.dmem_.write16(off, uint16_t(value));
+        } else {
+            r.dmem_.write32(off, value);
+        }
+        a.cycles = mem::kBramStoreCycles;
+    } else if (addr >= kPmemBase && addr + size <= kPmemBase + kPmemSize) {
+        uint32_t off = addr - kPmemBase;
+        if (size == 1) {
+            r.pmem_.write8(off, uint8_t(value));
+        } else if (size == 2) {
+            r.pmem_.write16(off, uint16_t(value));
+        } else {
+            r.pmem_.write32(off, value);
+        }
+        a.cycles = mem::kUramStoreCycles;
+    } else if (addr >= kAmemBase && addr + size <= kAmemBase + kAmemSize) {
+        uint32_t off = addr - kAmemBase;
+        if (size == 1) {
+            r.amem_.write8(off, uint8_t(value));
+        } else if (size == 2) {
+            r.amem_.write16(off, uint16_t(value));
+        } else {
+            r.amem_.write32(off, value);
+        }
+        a.cycles = mem::kUramStoreCycles;
+    } else if (addr >= kIoBase && addr + size <= kIoBase + kIoSize) {
+        uint32_t offset = addr - kIoBase;
+        if ((offset & ~3u) == kRegSendHigh) {
+            // Enqueue the send command; block the core when the command
+            // FIFO is full.
+            Rpu::TxCmd cmd;
+            cmd.desc = Desc::unpack(r.send_low_latch_, value);
+            cmd.dest = r.send_dest_latch_;
+            if (!r.tx_fifo_.push(cmd)) {
+                a.retry = true;
+                return a;
+            }
+        } else {
+            r.io_write(offset, value);
+        }
+        a.cycles = mem::kMmioStoreCycles;
+    } else if (addr >= kIoExtBase && addr + size <= kIoExtBase + kIoExtSize) {
+        if (r.accel_) {
+            AccelContext ctx{r.pmem_, r.amem_, r.stats_, r.now()};
+            r.accel_->mmio_write((addr - kIoExtBase) & ~3u, value, ctx);
+        }
+        a.cycles = mem::kMmioStoreCycles;
+    } else if (addr >= kBcastBase && addr + size <= kBcastBase + kBcastSize) {
+        // Semi-coherent broadcast region: the write becomes a message; it
+        // blocks while the per-RPU message FIFO is full (paper Sec 6.3).
+        if (!r.bcast_send_ || !r.bcast_send_(r.config_.id, addr - kBcastBase, value)) {
+            a.retry = true;
+            return a;
+        }
+        a.cycles = mem::kMmioStoreCycles;
+    } else {
+        a.fault = true;
+    }
+    return a;
+}
+
+uint32_t
+Rpu::RpuBus::fetch(uint32_t addr) {
+    if (addr + 4 <= kImemSize) return rpu_.imem_[addr >> 2];
+    return 0x00100073;  // ebreak: running off the image halts the core
+}
+
+// --- resources ----------------------------------------------------------------
+
+sim::ResourceFootprint
+Rpu::base_resources() const {
+    // Memory-subsystem footprint from actual memory provisioning.
+    uint64_t bram = (kImemSize + kDmemSize) / 4096;
+    uint64_t uram = kPmemSize / 32768;
+    unsigned streams = accel_ ? accel_->stream_ports() : 0;
+    sim::ResourceFootprint mem_fp{
+        .luts = 400 + 55 * bram + 28 * uram + 332ull * streams,
+        .regs = 450 + 12 * bram + 6 * uram + 18ull * streams,
+        .bram = bram,
+        .uram = uram,
+    };
+    sim::ResourceFootprint core_fp{.luts = 1976 + (accel_ ? 72u : 0u), .regs = 1050};
+    sim::ResourceFootprint border{.regs = 1808};  // PR-region boundary registers
+    sim::ResourceFootprint fp = core_fp + mem_fp + border;
+    if (accel_) fp += accel_manager_footprint(accel_->queue_count());
+    return fp;
+}
+
+sim::ResourceFootprint
+Rpu::resources() const {
+    sim::ResourceFootprint fp = base_resources();
+    if (accel_) fp += accel_->resources();
+    return fp;
+}
+
+}  // namespace rosebud::rpu

@@ -1,0 +1,191 @@
+#include "rv/assembler.h"
+
+#include "sim/log.h"
+
+namespace rosebud::rv {
+
+void
+Assembler::label(const std::string& name) {
+    if (labels_.count(name)) sim::fatal("label redefined: " + name);
+    labels_[name] = here();
+}
+
+uint32_t
+Assembler::label_addr(const std::string& name) const {
+    auto it = labels_.find(name);
+    if (it == labels_.end()) sim::fatal("undefined label: " + name);
+    return it->second;
+}
+
+// --- R-type ---------------------------------------------------------------
+
+void Assembler::add(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x00, rs2, rs1, 0, rd, kOpReg)); }
+void Assembler::sub(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x20, rs2, rs1, 0, rd, kOpReg)); }
+void Assembler::sll(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x00, rs2, rs1, 1, rd, kOpReg)); }
+void Assembler::slt(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x00, rs2, rs1, 2, rd, kOpReg)); }
+void Assembler::sltu(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x00, rs2, rs1, 3, rd, kOpReg)); }
+void Assembler::xor_(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x00, rs2, rs1, 4, rd, kOpReg)); }
+void Assembler::srl(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x00, rs2, rs1, 5, rd, kOpReg)); }
+void Assembler::sra(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x20, rs2, rs1, 5, rd, kOpReg)); }
+void Assembler::or_(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x00, rs2, rs1, 6, rd, kOpReg)); }
+void Assembler::and_(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x00, rs2, rs1, 7, rd, kOpReg)); }
+
+void Assembler::mul(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x01, rs2, rs1, 0, rd, kOpReg)); }
+void Assembler::mulh(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x01, rs2, rs1, 1, rd, kOpReg)); }
+void Assembler::mulhsu(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x01, rs2, rs1, 2, rd, kOpReg)); }
+void Assembler::mulhu(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x01, rs2, rs1, 3, rd, kOpReg)); }
+void Assembler::div(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x01, rs2, rs1, 4, rd, kOpReg)); }
+void Assembler::divu(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x01, rs2, rs1, 5, rd, kOpReg)); }
+void Assembler::rem(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x01, rs2, rs1, 6, rd, kOpReg)); }
+void Assembler::remu(Reg rd, Reg rs1, Reg rs2) { emit(encode_r(0x01, rs2, rs1, 7, rd, kOpReg)); }
+
+// --- I-type ---------------------------------------------------------------
+
+namespace {
+void
+check_imm12(int32_t imm) {
+    if (imm < -2048 || imm > 2047) {
+        sim::fatal("immediate out of 12-bit range: " + std::to_string(imm));
+    }
+}
+}  // namespace
+
+void Assembler::addi(Reg rd, Reg rs1, int32_t imm) { check_imm12(imm); emit(encode_i(imm, rs1, 0, rd, kOpImm)); }
+void Assembler::slti(Reg rd, Reg rs1, int32_t imm) { check_imm12(imm); emit(encode_i(imm, rs1, 2, rd, kOpImm)); }
+void Assembler::sltiu(Reg rd, Reg rs1, int32_t imm) { check_imm12(imm); emit(encode_i(imm, rs1, 3, rd, kOpImm)); }
+void Assembler::xori(Reg rd, Reg rs1, int32_t imm) { check_imm12(imm); emit(encode_i(imm, rs1, 4, rd, kOpImm)); }
+void Assembler::ori(Reg rd, Reg rs1, int32_t imm) { check_imm12(imm); emit(encode_i(imm, rs1, 6, rd, kOpImm)); }
+void Assembler::andi(Reg rd, Reg rs1, int32_t imm) { check_imm12(imm); emit(encode_i(imm, rs1, 7, rd, kOpImm)); }
+
+void
+Assembler::slli(Reg rd, Reg rs1, uint32_t shamt) {
+    emit(encode_i(int32_t(shamt & 0x1f), rs1, 1, rd, kOpImm));
+}
+
+void
+Assembler::srli(Reg rd, Reg rs1, uint32_t shamt) {
+    emit(encode_i(int32_t(shamt & 0x1f), rs1, 5, rd, kOpImm));
+}
+
+void
+Assembler::srai(Reg rd, Reg rs1, uint32_t shamt) {
+    emit(encode_i(int32_t(0x400 | (shamt & 0x1f)), rs1, 5, rd, kOpImm));
+}
+
+void Assembler::lb(Reg rd, int32_t offset, Reg rs1) { check_imm12(offset); emit(encode_i(offset, rs1, 0, rd, kOpLoad)); }
+void Assembler::lh(Reg rd, int32_t offset, Reg rs1) { check_imm12(offset); emit(encode_i(offset, rs1, 1, rd, kOpLoad)); }
+void Assembler::lw(Reg rd, int32_t offset, Reg rs1) { check_imm12(offset); emit(encode_i(offset, rs1, 2, rd, kOpLoad)); }
+void Assembler::lbu(Reg rd, int32_t offset, Reg rs1) { check_imm12(offset); emit(encode_i(offset, rs1, 4, rd, kOpLoad)); }
+void Assembler::lhu(Reg rd, int32_t offset, Reg rs1) { check_imm12(offset); emit(encode_i(offset, rs1, 5, rd, kOpLoad)); }
+
+void Assembler::sb(Reg rs2, int32_t offset, Reg rs1) { check_imm12(offset); emit(encode_s(offset, rs2, rs1, 0)); }
+void Assembler::sh(Reg rs2, int32_t offset, Reg rs1) { check_imm12(offset); emit(encode_s(offset, rs2, rs1, 1)); }
+void Assembler::sw(Reg rs2, int32_t offset, Reg rs1) { check_imm12(offset); emit(encode_s(offset, rs2, rs1, 2)); }
+
+// --- control flow ---------------------------------------------------------
+
+void
+Assembler::emit_branch(Reg rs1, Reg rs2, uint32_t funct3, const std::string& target) {
+    fixups_.push_back({words_.size(), target, FixKind::kBranch});
+    emit(encode_b(0, rs2, rs1, funct3));
+}
+
+void Assembler::beq(Reg rs1, Reg rs2, const std::string& t) { emit_branch(rs1, rs2, 0, t); }
+void Assembler::bne(Reg rs1, Reg rs2, const std::string& t) { emit_branch(rs1, rs2, 1, t); }
+void Assembler::blt(Reg rs1, Reg rs2, const std::string& t) { emit_branch(rs1, rs2, 4, t); }
+void Assembler::bge(Reg rs1, Reg rs2, const std::string& t) { emit_branch(rs1, rs2, 5, t); }
+void Assembler::bltu(Reg rs1, Reg rs2, const std::string& t) { emit_branch(rs1, rs2, 6, t); }
+void Assembler::bgeu(Reg rs1, Reg rs2, const std::string& t) { emit_branch(rs1, rs2, 7, t); }
+
+void
+Assembler::jal(Reg rd, const std::string& target) {
+    fixups_.push_back({words_.size(), target, FixKind::kJal});
+    emit(encode_j(0, rd));
+}
+
+void
+Assembler::jalr(Reg rd, Reg rs1, int32_t imm) {
+    check_imm12(imm);
+    emit(encode_i(imm, rs1, 0, rd, kOpJalr));
+}
+
+void Assembler::lui(Reg rd, int32_t imm_31_12) { emit(encode_u(imm_31_12, rd, kOpLui)); }
+void Assembler::auipc(Reg rd, int32_t imm_31_12) { emit(encode_u(imm_31_12, rd, kOpAuipc)); }
+
+void Assembler::ecall() { emit(0x00000073); }
+void Assembler::ebreak() { emit(0x00100073); }
+void Assembler::fence() { emit(0x0000000f); }
+
+void
+Assembler::csrrs(Reg rd, uint32_t csr, Reg rs1) {
+    emit(uint32_t(csr) << 20 | uint32_t(rs1) << 15 | 2u << 12 | uint32_t(rd) << 7 | kOpSystem);
+}
+
+void
+Assembler::csrrw(Reg rd, uint32_t csr, Reg rs1) {
+    emit(uint32_t(csr) << 20 | uint32_t(rs1) << 15 | 1u << 12 | uint32_t(rd) << 7 | kOpSystem);
+}
+
+void
+Assembler::csrrc(Reg rd, uint32_t csr, Reg rs1) {
+    emit(uint32_t(csr) << 20 | uint32_t(rs1) << 15 | 3u << 12 | uint32_t(rd) << 7 | kOpSystem);
+}
+
+void
+Assembler::mret() {
+    emit(0x30200073);
+}
+
+// --- pseudo ----------------------------------------------------------------
+
+void Assembler::nop() { addi(zero, zero, 0); }
+void Assembler::mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+
+void
+Assembler::li(Reg rd, int32_t imm) {
+    if (imm >= -2048 && imm <= 2047) {
+        addi(rd, zero, imm);
+        return;
+    }
+    // lui + addi with carry adjustment for the sign-extended low part.
+    int32_t hi = (imm + 0x800) >> 12;
+    int32_t lo = imm - (hi << 12);
+    lui(rd, hi);
+    if (lo != 0) addi(rd, rd, lo);
+}
+
+void Assembler::j(const std::string& target) { jal(zero, target); }
+void Assembler::ret() { jalr(zero, ra, 0); }
+void Assembler::call(const std::string& target) { jal(ra, target); }
+void Assembler::beqz(Reg rs, const std::string& target) { beq(rs, zero, target); }
+void Assembler::bnez(Reg rs, const std::string& target) { bne(rs, zero, target); }
+
+// --- assemble --------------------------------------------------------------
+
+std::vector<uint32_t>
+Assembler::assemble() {
+    for (const auto& fix : fixups_) {
+        uint32_t target = label_addr(fix.label);
+        uint32_t pc = base_ + uint32_t(fix.index) * 4;
+        int32_t offset = int32_t(target - pc);
+        uint32_t& w = words_[fix.index];
+        switch (fix.kind) {
+        case FixKind::kBranch:
+            if (offset < -4096 || offset > 4094) {
+                sim::fatal("branch offset out of range to label " + fix.label);
+            }
+            w = encode_b(offset, dec_rs2(w), dec_rs1(w), dec_funct3(w));
+            break;
+        case FixKind::kJal:
+            if (offset < -(1 << 20) || offset >= (1 << 20)) {
+                sim::fatal("jal offset out of range to label " + fix.label);
+            }
+            w = encode_j(offset, dec_rd(w));
+            break;
+        }
+    }
+    fixups_.clear();
+    return words_;
+}
+
+}  // namespace rosebud::rv

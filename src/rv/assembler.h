@@ -1,0 +1,148 @@
+/// \file
+/// RV32IM assembler eDSL.
+///
+/// Firmware in this repository is written as C++ programs that emit real
+/// RISC-V machine code through this assembler (no cross-compiler is
+/// available offline; see DESIGN.md). It supports forward label references
+/// (resolved at assemble() time), all RV32IM instructions, the usual
+/// pseudo-instructions, and read access to the implemented CSRs.
+
+#ifndef ROSEBUD_RV_ASSEMBLER_H
+#define ROSEBUD_RV_ASSEMBLER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rv/isa.h"
+
+namespace rosebud::rv {
+
+/// Emits a single contiguous code image based at `base` (default 0).
+class Assembler {
+ public:
+    explicit Assembler(uint32_t base = 0) : base_(base) {}
+
+    /// Define a label at the current position. Fatal on redefinition.
+    void label(const std::string& name);
+
+    /// Address a label will have (fatal if not yet defined).
+    uint32_t label_addr(const std::string& name) const;
+
+    /// Current emission address.
+    uint32_t here() const { return base_ + uint32_t(words_.size()) * 4; }
+
+    // R-type ALU.
+    void add(Reg rd, Reg rs1, Reg rs2);
+    void sub(Reg rd, Reg rs1, Reg rs2);
+    void sll(Reg rd, Reg rs1, Reg rs2);
+    void slt(Reg rd, Reg rs1, Reg rs2);
+    void sltu(Reg rd, Reg rs1, Reg rs2);
+    void xor_(Reg rd, Reg rs1, Reg rs2);
+    void srl(Reg rd, Reg rs1, Reg rs2);
+    void sra(Reg rd, Reg rs1, Reg rs2);
+    void or_(Reg rd, Reg rs1, Reg rs2);
+    void and_(Reg rd, Reg rs1, Reg rs2);
+
+    // M extension.
+    void mul(Reg rd, Reg rs1, Reg rs2);
+    void mulh(Reg rd, Reg rs1, Reg rs2);
+    void mulhsu(Reg rd, Reg rs1, Reg rs2);
+    void mulhu(Reg rd, Reg rs1, Reg rs2);
+    void div(Reg rd, Reg rs1, Reg rs2);
+    void divu(Reg rd, Reg rs1, Reg rs2);
+    void rem(Reg rd, Reg rs1, Reg rs2);
+    void remu(Reg rd, Reg rs1, Reg rs2);
+
+    // I-type ALU.
+    void addi(Reg rd, Reg rs1, int32_t imm);
+    void slti(Reg rd, Reg rs1, int32_t imm);
+    void sltiu(Reg rd, Reg rs1, int32_t imm);
+    void xori(Reg rd, Reg rs1, int32_t imm);
+    void ori(Reg rd, Reg rs1, int32_t imm);
+    void andi(Reg rd, Reg rs1, int32_t imm);
+    void slli(Reg rd, Reg rs1, uint32_t shamt);
+    void srli(Reg rd, Reg rs1, uint32_t shamt);
+    void srai(Reg rd, Reg rs1, uint32_t shamt);
+
+    // Loads/stores: offset(rs1) addressing.
+    void lb(Reg rd, int32_t offset, Reg rs1);
+    void lh(Reg rd, int32_t offset, Reg rs1);
+    void lw(Reg rd, int32_t offset, Reg rs1);
+    void lbu(Reg rd, int32_t offset, Reg rs1);
+    void lhu(Reg rd, int32_t offset, Reg rs1);
+    void sb(Reg rs2, int32_t offset, Reg rs1);
+    void sh(Reg rs2, int32_t offset, Reg rs1);
+    void sw(Reg rs2, int32_t offset, Reg rs1);
+
+    // Control flow (label targets; forward references allowed).
+    void beq(Reg rs1, Reg rs2, const std::string& target);
+    void bne(Reg rs1, Reg rs2, const std::string& target);
+    void blt(Reg rs1, Reg rs2, const std::string& target);
+    void bge(Reg rs1, Reg rs2, const std::string& target);
+    void bltu(Reg rs1, Reg rs2, const std::string& target);
+    void bgeu(Reg rs1, Reg rs2, const std::string& target);
+    void jal(Reg rd, const std::string& target);
+    void jalr(Reg rd, Reg rs1, int32_t imm);
+
+    // U-type.
+    void lui(Reg rd, int32_t imm_31_12);
+    void auipc(Reg rd, int32_t imm_31_12);
+
+    // System.
+    void ecall();
+    void ebreak();
+    void fence();
+    /// csrrs rd, csr, rs1 — used by firmware as rdcycle and friends.
+    void csrrs(Reg rd, uint32_t csr, Reg rs1);
+    /// csrrw rd, csr, rs1 — CSR write (interrupt setup).
+    void csrrw(Reg rd, uint32_t csr, Reg rs1);
+    /// csrrc rd, csr, rs1 — CSR bit clear.
+    void csrrc(Reg rd, uint32_t csr, Reg rs1);
+    /// mret — return from a machine trap handler.
+    void mret();
+
+    // Pseudo-instructions.
+    void nop();
+    void mv(Reg rd, Reg rs);
+    void li(Reg rd, int32_t imm);  ///< 1 or 2 instructions
+    void j(const std::string& target);
+    void ret();
+    void call(const std::string& target);  ///< jal ra, target
+    void beqz(Reg rs, const std::string& target);
+    void bnez(Reg rs, const std::string& target);
+    void rdcycle(Reg rd) { csrrs(rd, kCsrCycle, zero); }
+    void rdcycleh(Reg rd) { csrrs(rd, kCsrCycleH, zero); }
+    void rdinstret(Reg rd) { csrrs(rd, kCsrInstret, zero); }
+
+    /// Emit a raw word (e.g. data embedded in the code image).
+    void word(uint32_t w) { words_.push_back(w); }
+
+    /// Resolve fixups and return the image. Fatal on undefined labels or
+    /// out-of-range branch offsets.
+    std::vector<uint32_t> assemble();
+
+    /// Number of instructions emitted so far.
+    size_t instruction_count() const { return words_.size(); }
+
+ private:
+    enum class FixKind { kBranch, kJal };
+    struct Fixup {
+        size_t index;       ///< word index to patch
+        std::string label;
+        FixKind kind;
+    };
+
+    void emit(uint32_t w) { words_.push_back(w); }
+    void emit_branch(Reg rs1, Reg rs2, uint32_t funct3, const std::string& target);
+
+    uint32_t base_;
+    std::vector<uint32_t> words_;
+    std::map<std::string, uint32_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+}  // namespace rosebud::rv
+
+#endif  // ROSEBUD_RV_ASSEMBLER_H

@@ -1,0 +1,288 @@
+#include "rv/core.h"
+
+#include "sim/log.h"
+
+namespace rosebud::rv {
+
+Core::Core(std::string name, Bus& bus, CostModel costs)
+    : name_(std::move(name)), bus_(bus), costs_(costs) {}
+
+void
+Core::reset(uint32_t pc) {
+    regs_.fill(0);
+    csrs_ = TrapCsrs{};
+    irq_line_ = false;
+    pc_ = pc;
+    cycles_ = 0;
+    instret_ = 0;
+    stall_ = 0;
+    halted_ = false;
+    faulted_ = false;
+}
+
+void
+Core::tick() {
+    ++cycles_;
+    if (halted_) return;
+    if (stall_ > 0) {
+        --stall_;
+        return;
+    }
+    execute();
+}
+
+uint64_t
+Core::run(uint64_t max_cycles) {
+    uint64_t start = cycles_;
+    while (!halted_ && cycles_ - start < max_cycles) tick();
+    return cycles_ - start;
+}
+
+void
+Core::execute() {
+    // Take a pending machine external interrupt at an instruction boundary.
+    if (irq_line_ && (csrs_.mstatus & 0x8)) {
+        csrs_.mepc = pc_;
+        csrs_.mcause = 0x8000000b;  // machine external interrupt
+        // MPIE := MIE; MIE := 0.
+        csrs_.mstatus = (csrs_.mstatus & ~0x88u) | ((csrs_.mstatus & 0x8) << 4);
+        pc_ = csrs_.mtvec & ~3u;
+        stall_ = 2;  // pipeline flush into the handler
+        return;
+    }
+
+    const uint32_t insn = bus_.fetch(pc_);
+    uint32_t next_pc = pc_ + 4;
+    uint32_t cost = costs_.alu;
+
+    const uint32_t opcode = dec_opcode(insn);
+    const Reg rd = dec_rd(insn);
+    const Reg rs1 = dec_rs1(insn);
+    const Reg rs2 = dec_rs2(insn);
+    const uint32_t funct3 = dec_funct3(insn);
+    const uint32_t funct7 = dec_funct7(insn);
+    const uint32_t v1 = regs_[rs1];
+    const uint32_t v2 = regs_[rs2];
+
+    auto write_rd = [&](uint32_t v) {
+        if (rd != zero) regs_[rd] = v;
+    };
+
+    switch (opcode) {
+    case kOpLui:
+        write_rd(uint32_t(dec_imm_u(insn)));
+        break;
+
+    case kOpAuipc:
+        write_rd(pc_ + uint32_t(dec_imm_u(insn)));
+        break;
+
+    case kOpJal:
+        write_rd(pc_ + 4);
+        next_pc = pc_ + uint32_t(dec_imm_j(insn));
+        cost = costs_.jump;
+        break;
+
+    case kOpJalr: {
+        uint32_t target = (v1 + uint32_t(dec_imm_i(insn))) & ~1u;
+        write_rd(pc_ + 4);
+        next_pc = target;
+        cost = costs_.jump;
+        break;
+    }
+
+    case kOpBranch: {
+        bool taken = false;
+        switch (funct3) {
+        case 0: taken = v1 == v2; break;                          // beq
+        case 1: taken = v1 != v2; break;                          // bne
+        case 4: taken = int32_t(v1) < int32_t(v2); break;         // blt
+        case 5: taken = int32_t(v1) >= int32_t(v2); break;        // bge
+        case 6: taken = v1 < v2; break;                           // bltu
+        case 7: taken = v1 >= v2; break;                          // bgeu
+        default:
+            faulted_ = halted_ = true;
+            return;
+        }
+        if (taken) {
+            next_pc = pc_ + uint32_t(dec_imm_b(insn));
+            cost = costs_.branch_taken;
+        } else {
+            cost = costs_.branch_not_taken;
+        }
+        break;
+    }
+
+    case kOpLoad: {
+        uint32_t addr = v1 + uint32_t(dec_imm_i(insn));
+        uint32_t size = 1u << (funct3 & 3);
+        Bus::Access a = bus_.load(addr, size);
+        if (a.retry) return;  // re-issue next cycle; pc unchanged
+        if (a.fault) {
+            faulted_ = halted_ = true;
+            return;
+        }
+        uint32_t v = a.value;
+        switch (funct3) {
+        case 0: v = uint32_t(int32_t(int8_t(v))); break;    // lb
+        case 1: v = uint32_t(int32_t(int16_t(v))); break;   // lh
+        case 2: break;                                      // lw
+        case 4: v &= 0xff; break;                           // lbu
+        case 5: v &= 0xffff; break;                         // lhu
+        default:
+            faulted_ = halted_ = true;
+            return;
+        }
+        write_rd(v);
+        cost = a.cycles;
+        break;
+    }
+
+    case kOpStore: {
+        uint32_t addr = v1 + uint32_t(dec_imm_s(insn));
+        uint32_t size = 1u << (funct3 & 3);
+        if (funct3 > 2) {
+            faulted_ = halted_ = true;
+            return;
+        }
+        Bus::Access a = bus_.store(addr, size, v2);
+        if (a.retry) return;
+        if (a.fault) {
+            faulted_ = halted_ = true;
+            return;
+        }
+        cost = a.cycles;
+        break;
+    }
+
+    case kOpImm: {
+        int32_t imm = dec_imm_i(insn);
+        switch (funct3) {
+        case 0: write_rd(v1 + uint32_t(imm)); break;                        // addi
+        case 1: write_rd(v1 << (imm & 0x1f)); break;                        // slli
+        case 2: write_rd(int32_t(v1) < imm ? 1 : 0); break;                 // slti
+        case 3: write_rd(v1 < uint32_t(imm) ? 1 : 0); break;                // sltiu
+        case 4: write_rd(v1 ^ uint32_t(imm)); break;                        // xori
+        case 5:
+            if (insn & (1u << 30)) {
+                write_rd(uint32_t(int32_t(v1) >> (imm & 0x1f)));            // srai
+            } else {
+                write_rd(v1 >> (imm & 0x1f));                               // srli
+            }
+            break;
+        case 6: write_rd(v1 | uint32_t(imm)); break;                        // ori
+        case 7: write_rd(v1 & uint32_t(imm)); break;                        // andi
+        }
+        break;
+    }
+
+    case kOpReg:
+        if (funct7 == 0x01) {  // M extension
+            switch (funct3) {
+            case 0: write_rd(v1 * v2); break;  // mul
+            case 1: write_rd(uint32_t((int64_t(int32_t(v1)) * int64_t(int32_t(v2))) >> 32)); break;
+            case 2: write_rd(uint32_t((int64_t(int32_t(v1)) * int64_t(uint64_t(v2))) >> 32)); break;
+            case 3: write_rd(uint32_t((uint64_t(v1) * uint64_t(v2)) >> 32)); break;
+            case 4:  // div
+                if (v2 == 0) {
+                    write_rd(~0u);
+                } else if (v1 == 0x80000000u && v2 == ~0u) {
+                    write_rd(0x80000000u);
+                } else {
+                    write_rd(uint32_t(int32_t(v1) / int32_t(v2)));
+                }
+                break;
+            case 5: write_rd(v2 == 0 ? ~0u : v1 / v2); break;  // divu
+            case 6:  // rem
+                if (v2 == 0) {
+                    write_rd(v1);
+                } else if (v1 == 0x80000000u && v2 == ~0u) {
+                    write_rd(0);
+                } else {
+                    write_rd(uint32_t(int32_t(v1) % int32_t(v2)));
+                }
+                break;
+            case 7: write_rd(v2 == 0 ? v1 : v1 % v2); break;  // remu
+            }
+            cost = (funct3 < 4) ? costs_.mul : costs_.div;
+        } else {
+            switch (funct3) {
+            case 0: write_rd(funct7 == 0x20 ? v1 - v2 : v1 + v2); break;
+            case 1: write_rd(v1 << (v2 & 0x1f)); break;
+            case 2: write_rd(int32_t(v1) < int32_t(v2) ? 1 : 0); break;
+            case 3: write_rd(v1 < v2 ? 1 : 0); break;
+            case 4: write_rd(v1 ^ v2); break;
+            case 5:
+                if (funct7 == 0x20) {
+                    write_rd(uint32_t(int32_t(v1) >> (v2 & 0x1f)));
+                } else {
+                    write_rd(v1 >> (v2 & 0x1f));
+                }
+                break;
+            case 6: write_rd(v1 | v2); break;
+            case 7: write_rd(v1 & v2); break;
+            }
+        }
+        break;
+
+    case kOpMiscMem:  // fence — no-op in this memory model
+        break;
+
+    case kOpSystem: {
+        uint32_t csr = insn >> 20;
+        if (funct3 == 0) {
+            if (insn == 0x30200073) {  // mret: return from the trap handler
+                next_pc = csrs_.mepc;
+                // MIE := MPIE; MPIE := 1.
+                csrs_.mstatus =
+                    (csrs_.mstatus & ~0x8u) | ((csrs_.mstatus >> 4) & 0x8) | 0x80;
+                cost = costs_.jump;
+                break;
+            }
+            // ecall / ebreak halt the core (used by firmware tests to
+            // terminate and by the RPU's spin-wait debugging).
+            halted_ = true;
+            return;
+        }
+        // CSR read (all) + write (trap CSRs only; counters are read-only).
+        uint32_t value = 0;
+        uint32_t* writable = nullptr;
+        switch (csr) {
+        case kCsrCycle:
+        case kCsrTime: value = uint32_t(cycles_); break;
+        case kCsrCycleH:
+        case kCsrTimeH: value = uint32_t(cycles_ >> 32); break;
+        case kCsrInstret: value = uint32_t(instret_); break;
+        case kCsrInstretH: value = uint32_t(instret_ >> 32); break;
+        case kCsrMstatus: writable = &csrs_.mstatus; break;
+        case kCsrMtvec: writable = &csrs_.mtvec; break;
+        case kCsrMepc: writable = &csrs_.mepc; break;
+        case kCsrMcause: writable = &csrs_.mcause; break;
+        default: value = 0; break;
+        }
+        if (writable) value = *writable;
+        if (writable && !(funct3 != 1 && rs1 == zero)) {
+            // csrrw writes v1; csrrs sets bits; csrrc clears bits.
+            switch (funct3) {
+            case 1: *writable = v1; break;
+            case 2: *writable = value | v1; break;
+            case 3: *writable = value & ~v1; break;
+            default: break;
+            }
+        }
+        write_rd(value);
+        cost = costs_.csr;
+        break;
+    }
+
+    default:
+        faulted_ = halted_ = true;
+        return;
+    }
+
+    pc_ = next_pc;
+    ++instret_;
+    stall_ = cost - 1;
+}
+
+}  // namespace rosebud::rv

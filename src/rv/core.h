@@ -1,0 +1,141 @@
+/// \file
+/// RV32IM soft-core interpreter with a VexRiscv-calibrated timing model.
+///
+/// One Core instance lives inside each RPU. The core executes one
+/// instruction per `tick` unless stalled; instruction costs mirror a small
+/// 5-stage FPGA pipeline (1-cycle ALU, taken-branch flush, multi-cycle
+/// loads depending on target memory, iterative divide). The memory system
+/// is abstracted behind Bus; a bus access may also *retry* (e.g. a store to
+/// a full broadcast FIFO), in which case the core re-issues the same
+/// instruction next cycle — exactly the paper's "a write to the broadcast
+/// memory region will be blocked until there is room in the FIFO".
+///
+/// Timing calibration (see DESIGN.md): the paper reports that the minimal
+/// forwarder loop — read a descriptor and send it back — takes 16 cycles.
+/// With the costs below, the 8-instruction forwarder firmware costs exactly
+/// 16 cycles per iteration, reproducing the 250/125 MPPS caps of Section 6.
+
+#ifndef ROSEBUD_RV_CORE_H
+#define ROSEBUD_RV_CORE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "rv/isa.h"
+
+namespace rosebud::rv {
+
+/// Instruction cost table (cycles, including the issue cycle).
+struct CostModel {
+    uint32_t alu = 1;
+    uint32_t branch_not_taken = 1;
+    uint32_t branch_taken = 2;   ///< pipeline flush
+    uint32_t jump = 2;           ///< jal/jalr
+    uint32_t mul = 5;
+    uint32_t div = 35;           ///< iterative divider
+    uint32_t csr = 1;
+    // Load/store costs come from the Bus (they depend on the target
+    // memory region: BRAM, URAM, MMIO).
+};
+
+/// Abstract memory system seen by the core.
+class Bus {
+ public:
+    virtual ~Bus() = default;
+
+    /// Result of a load/store.
+    struct Access {
+        uint32_t value = 0;   ///< loaded value (zero-extended raw bytes)
+        uint32_t cycles = 1;  ///< total cycles consumed by the instruction
+        bool retry = false;   ///< true: re-issue next cycle (blocked)
+        bool fault = false;   ///< true: unmapped/bad access -> core traps
+    };
+
+    /// Load `size` bytes (1, 2 or 4) at `addr`.
+    virtual Access load(uint32_t addr, uint32_t size) = 0;
+
+    /// Store `size` bytes (1, 2 or 4) of `value` at `addr`.
+    virtual Access store(uint32_t addr, uint32_t size, uint32_t value) = 0;
+
+    /// Instruction fetch (always 32-bit). Default: a plain load.
+    virtual uint32_t fetch(uint32_t addr) = 0;
+};
+
+/// Machine-mode CSRs implemented for interrupt support.
+/// The core takes a machine external interrupt when the IRQ line is high,
+/// MIE is set, and a trap is not already active — saving pc to mepc and
+/// vectoring to mtvec, exactly enough for the paper's firmware patterns
+/// (timer watchdogs, host poke handlers).
+struct TrapCsrs {
+    uint32_t mstatus = 0;  ///< bit 3 = MIE, bit 7 = MPIE
+    uint32_t mtvec = 0;
+    uint32_t mepc = 0;
+    uint32_t mcause = 0;
+};
+
+/// The interpreter.
+class Core {
+ public:
+    Core(std::string name, Bus& bus, CostModel costs = CostModel{});
+
+    /// Reset architectural state and start executing at `pc`.
+    void reset(uint32_t pc);
+
+    /// Advance one clock cycle (executes an instruction if not stalled).
+    void tick();
+
+    /// Run until halted or `max_cycles` elapse. Returns cycles consumed.
+    /// (Convenience for firmware unit tests; the RPU uses tick().)
+    uint64_t run(uint64_t max_cycles);
+
+    /// True after ebreak/ecall or a bus fault.
+    bool halted() const { return halted_; }
+
+    /// Force-halt the core (host-side stop; memories are untouched).
+    void stop() { halted_ = true; }
+
+    /// Level-sensitive external interrupt line (wired by the RPU to the
+    /// masked host-interrupt and timer status).
+    void set_irq(bool level) { irq_line_ = level; }
+
+    const TrapCsrs& csrs() const { return csrs_; }
+
+    /// True if the halt was caused by a fault rather than ebreak/ecall.
+    bool faulted() const { return faulted_; }
+
+    uint32_t pc() const { return pc_; }
+    uint32_t reg(Reg r) const { return regs_[r]; }
+    void set_reg(Reg r, uint32_t v) {
+        if (r != zero) regs_[r] = v;
+    }
+
+    /// Cycles since reset (drives the cycle CSR).
+    uint64_t cycles() const { return cycles_; }
+
+    /// Instructions retired since reset.
+    uint64_t instret() const { return instret_; }
+
+    const std::string& name() const { return name_; }
+
+ private:
+    void execute();
+
+    std::string name_;
+    Bus& bus_;
+    CostModel costs_;
+
+    std::array<uint32_t, 32> regs_{};
+    uint32_t pc_ = 0;
+    uint64_t cycles_ = 0;
+    uint64_t instret_ = 0;
+    uint32_t stall_ = 0;
+    bool halted_ = true;
+    bool faulted_ = false;
+    bool irq_line_ = false;
+    TrapCsrs csrs_;
+};
+
+}  // namespace rosebud::rv
+
+#endif  // ROSEBUD_RV_CORE_H

@@ -1,0 +1,119 @@
+#include "rv/disasm.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "rv/isa.h"
+
+namespace rosebud::rv {
+
+namespace {
+
+const char* kRegNames[32] = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+};
+
+std::string
+fmt(const char* f, ...) {
+    char buf[128];
+    va_list ap;
+    va_start(ap, f);
+    std::vsnprintf(buf, sizeof(buf), f, ap);
+    va_end(ap);
+    return buf;
+}
+
+const char*
+reg(Reg r) {
+    return kRegNames[r & 31];
+}
+
+}  // namespace
+
+std::string
+disassemble(uint32_t insn, uint32_t pc) {
+    const uint32_t opcode = dec_opcode(insn);
+    const Reg rd = dec_rd(insn);
+    const Reg rs1 = dec_rs1(insn);
+    const Reg rs2 = dec_rs2(insn);
+    const uint32_t f3 = dec_funct3(insn);
+    const uint32_t f7 = dec_funct7(insn);
+
+    switch (opcode) {
+    case kOpLui: return fmt("lui %s, 0x%x", reg(rd), uint32_t(dec_imm_u(insn)) >> 12);
+    case kOpAuipc: return fmt("auipc %s, 0x%x", reg(rd), uint32_t(dec_imm_u(insn)) >> 12);
+    case kOpJal: return fmt("jal %s, 0x%x", reg(rd), pc + uint32_t(dec_imm_j(insn)));
+    case kOpJalr: return fmt("jalr %s, %d(%s)", reg(rd), dec_imm_i(insn), reg(rs1));
+
+    case kOpBranch: {
+        static const char* names[8] = {"beq", "bne", "?", "?", "blt", "bge", "bltu", "bgeu"};
+        return fmt("%s %s, %s, 0x%x", names[f3], reg(rs1), reg(rs2),
+                   pc + uint32_t(dec_imm_b(insn)));
+    }
+
+    case kOpLoad: {
+        static const char* names[8] = {"lb", "lh", "lw", "?", "lbu", "lhu", "?", "?"};
+        return fmt("%s %s, %d(%s)", names[f3], reg(rd), dec_imm_i(insn), reg(rs1));
+    }
+
+    case kOpStore: {
+        static const char* names[8] = {"sb", "sh", "sw", "?", "?", "?", "?", "?"};
+        return fmt("%s %s, %d(%s)", names[f3], reg(rs2), dec_imm_s(insn), reg(rs1));
+    }
+
+    case kOpImm: {
+        int32_t imm = dec_imm_i(insn);
+        switch (f3) {
+        case 0: return fmt("addi %s, %s, %d", reg(rd), reg(rs1), imm);
+        case 1: return fmt("slli %s, %s, %d", reg(rd), reg(rs1), imm & 31);
+        case 2: return fmt("slti %s, %s, %d", reg(rd), reg(rs1), imm);
+        case 3: return fmt("sltiu %s, %s, %d", reg(rd), reg(rs1), imm);
+        case 4: return fmt("xori %s, %s, %d", reg(rd), reg(rs1), imm);
+        case 5:
+            return fmt("%s %s, %s, %d", (insn & (1u << 30)) ? "srai" : "srli", reg(rd),
+                       reg(rs1), imm & 31);
+        case 6: return fmt("ori %s, %s, %d", reg(rd), reg(rs1), imm);
+        case 7: return fmt("andi %s, %s, %d", reg(rd), reg(rs1), imm);
+        }
+        break;
+    }
+
+    case kOpReg: {
+        const char* name = "?";
+        if (f7 == 0x01) {
+            static const char* m[8] = {"mul", "mulh", "mulhsu", "mulhu",
+                                       "div", "divu", "rem", "remu"};
+            name = m[f3];
+        } else if (f7 == 0x20) {
+            name = f3 == 0 ? "sub" : (f3 == 5 ? "sra" : "?");
+        } else {
+            static const char* i[8] = {"add", "sll", "slt", "sltu", "xor", "srl", "or", "and"};
+            name = i[f3];
+        }
+        return fmt("%s %s, %s, %s", name, reg(rd), reg(rs1), reg(rs2));
+    }
+
+    case kOpMiscMem: return "fence";
+
+    case kOpSystem:
+        if (f3 == 0) return insn == 0x00100073 ? "ebreak" : "ecall";
+        return fmt("csrrs %s, 0x%x, %s", reg(rd), insn >> 20, reg(rs1));
+    }
+    return fmt(".word 0x%08x", insn);
+}
+
+std::string
+disassemble_image(const std::vector<uint32_t>& words, uint32_t base) {
+    std::string out;
+    for (size_t i = 0; i < words.size(); ++i) {
+        uint32_t pc = base + uint32_t(i) * 4;
+        out += fmt("%08x: %08x  ", pc, words[i]);
+        out += disassemble(words[i], pc);
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace rosebud::rv

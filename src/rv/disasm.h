@@ -1,0 +1,23 @@
+/// \file
+/// RV32IM disassembler — used by the debugging tooling (host-side memory
+/// dumps of RPU instruction memory) and by assembler round-trip tests.
+
+#ifndef ROSEBUD_RV_DISASM_H
+#define ROSEBUD_RV_DISASM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rosebud::rv {
+
+/// Disassemble a single instruction at `pc` (pc is needed to render
+/// branch/jal targets as absolute addresses).
+std::string disassemble(uint32_t insn, uint32_t pc = 0);
+
+/// Disassemble a code image, one "addr: insn  text" line per word.
+std::string disassemble_image(const std::vector<uint32_t>& words, uint32_t base = 0);
+
+}  // namespace rosebud::rv
+
+#endif  // ROSEBUD_RV_DISASM_H

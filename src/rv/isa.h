@@ -1,0 +1,140 @@
+/// \file
+/// RV32IM instruction encodings.
+///
+/// The RPU core is a VexRiscv-class RV32IM machine (paper Section 5). This
+/// header defines register names, opcode constants, and raw instruction
+/// encoders used by the assembler, the disassembler, and the interpreter's
+/// decoder. Encodings follow the RISC-V unprivileged ISA spec v2.2.
+
+#ifndef ROSEBUD_RV_ISA_H
+#define ROSEBUD_RV_ISA_H
+
+#include <cstdint>
+
+namespace rosebud::rv {
+
+/// Architectural registers with ABI aliases.
+enum Reg : uint8_t {
+    x0 = 0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15,
+    x16, x17, x18, x19, x20, x21, x22, x23, x24, x25, x26, x27, x28, x29, x30, x31,
+
+    zero = x0, ra = x1, sp = x2, gp = x3, tp = x4,
+    t0 = x5, t1 = x6, t2 = x7,
+    s0 = x8, fp = x8, s1 = x9,
+    a0 = x10, a1 = x11, a2 = x12, a3 = x13, a4 = x14, a5 = x15, a6 = x16, a7 = x17,
+    s2 = x18, s3 = x19, s4 = x20, s5 = x21, s6 = x22, s7 = x23, s8 = x24, s9 = x25,
+    s10 = x26, s11 = x27,
+    t3 = x28, t4 = x29, t5 = x30, t6 = x31,
+};
+
+/// Major opcodes (bits [6:0]).
+enum Opcode : uint32_t {
+    kOpLoad = 0x03,
+    kOpMiscMem = 0x0f,
+    kOpImm = 0x13,
+    kOpAuipc = 0x17,
+    kOpStore = 0x23,
+    kOpReg = 0x33,
+    kOpLui = 0x37,
+    kOpBranch = 0x63,
+    kOpJalr = 0x67,
+    kOpJal = 0x6f,
+    kOpSystem = 0x73,
+};
+
+/// CSR numbers implemented by the core.
+enum Csr : uint32_t {
+    kCsrMstatus = 0x300,
+    kCsrMtvec = 0x305,
+    kCsrMepc = 0x341,
+    kCsrMcause = 0x342,
+    kCsrCycle = 0xc00,
+    kCsrTime = 0xc01,
+    kCsrInstret = 0xc02,
+    kCsrCycleH = 0xc80,
+    kCsrTimeH = 0xc81,
+    kCsrInstretH = 0xc82,
+};
+
+// --- raw format encoders -------------------------------------------------
+
+inline uint32_t
+encode_r(uint32_t funct7, Reg rs2, Reg rs1, uint32_t funct3, Reg rd, uint32_t opcode) {
+    return funct7 << 25 | uint32_t(rs2) << 20 | uint32_t(rs1) << 15 | funct3 << 12 |
+           uint32_t(rd) << 7 | opcode;
+}
+
+inline uint32_t
+encode_i(int32_t imm, Reg rs1, uint32_t funct3, Reg rd, uint32_t opcode) {
+    return uint32_t(imm & 0xfff) << 20 | uint32_t(rs1) << 15 | funct3 << 12 |
+           uint32_t(rd) << 7 | opcode;
+}
+
+inline uint32_t
+encode_s(int32_t imm, Reg rs2, Reg rs1, uint32_t funct3) {
+    uint32_t u = uint32_t(imm);
+    return ((u >> 5) & 0x7f) << 25 | uint32_t(rs2) << 20 | uint32_t(rs1) << 15 |
+           funct3 << 12 | (u & 0x1f) << 7 | kOpStore;
+}
+
+inline uint32_t
+encode_b(int32_t imm, Reg rs2, Reg rs1, uint32_t funct3) {
+    uint32_t u = uint32_t(imm);
+    return ((u >> 12) & 1) << 31 | ((u >> 5) & 0x3f) << 25 | uint32_t(rs2) << 20 |
+           uint32_t(rs1) << 15 | funct3 << 12 | ((u >> 1) & 0xf) << 8 | ((u >> 11) & 1) << 7 |
+           kOpBranch;
+}
+
+inline uint32_t
+encode_u(int32_t imm_31_12, Reg rd, uint32_t opcode) {
+    return uint32_t(imm_31_12) << 12 | uint32_t(rd) << 7 | opcode;
+}
+
+inline uint32_t
+encode_j(int32_t imm, Reg rd) {
+    uint32_t u = uint32_t(imm);
+    return ((u >> 20) & 1) << 31 | ((u >> 1) & 0x3ff) << 21 | ((u >> 11) & 1) << 20 |
+           ((u >> 12) & 0xff) << 12 | uint32_t(rd) << 7 | kOpJal;
+}
+
+// --- decode helpers -------------------------------------------------------
+
+inline uint32_t dec_opcode(uint32_t insn) { return insn & 0x7f; }
+inline Reg dec_rd(uint32_t insn) { return Reg((insn >> 7) & 0x1f); }
+inline uint32_t dec_funct3(uint32_t insn) { return (insn >> 12) & 7; }
+inline Reg dec_rs1(uint32_t insn) { return Reg((insn >> 15) & 0x1f); }
+inline Reg dec_rs2(uint32_t insn) { return Reg((insn >> 20) & 0x1f); }
+inline uint32_t dec_funct7(uint32_t insn) { return insn >> 25; }
+
+inline int32_t
+dec_imm_i(uint32_t insn) {
+    return int32_t(insn) >> 20;
+}
+
+inline int32_t
+dec_imm_s(uint32_t insn) {
+    return (int32_t(insn) >> 25 << 5) | int32_t((insn >> 7) & 0x1f);
+}
+
+inline int32_t
+dec_imm_b(uint32_t insn) {
+    int32_t imm = int32_t((insn >> 31) & 1) << 12 | int32_t((insn >> 7) & 1) << 11 |
+                  int32_t((insn >> 25) & 0x3f) << 5 | int32_t((insn >> 8) & 0xf) << 1;
+    return imm << 19 >> 19;  // sign extend from bit 12
+}
+
+inline int32_t
+dec_imm_u(uint32_t insn) {
+    return int32_t(insn & 0xfffff000);
+}
+
+inline int32_t
+dec_imm_j(uint32_t insn) {
+    int32_t imm = int32_t((insn >> 31) & 1) << 20 | int32_t((insn >> 12) & 0xff) << 12 |
+                  int32_t((insn >> 20) & 1) << 11 | int32_t((insn >> 21) & 0x3ff) << 1;
+    return imm << 11 >> 11;  // sign extend from bit 20
+}
+
+}  // namespace rosebud::rv
+
+#endif  // ROSEBUD_RV_ISA_H

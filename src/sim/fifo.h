@@ -1,0 +1,135 @@
+/// \file
+/// Registered FIFO and register primitives.
+///
+/// These are the only legal communication channels between Components: a
+/// value pushed (or written) during cycle N becomes visible to consumers at
+/// cycle N+1, after the kernel's commit phase — exactly like a clocked FIFO
+/// or flop in the Verilog original. Capacity checks (`can_push`) observe
+/// committed occupancy minus committed pops plus staged pushes, so a
+/// producer can never overfill a FIFO within a cycle.
+
+#ifndef ROSEBUD_SIM_FIFO_H
+#define ROSEBUD_SIM_FIFO_H
+
+#include <cassert>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace rosebud::sim {
+
+/// A clocked FIFO with bounded capacity.
+///
+/// Push/pop in the same cycle on a 1-deep FIFO behaves like a skid buffer:
+/// the pop frees the slot for the commit of the push (pops commit before
+/// pushes within this element's commit).
+template <typename T>
+class Fifo : public Clocked {
+ public:
+    /// \param kernel   Clock domain to register with.
+    /// \param name     Instance name (for debugging/stats).
+    /// \param capacity Maximum committed occupancy, must be >= 1.
+    Fifo(Kernel& kernel, std::string name, size_t capacity)
+        : name_(std::move(name)), capacity_(capacity) {
+        assert(capacity >= 1);
+        kernel.add_clocked(this);
+    }
+
+    /// True if a push this cycle will be accepted.
+    bool can_push() const {
+        return stable_.size() - popped_ + staged_.size() < capacity_;
+    }
+
+    /// Stage a push; visible to `front`/`pop` from the next cycle.
+    /// Returns false (and drops nothing — caller keeps the value) if full.
+    [[nodiscard]] bool push(T v) {
+        if (!can_push()) return false;
+        staged_.push_back(std::move(v));
+        return true;
+    }
+
+    /// True if nothing is poppable this cycle.
+    bool empty() const { return popped_ >= stable_.size(); }
+
+    /// Committed occupancy visible this cycle (ignores staged pushes).
+    size_t size() const { return stable_.size() - popped_; }
+
+    size_t capacity() const { return capacity_; }
+
+    /// Free slots as seen by a producer this cycle.
+    size_t free_slots() const {
+        return capacity_ - (stable_.size() - popped_ + staged_.size());
+    }
+
+    /// Oldest committed element. Precondition: !empty().
+    const T& front() const {
+        assert(!empty());
+        return stable_[popped_];
+    }
+
+    /// Pop the oldest committed element.
+    T pop() {
+        assert(!empty());
+        return std::move(stable_[popped_++]);
+    }
+
+    void commit() override {
+        stable_.erase(stable_.begin(), stable_.begin() + popped_);
+        popped_ = 0;
+        for (auto& v : staged_) stable_.push_back(std::move(v));
+        staged_.clear();
+    }
+
+    /// Drop all contents immediately (used on RPU reset/reconfiguration).
+    void clear() {
+        stable_.clear();
+        staged_.clear();
+        popped_ = 0;
+    }
+
+    const std::string& name() const { return name_; }
+
+ private:
+    std::string name_;
+    size_t capacity_;
+    std::deque<T> stable_;
+    std::vector<T> staged_;
+    size_t popped_ = 0;
+};
+
+/// A single clocked register: writes become visible next cycle.
+template <typename T>
+class Reg : public Clocked {
+ public:
+    Reg(Kernel& kernel, T reset = T{}) : value_(std::move(reset)) {
+        kernel.add_clocked(this);
+    }
+
+    /// Committed value as of this cycle.
+    const T& get() const { return value_; }
+
+    /// Stage a new value; last write in a cycle wins.
+    void set(T v) {
+        staged_ = std::move(v);
+        dirty_ = true;
+    }
+
+    void commit() override {
+        if (dirty_) {
+            value_ = std::move(staged_);
+            dirty_ = false;
+        }
+    }
+
+ private:
+    T value_;
+    T staged_{};
+    bool dirty_ = false;
+};
+
+}  // namespace rosebud::sim
+
+#endif  // ROSEBUD_SIM_FIFO_H

@@ -1,0 +1,23 @@
+#include "sim/kernel.h"
+
+namespace rosebud::sim {
+
+Component::Component(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {
+    kernel.add_component(this);
+}
+
+void
+Kernel::step() {
+    for (Component* c : components_) c->tick();
+    for (Component* c : components_) c->commit();
+    for (Clocked* c : clocked_) c->commit();
+    ++now_;
+}
+
+void
+Kernel::run(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+}  // namespace rosebud::sim

@@ -1,0 +1,136 @@
+/// \file
+/// Synchronous, two-phase simulation kernel.
+///
+/// Rosebud's hardware is a fully synchronous 250 MHz design; the kernel
+/// mirrors RTL semantics: every cycle, each registered Component runs its
+/// combinational/compute phase (`tick`) against the *previous* cycle's
+/// visible state, then every Clocked element commits its staged updates
+/// (`commit`). Inter-component communication happens exclusively through
+/// registered primitives (sim::Fifo, sim::Reg), which makes results
+/// independent of component iteration order.
+
+#ifndef ROSEBUD_SIM_KERNEL_H
+#define ROSEBUD_SIM_KERNEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rosebud::sim {
+
+/// Simulation time in clock cycles.
+using Cycle = uint64_t;
+
+/// Fabric clock of the reference implementation (paper Section 5).
+inline constexpr double kClockHz = 250e6;
+
+/// Nanoseconds per fabric clock cycle (4 ns at 250 MHz).
+inline constexpr double kNsPerCycle = 1e9 / kClockHz;
+
+/// Convert a cycle count to nanoseconds of simulated time.
+inline constexpr double cycles_to_ns(Cycle c) { return double(c) * kNsPerCycle; }
+
+/// Convert a cycle count to microseconds of simulated time.
+inline constexpr double cycles_to_us(Cycle c) { return double(c) * kNsPerCycle / 1e3; }
+
+/// Convert a cycle count to seconds of simulated time.
+inline constexpr double cycles_to_s(Cycle c) { return double(c) / kClockHz; }
+
+/// Anything with per-cycle staged state that must become visible at the
+/// clock edge. Fifos, registers, and components all implement this.
+class Clocked {
+ public:
+    virtual ~Clocked() = default;
+
+    /// Make updates staged during the current cycle visible to readers.
+    virtual void commit() = 0;
+};
+
+class Kernel;
+
+/// A hardware block with per-cycle behaviour.
+///
+/// Components register themselves with a Kernel at construction and are
+/// ticked once per simulated cycle. All outputs must go through registered
+/// primitives so that `tick` order does not matter.
+class Component : public Clocked {
+ public:
+    Component(Kernel& kernel, std::string name);
+    ~Component() override = default;
+
+    Component(const Component&) = delete;
+    Component& operator=(const Component&) = delete;
+
+    /// Compute phase: observe committed state, stage updates.
+    virtual void tick() = 0;
+
+    /// Commit phase. Most components keep all state in registered
+    /// primitives and need no custom commit.
+    void commit() override {}
+
+    /// Hierarchical instance name, e.g. "dut.rpu3.interconnect".
+    const std::string& name() const { return name_; }
+
+    /// The kernel this component is clocked by.
+    Kernel& kernel() const { return kernel_; }
+
+ protected:
+    /// Current simulation time, for convenience in subclasses.
+    Cycle now() const;
+
+ private:
+    Kernel& kernel_;
+    std::string name_;
+};
+
+/// The clock driver: owns the component/clocked registries and advances
+/// simulated time. Not thread safe; one kernel per simulated system.
+class Kernel {
+ public:
+    Kernel() = default;
+    Kernel(const Kernel&) = delete;
+    Kernel& operator=(const Kernel&) = delete;
+
+    /// Register a component (called from Component's constructor).
+    void add_component(Component* c) { components_.push_back(c); }
+
+    /// Register a non-component clocked element (Fifo, Reg, ...).
+    void add_clocked(Clocked* c) { clocked_.push_back(c); }
+
+    /// Advance the simulation by exactly one clock cycle.
+    void step();
+
+    /// Advance the simulation by `cycles` clock cycles.
+    void run(Cycle cycles);
+
+    /// Run until `pred()` returns true or `max_cycles` elapse.
+    /// Returns true if the predicate fired.
+    template <typename Pred>
+    bool run_until(Pred&& pred, Cycle max_cycles) {
+        for (Cycle i = 0; i < max_cycles; ++i) {
+            if (pred()) return true;
+            step();
+        }
+        return pred();
+    }
+
+    /// Current simulation time in cycles since reset.
+    Cycle now() const { return now_; }
+
+    /// Current simulation time in nanoseconds.
+    double now_ns() const { return cycles_to_ns(now_); }
+
+    /// Number of registered components.
+    size_t component_count() const { return components_.size(); }
+
+ private:
+    std::vector<Component*> components_;
+    std::vector<Clocked*> clocked_;
+    Cycle now_ = 0;
+};
+
+inline Cycle Component::now() const { return kernel_.now(); }
+
+}  // namespace rosebud::sim
+
+#endif  // ROSEBUD_SIM_KERNEL_H

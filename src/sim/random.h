@@ -1,0 +1,65 @@
+/// \file
+/// Deterministic pseudo-random source (splitmix64 seeded xoshiro256**).
+///
+/// All randomness in experiments flows from an Rng seeded by the bench
+/// harness, making every run bit-for-bit reproducible.
+
+#ifndef ROSEBUD_SIM_RANDOM_H
+#define ROSEBUD_SIM_RANDOM_H
+
+#include <cstdint>
+
+namespace rosebud::sim {
+
+/// xoshiro256** PRNG with splitmix64 seeding. Fast, high quality, and —
+/// unlike std::mt19937 — identical across standard library versions.
+class Rng {
+ public:
+    explicit Rng(uint64_t seed = 0x5eedb0dULL) { reseed(seed); }
+
+    void reseed(uint64_t seed) {
+        uint64_t x = seed;
+        for (auto& word : s_) word = splitmix64(x);
+    }
+
+    /// Next raw 64-bit value.
+    uint64_t next() {
+        uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    uint64_t below(uint64_t bound) { return next() % bound; }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    uint64_t range(uint64_t lo, uint64_t hi) { return lo + below(hi - lo + 1); }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return double(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+    /// Bernoulli trial with probability p.
+    bool chance(double p) { return uniform() < p; }
+
+ private:
+    static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    static uint64_t splitmix64(uint64_t& x) {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t s_[4];
+};
+
+}  // namespace rosebud::sim
+
+#endif  // ROSEBUD_SIM_RANDOM_H

@@ -1,0 +1,37 @@
+#include "sim/resources.h"
+
+#include <cstdio>
+
+namespace rosebud::sim {
+
+namespace {
+
+void
+append_cell(std::string& out, uint64_t value, uint64_t total) {
+    char buf[64];
+    if (total == 0) {
+        std::snprintf(buf, sizeof(buf), "%10llu", (unsigned long long)value);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%8llu (%4.1f%%)", (unsigned long long)value,
+                      100.0 * double(value) / double(total));
+    }
+    out += buf;
+}
+
+}  // namespace
+
+std::string
+format_footprint_row(const std::string& name, const ResourceFootprint& fp,
+                     const ResourceFootprint& device) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "%-22s", name.c_str());
+    std::string out = head;
+    append_cell(out, fp.luts, device.luts);
+    append_cell(out, fp.regs, device.regs);
+    append_cell(out, fp.bram, device.bram);
+    append_cell(out, fp.uram, device.uram);
+    append_cell(out, fp.dsp, device.dsp);
+    return out;
+}
+
+}  // namespace rosebud::sim

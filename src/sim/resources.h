@@ -1,0 +1,71 @@
+/// \file
+/// FPGA resource footprint accounting (LUTs / registers / BRAM / URAM / DSP).
+///
+/// Tables 1-4 of the paper report Vivado utilization per component. Without
+/// a synthesis toolchain we reproduce them with a parametric model: every
+/// simulated hardware component computes its footprint from its
+/// architectural parameters (bus widths, FIFO depths, engine counts) using
+/// coefficients calibrated against the paper's tables. Footprints add, and
+/// can be printed as absolute counts or as percentages of a device.
+
+#ifndef ROSEBUD_SIM_RESOURCES_H
+#define ROSEBUD_SIM_RESOURCES_H
+
+#include <cstdint>
+#include <string>
+
+namespace rosebud::sim {
+
+/// One component's FPGA resource usage.
+struct ResourceFootprint {
+    uint64_t luts = 0;
+    uint64_t regs = 0;
+    uint64_t bram = 0;  ///< 36Kb block RAMs
+    uint64_t uram = 0;  ///< 288Kb UltraRAMs
+    uint64_t dsp = 0;
+
+    ResourceFootprint& operator+=(const ResourceFootprint& o) {
+        luts += o.luts;
+        regs += o.regs;
+        bram += o.bram;
+        uram += o.uram;
+        dsp += o.dsp;
+        return *this;
+    }
+
+    friend ResourceFootprint operator+(ResourceFootprint a, const ResourceFootprint& b) {
+        a += b;
+        return a;
+    }
+
+    friend ResourceFootprint operator*(ResourceFootprint a, uint64_t n) {
+        a.luts *= n;
+        a.regs *= n;
+        a.bram *= n;
+        a.uram *= n;
+        a.dsp *= n;
+        return a;
+    }
+
+    /// Component-wise subtraction, clamped at zero (for "remaining in
+    /// region" rows of the paper's tables).
+    ResourceFootprint saturating_sub(const ResourceFootprint& o) const {
+        auto sub = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+        return {sub(luts, o.luts), sub(regs, o.regs), sub(bram, o.bram), sub(uram, o.uram),
+                sub(dsp, o.dsp)};
+    }
+
+    bool operator==(const ResourceFootprint&) const = default;
+};
+
+/// Device capacities: Xilinx XCVU9P (paper Tables 1-2 bottom row).
+inline constexpr ResourceFootprint kXcvu9p{1182240, 2364480, 2160, 960, 6840};
+
+/// Format a footprint as "N (P%)" columns relative to `device`;
+/// device totals of zero print absolute counts only.
+std::string format_footprint_row(const std::string& name, const ResourceFootprint& fp,
+                                 const ResourceFootprint& device);
+
+}  // namespace rosebud::sim
+
+#endif  // ROSEBUD_SIM_RESOURCES_H

@@ -1,0 +1,74 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace rosebud::sim {
+
+double
+Sampler::min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Sampler::max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Sampler::mean() const {
+    if (samples_.empty()) return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) / double(samples_.size());
+}
+
+double
+Sampler::percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    double idx = p * double(s.size() - 1);
+    size_t lo = size_t(std::floor(idx));
+    size_t hi = size_t(std::ceil(idx));
+    double frac = idx - double(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+uint64_t
+Stats::get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.get();
+}
+
+void
+Stats::reset_all() {
+    for (auto& [_, c] : counters_) c.reset();
+    for (auto& [_, s] : samplers_) s.reset();
+}
+
+std::string
+Stats::to_string() const {
+    std::ostringstream os;
+    for (const auto& [name, c] : counters_) os << name << " = " << c.get() << "\n";
+    for (const auto& [name, s] : samplers_) {
+        os << name << " : n=" << s.count() << " mean=" << s.mean() << " min=" << s.min()
+           << " max=" << s.max() << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Stats::to_csv() const {
+    std::ostringstream os;
+    os << "name,kind,count,mean,min,max\n";
+    for (const auto& [name, c] : counters_) {
+        os << name << ",counter," << c.get() << ",,,\n";
+    }
+    for (const auto& [name, s] : samplers_) {
+        os << name << ",sampler," << s.count() << "," << s.mean() << "," << s.min()
+           << "," << s.max() << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace rosebud::sim

@@ -1,0 +1,87 @@
+/// \file
+/// Lightweight statistics registry.
+///
+/// Models the host-readable status counters of Section 4.3 ("number of
+/// transferred bytes, frames, drops, or stalled cycles") and doubles as the
+/// bench harness's measurement substrate. Counters are plain uint64 cells
+/// addressed by hierarchical dotted names; Samplers accumulate value
+/// distributions (min/max/mean/percentiles) for latency measurements.
+
+#ifndef ROSEBUD_SIM_STATS_H
+#define ROSEBUD_SIM_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rosebud::sim {
+
+/// A monotonically increasing event/byte counter.
+class Counter {
+ public:
+    void add(uint64_t n = 1) { value_ += n; }
+    uint64_t get() const { return value_; }
+    void reset() { value_ = 0; }
+
+ private:
+    uint64_t value_ = 0;
+};
+
+/// Accumulates a distribution of samples (e.g. per-packet latency in ns).
+class Sampler {
+ public:
+    void add(double v) { samples_.push_back(v); }
+
+    size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double min() const;
+    double max() const;
+    double mean() const;
+
+    /// p in [0,1]; e.g. 0.5 for median, 0.99 for p99.
+    double percentile(double p) const;
+
+    void reset() { samples_.clear(); }
+
+    const std::vector<double>& samples() const { return samples_; }
+
+ private:
+    std::vector<double> samples_;
+};
+
+/// Named registry of counters and samplers. One per simulated system.
+class Stats {
+ public:
+    /// Find-or-create a counter by dotted name.
+    Counter& counter(const std::string& name) { return counters_[name]; }
+
+    /// Find-or-create a sampler by dotted name.
+    Sampler& sampler(const std::string& name) { return samplers_[name]; }
+
+    /// Committed counter value, 0 if the counter does not exist.
+    uint64_t get(const std::string& name) const;
+
+    /// Reset every counter and sampler (e.g. after warm-up).
+    void reset_all();
+
+    /// Dump all counters to a human-readable multi-line string.
+    std::string to_string() const;
+
+    /// Dump counters and sampler summaries as CSV ("name,kind,value,...")
+    /// for spreadsheet/plotting pipelines.
+    std::string to_csv() const;
+
+    const std::map<std::string, Counter>& counters() const { return counters_; }
+    const std::map<std::string, Sampler>& samplers() const { return samplers_; }
+
+ private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Sampler> samplers_;
+};
+
+}  // namespace rosebud::sim
+
+#endif  // ROSEBUD_SIM_STATS_H

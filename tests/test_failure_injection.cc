@@ -1,0 +1,197 @@
+/// Failure-injection tests: corrupted firmware, garbage and runt frames,
+/// adversarial traffic patterns, broadcast overflow, and recovery of a
+/// faulted RPU via partial reconfiguration — the "what happens when things
+/// go wrong" half of the paper's debugging story.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/system.h"
+#include "firmware/programs.h"
+#include "accel/firewall.h"
+#include "net/tracegen.h"
+#include "rv/assembler.h"
+#include "sim/random.h"
+
+namespace rosebud {
+namespace {
+
+using namespace rosebud::rv;
+
+SystemConfig
+cfg4() {
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    return cfg;
+}
+
+net::PacketPtr
+udp_pkt(uint32_t size) {
+    net::PacketBuilder b;
+    b.ipv4(0x0a000001, 0x0a000002).udp(1, 2).frame_size(size);
+    return b.build();
+}
+
+TEST(FailureInjection, CorruptFirmwareFaultsOnlyItsRpu) {
+    System sys(cfg4());
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    // RPU 2 gets garbage instructions.
+    sim::Rng rng(13);
+    std::vector<uint32_t> garbage(64);
+    for (auto& w : garbage) w = uint32_t(rng.next()) | 1;  // avoid all-zero
+    sys.host().load_firmware(2, garbage);
+    sys.host().boot_all();
+    sys.run_cycles(500);
+
+    EXPECT_TRUE(sys.rpu(2).core_halted());  // faulted or hit ebreak
+    for (unsigned i : {0u, 1u, 3u}) {
+        EXPECT_FALSE(sys.rpu(i).core_halted()) << i;
+        EXPECT_FALSE(sys.rpu(i).core_faulted()) << i;
+    }
+    // The healthy RPUs keep forwarding; the host masks out the dead one.
+    sys.host().set_recv_mask(0b1011);
+    for (int i = 0; i < 12; ++i) ASSERT_TRUE(sys.fabric().mac_rx(0, udp_pkt(128)));
+    sys.run_cycles(5000);
+    EXPECT_EQ(sys.sink(1).frames(), 12u);
+}
+
+TEST(FailureInjection, FaultedRpuRecoversViaReconfiguration) {
+    System sys(cfg4());
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().load_firmware(1, {0xffffffff, 0xffffffff});  // bad image
+    sys.host().boot_all();
+    sys.run_cycles(200);
+    ASSERT_TRUE(sys.rpu(1).core_faulted());
+
+    // The paper's runtime-update flow doubles as the repair path.
+    sim::Rng rng(3);
+    sys.host().reconfigure(1, nullptr, fw.image, fw.entry, rng);
+    EXPECT_FALSE(sys.rpu(1).core_faulted());
+    EXPECT_EQ(sys.rpu(1).slot_config().count, 32u);
+    sys.host().set_recv_mask(0b0010);  // prove RPU 1 itself works again
+    ASSERT_TRUE(sys.fabric().mac_rx(0, udp_pkt(128)));
+    sys.run_cycles(3000);
+    EXPECT_EQ(sys.sink(1).frames(), 1u);
+}
+
+TEST(FailureInjection, RuntAndGarbageFramesDoNotWedgeThePipeline) {
+    System sys(cfg4());
+    auto fw = fwlib::firewall();
+    sim::Rng rng(5);
+    auto bl = net::Blacklist::synthesize(16, rng);
+    sys.attach_accelerators([&] { return std::make_unique<accel::FirewallMatcher>(bl); });
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(300);
+
+    // Runts, random bytes, truncated IP headers — then a good packet.
+    for (uint32_t size : {1u, 5u, 13u, 17u, 33u}) {
+        auto junk = net::make_packet(size);
+        for (auto& b : junk->data) b = uint8_t(rng.next());
+        ASSERT_TRUE(sys.fabric().mac_rx(0, junk));
+    }
+    sys.run_cycles(3000);
+    ASSERT_TRUE(sys.fabric().mac_rx(0, udp_pkt(128)));
+    sys.run_cycles(3000);
+    EXPECT_EQ(sys.sink(1).frames(), 1u);  // the good one still flows
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_FALSE(sys.rpu(i).core_faulted()) << i;
+        EXPECT_EQ(sys.rpu(i).occupancy(), 0u) << i;
+    }
+}
+
+TEST(FailureInjection, AllTrafficToOneRpuBackpressuresCleanly) {
+    // Adversarial steering: every packet to RPU 0 at full 200G. Slots
+    // exhaust, the MAC FIFO fills and drops — but accounting stays exact
+    // and the system recovers once load stops.
+    System sys(cfg4());
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(500);
+    sys.host().set_recv_mask(0x1);
+
+    auto& src = sys.add_source({.port = 0, .load = 1.0, .max_packets = 3000},
+                               [] { return udp_pkt(64); });
+    sys.add_source({.port = 1, .load = 1.0, .max_packets = 3000},
+                   [] { return udp_pkt(64); });
+    sys.run_cycles(100000);
+
+    uint64_t forwarded = sys.sink(0).frames() + sys.sink(1).frames();
+    uint64_t drops = sys.stats().get("port0.rx_fifo_drops") +
+                     sys.stats().get("port1.rx_fifo_drops");
+    EXPECT_GT(forwarded, 1000u);  // one RPU still moves ~15 Mpps
+    EXPECT_EQ(forwarded + drops, src.offered() + 3000);
+    EXPECT_EQ(sys.rpu(0).occupancy(), 0u);
+    EXPECT_EQ(sys.lb().free_slots(0), 32u);
+}
+
+TEST(FailureInjection, BroadcastNotifyOverflowDoesNotCorruptState) {
+    // Saturating broadcasts overflow the 16-deep notify FIFOs (drops are
+    // allowed) but the semi-coherent region itself stays consistent.
+    SystemConfig cfg;
+    cfg.rpu_count = 8;
+    System sys(cfg);
+    auto sender = fwlib::broadcast_sender(0);
+    sys.host().load_firmware_all(sender.image, sender.entry);
+    sys.host().boot_all();
+    sys.run_cycles(20000);
+    EXPECT_GT(sys.broadcast().delivered(), 500u);
+    // Semi-coherence: every RPU's local copy of region word 0 converged
+    // to the same (latest delivered) value, despite notify-FIFO drops.
+    uint32_t v0 = sys.rpu(0).broadcast_word(0);
+    EXPECT_NE(v0, 0u);
+    for (unsigned i = 1; i < 8; ++i) {
+        EXPECT_EQ(sys.rpu(i).broadcast_word(0), v0) << "rpu " << i << " diverged";
+    }
+}
+
+TEST(FailureInjection, EvictInterruptDrainsFirmwareGracefully) {
+    // The PR drain protocol from the firmware's side: on evict, finish the
+    // current packet and park.
+    System sys(cfg4());
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.li(t0, 32);
+    a.sw(t0, rpu::kRegSlotCount, gp);
+    a.lui(t0, 0x1000);
+    a.sw(t0, rpu::kRegSlotBase, gp);
+    a.lui(t0, 0x4);
+    a.sw(t0, rpu::kRegSlotSize, gp);
+    a.sw(zero, rpu::kRegSlotCommit, gp);
+    a.li(t0, 0x30);
+    a.sw(t0, rpu::kRegIrqMask, gp);
+    a.label("loop");
+    a.lw(t1, rpu::kRegIrqStatus, gp);
+    a.bnez(t1, "evicted");
+    a.lw(a0, rpu::kRegRecvLow, gp);
+    a.beqz(a0, "loop");
+    a.sw(zero, rpu::kRegRecvRelease, gp);
+    a.xori(a0, a0, 1);
+    a.sw(a0, rpu::kRegSendLow, gp);
+    a.sw(zero, rpu::kRegSendHigh, gp);
+    a.j("loop");
+    a.label("evicted");
+    a.li(t2, 0x0e0e);
+    a.sw(t2, rpu::kRegDebugLow, gp);  // "state saved"
+    a.ebreak();
+    sys.host().load_firmware_all(a.assemble());
+    sys.host().boot_all();
+    sys.run_cycles(300);
+    sys.host().set_recv_mask(0x1);
+
+    ASSERT_TRUE(sys.fabric().mac_rx(0, udp_pkt(256)));
+    sys.run_cycles(2000);
+    EXPECT_EQ(sys.sink(1).frames(), 1u);
+    sys.host().evict(0);
+    sys.run_cycles(200);
+    EXPECT_TRUE(sys.rpu(0).core_halted());
+    EXPECT_EQ(sys.host().debug_low(0), 0x0e0eu);
+    EXPECT_EQ(sys.rpu(0).occupancy(), 0u);  // nothing stranded
+}
+
+}  // namespace
+}  // namespace rosebud

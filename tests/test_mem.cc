@@ -1,0 +1,94 @@
+/// Memory model tests: endianness, sized accessors, block transfers,
+/// bounds enforcement, and footprint accounting.
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.h"
+
+namespace rosebud::mem {
+namespace {
+
+TEST(Memory, LittleEndianLayout) {
+    Memory m("m", 64);
+    m.write32(0, 0x11223344);
+    EXPECT_EQ(m.read8(0), 0x44);
+    EXPECT_EQ(m.read8(1), 0x33);
+    EXPECT_EQ(m.read8(2), 0x22);
+    EXPECT_EQ(m.read8(3), 0x11);
+    EXPECT_EQ(m.read16(0), 0x3344);
+    EXPECT_EQ(m.read16(2), 0x1122);
+}
+
+TEST(Memory, SizedWritesCompose) {
+    Memory m("m", 64);
+    m.write8(0, 0xaa);
+    m.write8(1, 0xbb);
+    m.write16(2, 0xddcc);
+    EXPECT_EQ(m.read32(0), 0xddccbbaau);
+}
+
+TEST(Memory, UnalignedAccessWorks) {
+    Memory m("m", 64);
+    m.write32(1, 0xcafebabe);
+    EXPECT_EQ(m.read32(1), 0xcafebabeu);
+    EXPECT_EQ(m.read16(3), 0xcafeu);  // bytes [3],[4] = 0xfe, 0xca
+}
+
+TEST(Memory, BlockRoundTrip) {
+    Memory m("m", 256);
+    std::vector<uint8_t> in(100);
+    for (size_t i = 0; i < in.size(); ++i) in[i] = uint8_t(i * 3);
+    m.write_block(10, in.data(), uint32_t(in.size()));
+    std::vector<uint8_t> out(100);
+    m.read_block(10, out.data(), uint32_t(out.size()));
+    EXPECT_EQ(in, out);
+}
+
+TEST(Memory, FillResets) {
+    Memory m("m", 16);
+    m.write32(0, 0xffffffff);
+    m.fill(0);
+    EXPECT_EQ(m.read32(0), 0u);
+}
+
+using MemoryDeath = Memory;
+
+TEST(Memory, OutOfBoundsPanics) {
+    Memory m("m", 16);
+    EXPECT_DEATH(m.read32(13), "out-of-bounds");
+    EXPECT_DEATH(m.write32(16, 1), "out-of-bounds");
+    EXPECT_DEATH(m.read8(16), "out-of-bounds");
+    uint8_t buf[8];
+    EXPECT_DEATH(m.read_block(12, buf, 8), "out-of-bounds");
+}
+
+TEST(Memory, BoundaryAccessesAllowed) {
+    Memory m("m", 16);
+    m.write32(12, 0x12345678);
+    EXPECT_EQ(m.read32(12), 0x12345678u);
+    m.write8(15, 0xff);
+    EXPECT_EQ(m.read8(15), 0xff);
+}
+
+TEST(Footprints, BramBlocksFromBytes) {
+    EXPECT_EQ(bram_footprint(4096).bram, 1u);
+    EXPECT_EQ(bram_footprint(4097).bram, 2u);
+    EXPECT_EQ(bram_footprint(96 * 1024).bram, 24u);  // IMEM+DMEM of an RPU
+    EXPECT_EQ(bram_footprint(4096).uram, 0u);
+}
+
+TEST(Footprints, UramBlocksFromBytes) {
+    EXPECT_EQ(uram_footprint(32 * 1024).uram, 1u);
+    EXPECT_EQ(uram_footprint(1024 * 1024).uram, 32u);  // an RPU's packet memory
+    EXPECT_EQ(uram_footprint(32 * 1024).bram, 0u);
+}
+
+TEST(Latencies, OrderingMatchesArchitecture) {
+    // URAM (packet memory) is slower than BRAM; MMIO costs a bus crossing.
+    EXPECT_GT(kUramLoadCycles, kBramLoadCycles);
+    EXPECT_GT(kMmioLoadCycles, kBramLoadCycles);
+    EXPECT_GT(kUramStoreCycles, kBramStoreCycles);
+}
+
+}  // namespace
+}  // namespace rosebud::mem

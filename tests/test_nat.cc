@@ -1,0 +1,229 @@
+/// NAT engine tests: translation correctness (checksums verified),
+/// mapping stability, port-space partitioning, table exhaustion, and the
+/// full-system demo path with the custom LB policy.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "accel/nat.h"
+#include "core/system.h"
+#include "firmware/programs.h"
+#include "mem/memory.h"
+#include "net/headers.h"
+#include "net/flow.h"
+#include "sim/stats.h"
+
+namespace rosebud::accel {
+namespace {
+
+struct NatRig {
+    mem::Memory pmem{"pmem", 1024 * 1024};
+    mem::Memory amem{"amem", 256 * 1024};
+    sim::Stats stats;
+    uint64_t now = 0;
+    NatEngine nat;
+
+    explicit NatRig(NatEngine::Params p = NatEngine::Params{}) : nat(p) {}
+
+    /// Run one packet through the engine in place at pmem offset `off`.
+    uint32_t run(net::PacketPtr pkt, uint32_t off = 0x2000) {
+        pmem.write_block(off, pkt->data.data(), pkt->size());
+        rpu::AccelContext ctx{pmem, amem, stats, now};
+        nat.mmio_write(kNatRegAddr, 0x01000000 + off, ctx);
+        nat.mmio_write(kNatRegLen, pkt->size(), ctx);
+        nat.mmio_write(kNatRegSlot, 1, ctx);
+        nat.mmio_write(kNatRegCtrl, 1, ctx);
+        for (int i = 0; i < 20; ++i) {
+            ++now;
+            rpu::AccelContext c{pmem, amem, stats, now};
+            nat.tick(c);
+        }
+        uint32_t result = 0;
+        rpu::AccelContext c{pmem, amem, stats, now};
+        nat.mmio_read(kNatRegResult, result, c);
+        nat.mmio_write(kNatRegPop, 0, c);
+        pmem.read_block(off, pkt->data.data(), pkt->size());
+        return result;
+    }
+};
+
+net::PacketPtr
+tcp(const char* src, const char* dst, uint16_t sport, uint16_t dport) {
+    net::PacketBuilder b;
+    b.ipv4(net::parse_ipv4_addr(src), net::parse_ipv4_addr(dst)).tcp(sport, dport);
+    b.frame_size(128);
+    return b.build();
+}
+
+TEST(Nat, OutboundRewritesSourceWithValidChecksum) {
+    NatRig rig;
+    auto p = tcp("10.1.2.3", "8.8.8.8", 5555, 443);
+    EXPECT_EQ(rig.run(p), kNatTranslated);
+    auto parsed = net::parse_packet(*p);
+    EXPECT_EQ(parsed->ipv4.src_ip, rig.nat.params().external_ip);
+    EXPECT_EQ(parsed->tcp.src_port, rig.nat.params().port_base);
+    EXPECT_EQ(parsed->ipv4.dst_ip, net::parse_ipv4_addr("8.8.8.8"));
+    EXPECT_EQ(parsed->tcp.dst_port, 443);
+    // IPv4 header checksum still verifies after the incremental fixups.
+    EXPECT_EQ(net::internet_checksum(p->data.data() + 14, 20), 0);
+}
+
+TEST(Nat, MappingIsStableAcrossPackets) {
+    NatRig rig;
+    auto p1 = tcp("10.1.2.3", "8.8.8.8", 5555, 443);
+    auto p2 = tcp("10.1.2.3", "9.9.9.9", 5555, 80);
+    rig.run(p1);
+    rig.run(p2);
+    auto a = net::parse_packet(*p1);
+    auto b = net::parse_packet(*p2);
+    EXPECT_EQ(a->tcp.src_port, b->tcp.src_port);  // same internal endpoint
+    EXPECT_EQ(rig.nat.mapping_count(), 1u);
+}
+
+TEST(Nat, DistinctFlowsGetDistinctPorts) {
+    NatRig rig;
+    std::set<uint16_t> ports;
+    for (uint16_t sport = 1000; sport < 1050; ++sport) {
+        auto p = tcp("10.1.2.3", "8.8.8.8", sport, 443);
+        EXPECT_EQ(rig.run(p), kNatTranslated);
+        ports.insert(net::parse_packet(*p)->tcp.src_port);
+    }
+    EXPECT_EQ(ports.size(), 50u);
+    EXPECT_EQ(rig.nat.mapping_count(), 50u);
+}
+
+TEST(Nat, InboundReverseTranslation) {
+    NatRig rig;
+    auto out = tcp("10.1.2.3", "8.8.8.8", 5555, 443);
+    rig.run(out);
+    uint16_t ext = net::parse_packet(*out)->tcp.src_port;
+
+    auto in = tcp("8.8.8.8", "198.51.100.1", 443, ext);
+    EXPECT_EQ(rig.run(in), kNatTranslated);
+    auto parsed = net::parse_packet(*in);
+    EXPECT_EQ(parsed->ipv4.dst_ip, net::parse_ipv4_addr("10.1.2.3"));
+    EXPECT_EQ(parsed->tcp.dst_port, 5555);
+    EXPECT_EQ(net::internet_checksum(in->data.data() + 14, 20), 0);
+}
+
+TEST(Nat, UnsolicitedInboundDropped) {
+    NatRig rig;
+    auto in = tcp("8.8.8.8", "198.51.100.1", 443, 23456);
+    EXPECT_EQ(rig.run(in), kNatDropped);
+    EXPECT_EQ(rig.stats.get("nat.no_mapping"), 1u);
+}
+
+TEST(Nat, ExternalToExternalPassesThrough) {
+    NatRig rig;
+    auto p = tcp("8.8.8.8", "9.9.9.9", 1, 2);
+    std::vector<uint8_t> before = p->data;
+    EXPECT_EQ(rig.run(p), kNatPassThrough);
+    EXPECT_EQ(p->data, before);  // untouched
+}
+
+TEST(Nat, NonIpPassesThrough) {
+    NatRig rig;
+    auto p = net::make_packet(64);
+    p->data[12] = 0x08;
+    p->data[13] = 0x06;  // ARP
+    EXPECT_EQ(rig.run(p), kNatPassThrough);
+}
+
+TEST(Nat, TableExhaustionDrops) {
+    NatEngine::Params small;
+    small.port_count = 4;
+    NatRig rig(small);
+    for (uint16_t s = 1; s <= 4; ++s) {
+        EXPECT_EQ(rig.run(tcp("10.0.0.1", "8.8.8.8", s, 80)), kNatTranslated);
+    }
+    EXPECT_EQ(rig.run(tcp("10.0.0.1", "8.8.8.8", 99, 80)), kNatDropped);
+    EXPECT_EQ(rig.stats.get("nat.table_full"), 1u);
+}
+
+TEST(Nat, PortSliceRespectsStrideAndOffset) {
+    NatEngine::Params p;
+    p.port_stride = 4;
+    p.port_offset = 2;
+    NatRig rig(p);
+    for (uint16_t s = 1; s <= 8; ++s) {
+        auto pkt = tcp("10.0.0.1", "8.8.8.8", s, 80);
+        rig.run(pkt);
+        uint16_t ext = net::parse_packet(*pkt)->tcp.src_port;
+        EXPECT_EQ((ext - p.port_base) % 4, 2u) << ext;
+    }
+}
+
+TEST(Nat, UdpTranslatedToo) {
+    NatRig rig;
+    net::PacketBuilder b;
+    b.ipv4(net::parse_ipv4_addr("10.5.5.5"), net::parse_ipv4_addr("8.8.4.4"))
+        .udp(1111, 53)
+        .frame_size(96);
+    auto p = b.build();
+    EXPECT_EQ(rig.run(p), kNatTranslated);
+    auto parsed = net::parse_packet(*p);
+    EXPECT_EQ(parsed->ipv4.src_ip, rig.nat.params().external_ip);
+    EXPECT_EQ(parsed->udp.src_port, rig.nat.params().port_base);
+}
+
+TEST(Nat, ResetClearsState) {
+    NatRig rig;
+    rig.run(tcp("10.1.2.3", "8.8.8.8", 5555, 443));
+    EXPECT_EQ(rig.nat.mapping_count(), 1u);
+    rig.nat.reset();
+    EXPECT_EQ(rig.nat.mapping_count(), 0u);
+}
+
+TEST(NatSystem, FullRoundTripThroughTheMiddlebox) {
+    // The nat_demo path as a regression test: custom LB policy with
+    // port-sliced engines, outbound + inbound through real firmware.
+    const unsigned kRpus = 4;
+    NatEngine::Params base;
+    SystemConfig cfg;
+    cfg.rpu_count = kRpus;
+    cfg.lb_policy = lb::Policy::kCustom;
+    cfg.lb_custom_steer = [base](const net::Packet& pkt) -> uint32_t {
+        auto parsed = net::parse_packet(pkt);
+        if (!parsed || !parsed->has_ipv4) return ~0u;
+        if (parsed->ipv4.dst_ip == base.external_ip) {
+            uint16_t dport = parsed->has_tcp ? parsed->tcp.dst_port : parsed->udp.dst_port;
+            return 1u << ((dport - base.port_base) % kRpus);
+        }
+        return 1u << (net::packet_flow_hash(pkt) % kRpus);
+    };
+    System sys(cfg);
+    for (unsigned i = 0; i < kRpus; ++i) {
+        NatEngine::Params p = base;
+        p.port_stride = uint16_t(kRpus);
+        p.port_offset = uint16_t(i);
+        sys.rpu(i).attach_accelerator(std::make_unique<NatEngine>(p));
+    }
+    auto fw = fwlib::nat();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(500);
+
+    net::PacketPtr out_pkt;
+    sys.fabric().set_mac_tx_sink(1, [&](net::PacketPtr p) { out_pkt = p; });
+    ASSERT_TRUE(sys.fabric().mac_rx(0, tcp("10.1.2.3", "8.8.8.8", 5555, 443)));
+    sys.run_cycles(3000);
+    ASSERT_NE(out_pkt, nullptr);
+    auto parsed = net::parse_packet(*out_pkt);
+    ASSERT_TRUE(parsed && parsed->has_tcp);
+    EXPECT_EQ(parsed->ipv4.src_ip, base.external_ip);
+    uint16_t ext = parsed->tcp.src_port;
+
+    net::PacketPtr back;
+    sys.fabric().set_mac_tx_sink(0, [&](net::PacketPtr p) { back = p; });
+    ASSERT_TRUE(sys.fabric().mac_rx(1, tcp("8.8.8.8", "198.51.100.1", 443, ext)));
+    sys.run_cycles(3000);
+    ASSERT_NE(back, nullptr);
+    auto rp = net::parse_packet(*back);
+    EXPECT_EQ(rp->ipv4.dst_ip, net::parse_ipv4_addr("10.1.2.3"));
+    EXPECT_EQ(rp->tcp.dst_port, 5555);
+}
+
+}  // namespace
+}  // namespace rosebud::accel

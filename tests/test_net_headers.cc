@@ -1,0 +1,235 @@
+/// Protocol header parse/serialize round-trips, checksums, the packet
+/// builder, and line-rate helpers.
+
+#include <gtest/gtest.h>
+
+#include "net/headers.h"
+#include "net/packet.h"
+#include "sim/log.h"
+#include "sim/random.h"
+
+namespace rosebud::net {
+namespace {
+
+TEST(Endian, Be16RoundTrip) {
+    uint8_t buf[2];
+    store_be16(buf, 0xabcd);
+    EXPECT_EQ(buf[0], 0xab);
+    EXPECT_EQ(buf[1], 0xcd);
+    EXPECT_EQ(load_be16(buf), 0xabcd);
+}
+
+TEST(Endian, Be32RoundTrip) {
+    uint8_t buf[4];
+    store_be32(buf, 0xdeadbeef);
+    EXPECT_EQ(buf[0], 0xde);
+    EXPECT_EQ(load_be32(buf), 0xdeadbeefu);
+}
+
+TEST(Checksum, Rfc1071Example) {
+    // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+    uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+    EXPECT_EQ(internet_checksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(Checksum, OddLength) {
+    uint8_t data[] = {0x01, 0x02, 0x03};
+    // 0x0102 + 0x0300 = 0x0402 -> ~ = 0xfbfd
+    EXPECT_EQ(internet_checksum(data, sizeof(data)), 0xfbfd);
+}
+
+TEST(Checksum, VerifiesToZero) {
+    // A header serialized with its checksum re-checksums to 0.
+    Ipv4Header h;
+    h.protocol = kIpProtoTcp;
+    h.total_length = 40;
+    h.src_ip = 0x0a000001;
+    h.dst_ip = 0x0a000002;
+    uint8_t buf[kIpv4HeaderSize];
+    h.serialize(buf);
+    EXPECT_EQ(internet_checksum(buf, sizeof(buf)), 0);
+}
+
+TEST(Headers, EthRoundTrip) {
+    EthHeader h;
+    h.dst = {1, 2, 3, 4, 5, 6};
+    h.src = {7, 8, 9, 10, 11, 12};
+    h.ether_type = kEtherTypeIpv4;
+    uint8_t buf[kEthHeaderSize];
+    h.serialize(buf);
+    EthHeader parsed = EthHeader::parse(buf);
+    EXPECT_EQ(parsed.dst, h.dst);
+    EXPECT_EQ(parsed.src, h.src);
+    EXPECT_EQ(parsed.ether_type, h.ether_type);
+}
+
+TEST(Headers, Ipv4RoundTrip) {
+    Ipv4Header h;
+    h.total_length = 1500;
+    h.identification = 0x1234;
+    h.ttl = 17;
+    h.protocol = kIpProtoUdp;
+    h.src_ip = 0xc0a80101;
+    h.dst_ip = 0x08080808;
+    uint8_t buf[kIpv4HeaderSize];
+    h.serialize(buf);
+    Ipv4Header p = Ipv4Header::parse(buf);
+    EXPECT_EQ(p.total_length, h.total_length);
+    EXPECT_EQ(p.identification, h.identification);
+    EXPECT_EQ(p.ttl, h.ttl);
+    EXPECT_EQ(p.protocol, h.protocol);
+    EXPECT_EQ(p.src_ip, h.src_ip);
+    EXPECT_EQ(p.dst_ip, h.dst_ip);
+    EXPECT_EQ(p.header_len(), kIpv4HeaderSize);
+}
+
+TEST(Headers, TcpRoundTrip) {
+    TcpHeader h;
+    h.src_port = 443;
+    h.dst_port = 51234;
+    h.seq = 0xdeadbeef;
+    h.ack = 0x12345678;
+    h.flags = 0x18;
+    h.window = 8192;
+    uint8_t buf[kTcpHeaderSize];
+    h.serialize(buf);
+    TcpHeader p = TcpHeader::parse(buf);
+    EXPECT_EQ(p.src_port, h.src_port);
+    EXPECT_EQ(p.dst_port, h.dst_port);
+    EXPECT_EQ(p.seq, h.seq);
+    EXPECT_EQ(p.ack, h.ack);
+    EXPECT_EQ(p.flags, h.flags);
+    EXPECT_EQ(p.window, h.window);
+}
+
+TEST(Headers, UdpRoundTrip) {
+    UdpHeader h;
+    h.src_port = 53;
+    h.dst_port = 5353;
+    h.length = 100;
+    uint8_t buf[kUdpHeaderSize];
+    h.serialize(buf);
+    UdpHeader p = UdpHeader::parse(buf);
+    EXPECT_EQ(p.src_port, h.src_port);
+    EXPECT_EQ(p.dst_port, h.dst_port);
+    EXPECT_EQ(p.length, h.length);
+}
+
+class BuilderSizeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BuilderSizeTest, TcpFrameParsesBack) {
+    uint32_t size = GetParam();
+    PacketBuilder b;
+    b.ipv4(0x0a000001, 0x0a000002).tcp(1000, 2000, 777).frame_size(size);
+    PacketPtr p = b.build();
+    EXPECT_EQ(p->size(), size);
+    auto parsed = parse_packet(*p);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->has_ipv4);
+    ASSERT_TRUE(parsed->has_tcp);
+    EXPECT_EQ(parsed->tcp.src_port, 1000);
+    EXPECT_EQ(parsed->tcp.dst_port, 2000);
+    EXPECT_EQ(parsed->tcp.seq, 777u);
+    EXPECT_EQ(parsed->payload_offset, 54u);
+    EXPECT_EQ(parsed->payload_len, size - 54);
+    EXPECT_EQ(parsed->ipv4.total_length, size - kEthHeaderSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BuilderSizeTest,
+                         ::testing::Values(64, 65, 128, 256, 512, 1024, 1500, 9000));
+
+TEST(Builder, UdpFrame) {
+    PacketBuilder b;
+    b.ipv4(1, 2).udp(53, 53).payload_str("hello").frame_size(128);
+    PacketPtr p = b.build();
+    auto parsed = parse_packet(*p);
+    ASSERT_TRUE(parsed->has_udp);
+    EXPECT_EQ(parsed->payload_offset, 42u);
+    EXPECT_EQ(std::string(p->data.begin() + 42, p->data.begin() + 47), "hello");
+}
+
+TEST(Builder, PayloadPreserved) {
+    std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+    PacketBuilder b;
+    b.ipv4(1, 2).tcp(1, 2).payload(payload).frame_size(200);
+    PacketPtr p = b.build();
+    for (size_t i = 0; i < payload.size(); ++i) EXPECT_EQ(p->data[54 + i], payload[i]);
+}
+
+TEST(Builder, FrameSizeTooSmallIsFatal) {
+    PacketBuilder b;
+    b.ipv4(1, 2).tcp(1, 2).payload_str("0123456789").frame_size(60);
+    EXPECT_THROW(b.build(), sim::FatalError);
+}
+
+TEST(Builder, NaturalSizeWithoutFrameSize) {
+    PacketBuilder b;
+    b.ipv4(1, 2).udp(1, 2).payload_str("abc");
+    EXPECT_EQ(b.build()->size(), kEthHeaderSize + kIpv4HeaderSize + kUdpHeaderSize + 3);
+}
+
+TEST(Parse, NonIpFrame) {
+    auto p = make_packet(64);
+    p->data[12] = 0x08;
+    p->data[13] = 0x06;  // ARP
+    auto parsed = parse_packet(*p);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_FALSE(parsed->has_ipv4);
+    EXPECT_EQ(parsed->eth.ether_type, kEtherTypeArp);
+}
+
+TEST(Parse, TruncatedFrames) {
+    EXPECT_FALSE(parse_packet(*make_packet(10)).has_value());
+    // Valid eth, claims IPv4 but too short for the IP header.
+    auto p = make_packet(20);
+    p->data[12] = 0x08;
+    p->data[13] = 0x00;
+    EXPECT_FALSE(parse_packet(*p).has_value());
+}
+
+TEST(Parse, BadIhlRejected) {
+    PacketBuilder b;
+    b.ipv4(1, 2).udp(1, 2).frame_size(64);
+    auto p = b.build();
+    p->data[14] = 0x42;  // IHL = 2 words: invalid
+    EXPECT_FALSE(parse_packet(*p).has_value());
+}
+
+TEST(Addr, ParseFormatsRoundTrip) {
+    sim::Rng rng(8);
+    for (int i = 0; i < 200; ++i) {
+        uint32_t ip = uint32_t(rng.next());
+        EXPECT_EQ(parse_ipv4_addr(format_ipv4_addr(ip)), ip);
+    }
+}
+
+TEST(Addr, KnownValues) {
+    EXPECT_EQ(parse_ipv4_addr("10.0.0.1"), 0x0a000001u);
+    EXPECT_EQ(format_ipv4_addr(0xc0a80164), "192.168.1.100");
+    EXPECT_THROW(parse_ipv4_addr("1.2.3"), sim::FatalError);
+    EXPECT_THROW(parse_ipv4_addr("1.2.3.4.5"), sim::FatalError);
+    EXPECT_THROW(parse_ipv4_addr("1.2.3.256"), sim::FatalError);
+    EXPECT_THROW(parse_ipv4_addr("a.b.c.d"), sim::FatalError);
+}
+
+TEST(LineRate, KnownValues) {
+    // 64 B at 100 Gbps: 100e9 / (88 * 8) = ~142.05 Mpps.
+    EXPECT_NEAR(line_rate_pps(64, 100.0) / 1e6, 142.05, 0.01);
+    // 1500 B at 100 Gbps: ~8.2 Mpps.
+    EXPECT_NEAR(line_rate_pps(1500, 100.0) / 1e6, 8.2, 0.02);
+    // Goodput is always below the raw rate.
+    for (uint32_t s : {64u, 512u, 9000u}) {
+        EXPECT_LT(line_rate_goodput_gbps(s, 100.0), 100.0);
+        EXPECT_GT(line_rate_goodput_gbps(s, 100.0), 0.0);
+    }
+    // Larger packets waste less on overhead.
+    EXPECT_GT(line_rate_goodput_gbps(9000, 100.0), line_rate_goodput_gbps(64, 100.0));
+}
+
+TEST(Packet, WireSizeIncludesOverhead) {
+    auto p = make_packet(64);
+    EXPECT_EQ(p->wire_size(), 88u);
+}
+
+}  // namespace
+}  // namespace rosebud::net

@@ -1,0 +1,166 @@
+/// Resource-model tests: the composed utilization tables against the
+/// paper's Tables 1-4, row by row, with tolerances.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "accel/firewall.h"
+#include "accel/pigasus.h"
+#include "core/system.h"
+#include "net/rules.h"
+
+namespace rosebud {
+namespace {
+
+std::map<std::string, sim::ResourceFootprint>
+rows_of(System& sys) {
+    std::map<std::string, sim::ResourceFootprint> out;
+    for (const auto& row : sys.resource_report()) out[row.name] = row.fp;
+    return out;
+}
+
+void
+expect_near_row(const sim::ResourceFootprint& got, uint64_t luts, uint64_t regs,
+                double tol, const char* what) {
+    EXPECT_NEAR(double(got.luts), double(luts), double(luts) * tol) << what << " LUTs";
+    EXPECT_NEAR(double(got.regs), double(regs), double(regs) * tol) << what << " FFs";
+}
+
+TEST(Table1, SixteenRpuBaseUtilization) {
+    SystemConfig cfg;
+    cfg.rpu_count = 16;
+    System sys(cfg);
+    auto rows = rows_of(sys);
+
+    expect_near_row(rows["Single RPU"], 4541, 3788, 0.10, "Single RPU");
+    EXPECT_EQ(rows["Single RPU"].bram, 24u);
+    EXPECT_EQ(rows["Single RPU"].uram, 32u);
+    expect_near_row(rows["LB"], 8221, 22503, 0.05, "LB");
+    expect_near_row(rows["Single Interconnect"], 2793, 2955, 0.05, "Interconnect");
+    expect_near_row(rows["CMAC"], 6397, 14849, 0.01, "CMAC");
+    expect_near_row(rows["PCIe"], 41526, 63742, 0.01, "PCIe");
+    expect_near_row(rows["Switching"], 86234, 123654, 0.02, "Switching");
+    expect_near_row(rows["Complete design"], 259713, 332636, 0.05, "Complete");
+    EXPECT_EQ(rows["VU9P device"].luts, 1182240u);
+    EXPECT_EQ(rows["VU9P device"].uram, 960u);
+
+    // Remaining (PR) = region - RPU, and the region is Table 4's RPU row.
+    EXPECT_EQ(rows["Single RPU"].luts + rows["Remaining (PR)"].luts, 27839u);
+    EXPECT_EQ(rows["Single RPU"].bram + rows["Remaining (PR)"].bram, 36u);
+}
+
+TEST(Table2, EightRpuBaseUtilization) {
+    SystemConfig cfg;
+    cfg.rpu_count = 8;
+    System sys(cfg);
+    auto rows = rows_of(sys);
+
+    expect_near_row(rows["LB"], 7580, 22076, 0.05, "LB");
+    expect_near_row(rows["Switching"], 48402, 68890, 0.02, "Switching");
+    expect_near_row(rows["Complete design"], 164699, 224404, 0.06, "Complete");
+    // Region capacity is Table 3's RPU row for the 8-RPU layout.
+    EXPECT_EQ(rows["Single RPU"].luts + rows["Remaining (PR)"].luts, 64161u);
+    EXPECT_EQ(rows["Single RPU"].uram + rows["Remaining (PR)"].uram, 64u);
+}
+
+TEST(Table2, EightRpuUsesLessThanSixteen) {
+    SystemConfig c16, c8;
+    c16.rpu_count = 16;
+    c8.rpu_count = 8;
+    System s16(c16), s8(c8);
+    auto r16 = rows_of(s16);
+    auto r8 = rows_of(s8);
+    EXPECT_LT(r8["Complete design"].luts, r16["Complete design"].luts);
+    EXPECT_LT(r8["Complete design"].uram, r16["Complete design"].uram);
+}
+
+TEST(Table3, PigasusRpuUtilization) {
+    sim::Rng rng(1);
+    auto rules = net::IdsRuleSet::synthesize(16, rng);
+    SystemConfig cfg;
+    cfg.rpu_count = 8;
+    cfg.lb_policy = lb::Policy::kHash;
+    System sys(cfg);
+    sys.attach_accelerators([&] { return std::make_unique<accel::PigasusMatcher>(rules); });
+
+    auto pig_fp = sys.rpu(0).accelerator()->resources();
+    expect_near_row(pig_fp, 36012, 49364, 0.05, "Pigasus");
+    EXPECT_EQ(pig_fp.dsp, 80u);
+
+    // Total (core + mem + manager + Pigasus) vs Table 3: 42364 / 54037.
+    auto total = sys.rpu(0).resources().saturating_sub({.regs = 1808});  // PR border
+    expect_near_row(total, 42364, 54037, 0.10, "Total");
+
+    // Everything fits in the 8-RPU region (the paper's headline fit).
+    auto region = pr_region_capacity(8);
+    EXPECT_LE(sys.rpu(0).resources().luts, region.luts);
+    EXPECT_LE(sys.rpu(0).resources().uram, region.uram);
+
+    // Hash LB row: 10467 / 24872 / 26 BRAM.
+    expect_near_row(sys.lb().resources(), 10467, 24872, 0.05, "Hash LB");
+}
+
+TEST(Table3, ThirtyTwoEnginesWouldNotFitSixteenRpuRegion) {
+    // The paper's porting story: the full 32-engine Pigasus did not fit;
+    // 16 engines did. Check both against the region models.
+    sim::Rng rng(1);
+    auto rules = net::IdsRuleSet::synthesize(16, rng);
+    accel::PigasusMatcher::Params p32;
+    p32.engines = 32;
+    accel::PigasusMatcher full(rules, p32);
+    auto region16 = pr_region_capacity(16);
+    EXPECT_GT(full.resources().luts, region16.luts);  // would not fit
+    accel::PigasusMatcher half(rules);
+    auto region8 = pr_region_capacity(8);
+    EXPECT_LT(half.resources().luts, region8.luts);  // fits with 16 engines
+}
+
+TEST(Table4, FirewallRpuUtilization) {
+    sim::Rng rng(2);
+    auto bl = net::Blacklist::synthesize(1050, rng);
+    SystemConfig cfg;
+    cfg.rpu_count = 16;
+    System sys(cfg);
+    sys.attach_accelerators([&] { return std::make_unique<accel::FirewallMatcher>(bl); });
+
+    auto fw_fp = sys.rpu(0).accelerator()->resources();
+    expect_near_row(fw_fp, 835, 197, 0.05, "Firewall IP checker");
+
+    // Fits comfortably in the 16-RPU region with room for more engines.
+    auto region = pr_region_capacity(16);
+    auto used = sys.rpu(0).resources();
+    EXPECT_LT(double(used.luts), 0.4 * double(region.luts));
+}
+
+TEST(Regions, LbRegionLargerInEightRpuLayout) {
+    EXPECT_GT(lb_region_capacity(8).luts, lb_region_capacity(16).luts);
+    EXPECT_GT(pr_region_capacity(8).luts, pr_region_capacity(16).luts);
+}
+
+TEST(Report, CompleteDesignIsSumOfParts) {
+    SystemConfig cfg;
+    cfg.rpu_count = 16;
+    System sys(cfg);
+    auto rows = rows_of(sys);
+    uint64_t total = rows["Single RPU"].luts * 16 + rows["LB"].luts +
+                     rows["Single Interconnect"].luts * 16 + rows["CMAC"].luts +
+                     rows["PCIe"].luts + rows["Switching"].luts;
+    EXPECT_EQ(rows["Complete design"].luts, total);
+}
+
+TEST(Report, CompleteDesignFitsDevice) {
+    for (unsigned n : {8u, 16u}) {
+        SystemConfig cfg;
+        cfg.rpu_count = n;
+        System sys(cfg);
+        auto rows = rows_of(sys);
+        EXPECT_LT(rows["Complete design"].luts, rows["VU9P device"].luts);
+        EXPECT_LT(rows["Complete design"].uram, rows["VU9P device"].uram);
+        EXPECT_LT(rows["Complete design"].bram, rows["VU9P device"].bram);
+    }
+}
+
+}  // namespace
+}  // namespace rosebud

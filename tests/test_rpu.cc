@@ -1,0 +1,429 @@
+/// Standalone RPU tests: memory map, MMIO interconnect registers, the
+/// RX/TX engine timing (32 Gbps link serialization), slot configuration,
+/// descriptor flow, drops, broadcast endpoint behaviour, and host debug
+/// access — all without the distribution fabric.
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.h"
+#include "net/headers.h"
+#include "rpu/descriptor.h"
+#include "rpu/rpu.h"
+#include "rv/assembler.h"
+#include "sim/kernel.h"
+#include "sim/stats.h"
+
+namespace rosebud::rpu {
+namespace {
+
+using rv::Assembler;
+using namespace rv;
+
+/// Firmware that configures slots and then parks.
+std::vector<uint32_t>
+slot_config_firmware(uint32_t count = 8, uint32_t size = 16384) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.li(t0, int32_t(count));
+    a.sw(t0, kRegSlotCount, gp);
+    a.lui(t0, 0x1000);
+    a.sw(t0, kRegSlotBase, gp);
+    a.li(t0, int32_t(size));
+    a.sw(t0, kRegSlotSize, gp);
+    a.lui(t0, 0x804);
+    a.sw(t0, kRegHdrBase, gp);
+    a.li(t0, 128);
+    a.sw(t0, kRegHdrSize, gp);
+    a.sw(zero, kRegSlotCommit, gp);
+    a.label("park");
+    a.j("park");
+    return a.assemble();
+}
+
+struct Fixture {
+    sim::Kernel kernel;
+    sim::Stats stats;
+    Rpu rpu;
+    std::vector<net::PacketPtr> egressed;
+    std::vector<std::pair<uint8_t, uint8_t>> freed;
+
+    Fixture() : rpu(kernel, stats, Rpu::Config{.id = 3}) {
+        rpu.set_egress_handler([this](net::PacketPtr p) {
+            egressed.push_back(p);
+            return true;
+        });
+        rpu.set_slot_free_handler(
+            [this](uint8_t r, uint8_t s) { freed.push_back({r, s}); });
+    }
+
+    void boot(const std::vector<uint32_t>& image) {
+        rpu.load_firmware(image);
+        rpu.boot();
+        kernel.run(100);
+    }
+
+    net::PacketPtr make_pkt(uint32_t size, uint8_t slot) {
+        net::PacketBuilder b;
+        b.ipv4(0x01020304, 0x05060708).udp(123, 456).frame_size(size);
+        auto p = b.build();
+        p->dest_slot = slot;
+        p->in_iface = net::Iface::kPort0;
+        return p;
+    }
+};
+
+TEST(RpuDesc, PackUnpackRoundTrip) {
+    Desc d;
+    d.len = 1500;
+    d.slot = 17;
+    d.port = 2;
+    d.addr = 0x01004000;
+    Desc u = Desc::unpack(d.low(), d.high());
+    EXPECT_EQ(u.len, d.len);
+    EXPECT_EQ(u.slot, d.slot);
+    EXPECT_EQ(u.port, d.port);
+    EXPECT_EQ(u.addr, d.addr);
+}
+
+TEST(RpuDesc, PortToggleViaXori) {
+    Desc d;
+    d.len = 64;
+    d.slot = 1;
+    d.port = 0;
+    Desc t = Desc::unpack(d.low() ^ 1, 0);
+    EXPECT_EQ(t.port, 1);
+    EXPECT_EQ(t.slot, d.slot);
+    EXPECT_EQ(t.len, d.len);
+}
+
+TEST(RpuTest, SlotConfigReachesCallback) {
+    Fixture f;
+    SlotConfig seen;
+    f.rpu.set_slot_config_handler([&](uint8_t, const SlotConfig& c) { seen = c; });
+    f.boot(slot_config_firmware(12, 8192));
+    EXPECT_EQ(seen.count, 12u);
+    EXPECT_EQ(seen.base, kPmemBase);
+    EXPECT_EQ(seen.size, 8192u);
+    EXPECT_EQ(seen.hdr_base, kDefaultHdrBase);
+    EXPECT_EQ(f.rpu.slot_config().count, 12u);
+}
+
+TEST(RpuTest, RxWritesPacketAndHeaderCopy) {
+    Fixture f;
+    f.boot(slot_config_firmware());
+    auto pkt = f.make_pkt(256, 2);
+    std::vector<uint8_t> original = pkt->data;
+    ASSERT_TRUE(f.rpu.rx_ready());
+    f.rpu.begin_rx(pkt);
+    f.kernel.run(64);
+
+    // Packet memory at slot 2 = PMEM + 16384.
+    std::vector<uint8_t> stored(256);
+    f.rpu.pmem().read_block(16384, stored.data(), 256);
+    EXPECT_EQ(stored, original);
+
+    // Header copy in DMEM at hdr_base + (2-1)*128.
+    std::vector<uint8_t> hdr(128);
+    f.rpu.dmem().read_block(kDefaultHdrBase - kDmemBase + 128, hdr.data(), 128);
+    EXPECT_TRUE(std::equal(hdr.begin(), hdr.end(), original.begin()));
+    EXPECT_EQ(f.rpu.occupancy(), 1u);
+}
+
+TEST(RpuTest, RxSerializationTakesLinkCycles) {
+    Fixture f;
+    f.boot(slot_config_firmware());
+    auto pkt = f.make_pkt(1024, 1);
+    f.rpu.begin_rx(pkt);
+    // 1024 bytes at 16 B/cycle = 64 cycles; not ready during transfer.
+    f.kernel.run(32);
+    EXPECT_FALSE(f.rpu.rx_ready());
+    EXPECT_EQ(f.stats.get("rpu3.rx_packets"), 0u);
+    f.kernel.run(40);
+    EXPECT_EQ(f.stats.get("rpu3.rx_packets"), 1u);
+    // Setup gap still holds rx_ready low right after the transfer.
+    EXPECT_FALSE(f.rpu.rx_ready());
+    f.kernel.run(16);
+    EXPECT_TRUE(f.rpu.rx_ready());
+}
+
+TEST(RpuTest, HashPrependedPacketStoresHashFirst) {
+    Fixture f;
+    f.boot(slot_config_firmware());
+    auto pkt = f.make_pkt(128, 1);
+    pkt->lb_hash = 0xa1b2c3d4;
+    pkt->hash_prepended = true;
+    f.rpu.begin_rx(pkt);
+    f.kernel.run(32);
+    EXPECT_EQ(f.rpu.pmem().read32(0), 0xa1b2c3d4u);
+    EXPECT_EQ(f.rpu.pmem().read8(4), pkt->data[0]);
+}
+
+TEST(RpuTest, ForwarderRoundTrip) {
+    // Full firmware loop: receive, toggle port, send; check egress packet.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.li(t0, 8);
+    a.sw(t0, kRegSlotCount, gp);
+    a.lui(t0, 0x1000);
+    a.sw(t0, kRegSlotBase, gp);
+    a.li(t0, 16384 / 4);
+    a.slli(t0, t0, 2);
+    a.sw(t0, kRegSlotSize, gp);
+    a.sw(zero, kRegSlotCommit, gp);
+    a.label("loop");
+    a.lw(a0, kRegRecvLow, gp);
+    a.beqz(a0, "loop");
+    a.sw(zero, kRegRecvRelease, gp);
+    a.xori(a0, a0, 1);
+    a.sw(a0, kRegSendLow, gp);
+    a.sw(zero, kRegSendHigh, gp);
+    a.j("loop");
+
+    Fixture f;
+    f.boot(a.assemble());
+    auto pkt = f.make_pkt(200, 3);
+    std::vector<uint8_t> original = pkt->data;
+    f.rpu.begin_rx(pkt);
+    f.kernel.run(300);
+
+    ASSERT_EQ(f.egressed.size(), 1u);
+    EXPECT_EQ(f.egressed[0]->data, original);
+    EXPECT_EQ(f.egressed[0]->out_iface, net::Iface::kPort1);
+    ASSERT_EQ(f.freed.size(), 1u);
+    EXPECT_EQ(f.freed[0].first, 3);   // rpu id
+    EXPECT_EQ(f.freed[0].second, 3);  // slot
+    EXPECT_EQ(f.rpu.occupancy(), 0u);
+}
+
+TEST(RpuTest, ZeroLengthSendDropsPacket) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.li(t0, 8);
+    a.sw(t0, kRegSlotCount, gp);
+    a.lui(t0, 0x1000);
+    a.sw(t0, kRegSlotBase, gp);
+    a.lui(t0, 0x4);  // 16384
+    a.sw(t0, kRegSlotSize, gp);
+    a.sw(zero, kRegSlotCommit, gp);
+    a.label("loop");
+    a.lw(a0, kRegRecvLow, gp);
+    a.beqz(a0, "loop");
+    a.sw(zero, kRegRecvRelease, gp);
+    a.slli(a0, a0, 20);  // len := 0
+    a.srli(a0, a0, 20);
+    a.sw(a0, kRegSendLow, gp);
+    a.sw(zero, kRegSendHigh, gp);
+    a.j("loop");
+
+    Fixture f;
+    f.boot(a.assemble());
+    f.rpu.begin_rx(f.make_pkt(64, 1));
+    f.kernel.run(200);
+    EXPECT_EQ(f.egressed.size(), 0u);
+    EXPECT_EQ(f.stats.get("rpu3.dropped_packets"), 1u);
+    EXPECT_EQ(f.freed.size(), 1u);
+    EXPECT_EQ(f.rpu.occupancy(), 0u);
+}
+
+TEST(RpuTest, EgressBackpressureStallsTx) {
+    Fixture f;
+    bool accept = false;
+    f.rpu.set_egress_handler([&](net::PacketPtr p) {
+        if (accept) f.egressed.push_back(p);
+        return accept;
+    });
+    // Forwarder firmware.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.li(t0, 8);
+    a.sw(t0, kRegSlotCount, gp);
+    a.lui(t0, 0x1000);
+    a.sw(t0, kRegSlotBase, gp);
+    a.lui(t0, 0x4);
+    a.sw(t0, kRegSlotSize, gp);
+    a.sw(zero, kRegSlotCommit, gp);
+    a.label("loop");
+    a.lw(a0, kRegRecvLow, gp);
+    a.beqz(a0, "loop");
+    a.sw(zero, kRegRecvRelease, gp);
+    a.sw(a0, kRegSendLow, gp);
+    a.sw(zero, kRegSendHigh, gp);
+    a.j("loop");
+    f.boot(a.assemble());
+
+    f.rpu.begin_rx(f.make_pkt(64, 1));
+    f.kernel.run(300);
+    EXPECT_EQ(f.egressed.size(), 0u);
+    EXPECT_EQ(f.rpu.occupancy(), 1u);  // slot not freed while blocked
+    EXPECT_GT(f.stats.get("rpu3.tx_stall_cycles"), 0u);
+    accept = true;
+    f.kernel.run(10);
+    EXPECT_EQ(f.egressed.size(), 1u);
+    EXPECT_EQ(f.rpu.occupancy(), 0u);
+}
+
+TEST(RpuTest, DebugRegistersVisibleToHost) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.li(t0, 0x1234);
+    a.sw(t0, kRegDebugLow, gp);
+    a.li(t0, 0x5678);
+    a.sw(t0, kRegDebugHigh, gp);
+    a.ebreak();
+
+    Fixture f;
+    f.boot(a.assemble());
+    EXPECT_EQ(f.rpu.debug_low(), 0x1234u);
+    EXPECT_EQ(f.rpu.debug_high(), 0x5678u);
+    EXPECT_TRUE(f.rpu.core_halted());
+    EXPECT_FALSE(f.rpu.core_faulted());
+}
+
+TEST(RpuTest, CoreIdAndIrqRegisters) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, kRegCoreId, gp);
+    a.sw(t0, kRegDebugLow, gp);
+    a.li(t0, 0x30);  // enable evict + poke
+    a.sw(t0, kRegIrqMask, gp);
+    a.label("wait");
+    a.lw(t1, kRegIrqStatus, gp);
+    a.beqz(t1, "wait");
+    a.sw(t1, kRegDebugHigh, gp);
+    a.ebreak();
+
+    Fixture f;
+    f.boot(a.assemble());
+    EXPECT_EQ(f.rpu.debug_low(), 3u);  // core id
+    EXPECT_FALSE(f.rpu.core_halted());
+    f.rpu.raise_poke();
+    f.kernel.run(50);
+    EXPECT_TRUE(f.rpu.core_halted());
+    EXPECT_EQ(f.rpu.debug_high(), uint32_t(kIrqPoke));
+}
+
+TEST(RpuTest, MaskedInterruptInvisible) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.sw(zero, kRegIrqMask, gp);  // mask everything
+    a.li(t2, 100);
+    a.label("wait");
+    a.lw(t1, kRegIrqStatus, gp);
+    a.bnez(t1, "seen");
+    a.addi(t2, t2, -1);
+    a.bnez(t2, "wait");
+    a.li(t3, 1);  // timed out: interrupt never seen
+    a.sw(t3, kRegDebugLow, gp);
+    a.ebreak();
+    a.label("seen");
+    a.li(t3, 2);
+    a.sw(t3, kRegDebugLow, gp);
+    a.ebreak();
+
+    Fixture f;
+    f.rpu.load_firmware(a.assemble());
+    f.rpu.boot();
+    f.rpu.raise_evict();
+    f.kernel.run(2000);
+    EXPECT_EQ(f.rpu.debug_low(), 1u);
+}
+
+TEST(RpuTest, BroadcastStoreBlocksUntilAccepted) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lui(s5, 0x2020);
+    a.li(t0, 0x77);
+    a.sw(t0, 0, s5);  // broadcast write
+    a.li(t0, 1);
+    a.sw(t0, kRegDebugLow, gp);
+    a.ebreak();
+
+    Fixture f;
+    int deny = 30;
+    uint32_t sent_value = 0;
+    f.rpu.set_broadcast_sender([&](uint8_t, uint32_t off, uint32_t val) {
+        if (deny > 0) {
+            --deny;
+            return false;
+        }
+        EXPECT_EQ(off, 0u);
+        sent_value = val;
+        return true;
+    });
+    f.rpu.load_firmware(a.assemble());
+    f.rpu.boot();
+    f.kernel.run(20);
+    EXPECT_EQ(f.rpu.debug_low(), 0u);  // still blocked
+    f.kernel.run(50);
+    EXPECT_EQ(f.rpu.debug_low(), 1u);
+    EXPECT_EQ(sent_value, 0x77u);
+}
+
+TEST(RpuTest, BroadcastDeliveryUpdatesLocalCopyAndNotifies) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lui(s5, 0x2020);
+    a.label("wait");
+    a.lw(t0, kRegBcastReady, gp);
+    a.beqz(t0, "wait");
+    a.lw(t1, kRegBcastAddr, gp);
+    a.lw(t2, kRegBcastData, gp);
+    a.sw(zero, kRegBcastPop, gp);
+    a.sw(t1, kRegDebugLow, gp);
+    a.sw(t2, kRegDebugHigh, gp);
+    // Also read the semi-coherent local copy.
+    a.lw(t3, 0x40, s5);
+    a.bne(t3, t2, "bad");
+    a.ebreak();
+    a.label("bad");
+    a.sw(zero, kRegDebugHigh, gp);
+    a.ebreak();
+
+    Fixture f;
+    f.rpu.load_firmware(a.assemble());
+    f.rpu.boot();
+    f.kernel.run(10);
+    f.rpu.broadcast_deliver(0x40, 0xfeed);
+    f.kernel.run(100);
+    EXPECT_TRUE(f.rpu.core_halted());
+    EXPECT_EQ(f.rpu.debug_low(), 0x40u);
+    EXPECT_EQ(f.rpu.debug_high(), 0xfeedu);
+}
+
+TEST(RpuTest, UnmappedAccessFaultsCore) {
+    Assembler a;
+    a.lui(t0, 0x50000);  // far outside every region
+    a.lw(t1, 0, t0);
+    a.ebreak();
+    Fixture f;
+    f.rpu.load_firmware(a.assemble());
+    f.rpu.boot();
+    f.kernel.run(50);
+    EXPECT_TRUE(f.rpu.core_faulted());
+}
+
+TEST(RpuTest, BootResetsEngineState) {
+    Fixture f;
+    f.boot(slot_config_firmware());
+    f.rpu.begin_rx(f.make_pkt(64, 1));
+    f.kernel.run(2);
+    f.rpu.boot();  // mid-transfer reconfiguration
+    EXPECT_EQ(f.rpu.occupancy(), 0u);
+    EXPECT_EQ(f.rpu.slot_config().count, 0u);
+    f.kernel.run(100);  // firmware reconfigures slots again
+    EXPECT_EQ(f.rpu.slot_config().count, 8u);
+}
+
+TEST(RpuTest, ResourcesScaleWithMemories) {
+    Fixture f;
+    auto fp = f.rpu.base_resources();
+    // BRAM: (64 KB IMEM + 32 KB DMEM) / 4 KB = 24 blocks; URAM: 1 MB / 32 KB.
+    EXPECT_EQ(fp.bram, 24u);
+    EXPECT_EQ(fp.uram, 32u);
+    // Calibrated near the paper's "Single RPU" row (4541 LUTs / 3788 FFs).
+    EXPECT_NEAR(double(fp.luts), 4541.0, 4541.0 * 0.1);
+    EXPECT_NEAR(double(fp.regs), 3788.0, 3788.0 * 0.1);
+}
+
+}  // namespace
+}  // namespace rosebud::rpu

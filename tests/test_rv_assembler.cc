@@ -1,0 +1,176 @@
+/// Assembler + encoder/decoder + disassembler tests, including
+/// property-style immediate round-trips over the full encodable ranges.
+
+#include <gtest/gtest.h>
+
+#include "rv/assembler.h"
+#include "rv/disasm.h"
+#include "rv/isa.h"
+#include "sim/log.h"
+#include "sim/random.h"
+
+namespace rosebud::rv {
+namespace {
+
+TEST(IsaCodec, ImmIRoundTrip) {
+    sim::Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        int32_t imm = int32_t(rng.range(0, 4095)) - 2048;
+        uint32_t insn = encode_i(imm, t0, 0, t1, kOpImm);
+        EXPECT_EQ(dec_imm_i(insn), imm);
+    }
+}
+
+TEST(IsaCodec, ImmSRoundTrip) {
+    sim::Rng rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        int32_t imm = int32_t(rng.range(0, 4095)) - 2048;
+        uint32_t insn = encode_s(imm, t0, t1, 2);
+        EXPECT_EQ(dec_imm_s(insn), imm);
+        EXPECT_EQ(dec_rs1(insn), t1);
+        EXPECT_EQ(dec_rs2(insn), t0);
+    }
+}
+
+TEST(IsaCodec, ImmBRoundTrip) {
+    sim::Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        int32_t imm = (int32_t(rng.range(0, 4095)) - 2048) * 2;
+        uint32_t insn = encode_b(imm, t0, t1, 1);
+        EXPECT_EQ(dec_imm_b(insn), imm);
+    }
+}
+
+TEST(IsaCodec, ImmJRoundTrip) {
+    sim::Rng rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        int32_t imm = (int32_t(rng.range(0, (1 << 20) - 1)) - (1 << 19)) * 2;
+        uint32_t insn = encode_j(imm, ra);
+        EXPECT_EQ(dec_imm_j(insn), imm);
+        EXPECT_EQ(dec_rd(insn), ra);
+    }
+}
+
+TEST(IsaCodec, ImmURoundTrip) {
+    uint32_t insn = encode_u(0xfffff, t3, kOpLui);
+    EXPECT_EQ(uint32_t(dec_imm_u(insn)), 0xfffff000u);
+}
+
+TEST(IsaCodec, RTypeFields) {
+    uint32_t insn = encode_r(0x20, t2, t1, 5, t0, kOpReg);
+    EXPECT_EQ(dec_opcode(insn), uint32_t(kOpReg));
+    EXPECT_EQ(dec_rd(insn), t0);
+    EXPECT_EQ(dec_rs1(insn), t1);
+    EXPECT_EQ(dec_rs2(insn), t2);
+    EXPECT_EQ(dec_funct3(insn), 5u);
+    EXPECT_EQ(dec_funct7(insn), 0x20u);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+    Assembler a;
+    a.label("start");
+    a.beq(t0, t1, "fwd");
+    a.j("start");
+    a.label("fwd");
+    a.nop();
+    auto image = a.assemble();
+    ASSERT_EQ(image.size(), 3u);
+    EXPECT_EQ(dec_imm_b(image[0]), 8);       // to "fwd"
+    EXPECT_EQ(dec_imm_j(image[1]), -4);      // back to "start"
+}
+
+TEST(Assembler, UndefinedLabelIsFatal) {
+    Assembler a;
+    a.j("nowhere");
+    EXPECT_THROW(a.assemble(), sim::FatalError);
+}
+
+TEST(Assembler, DuplicateLabelIsFatal) {
+    Assembler a;
+    a.label("x");
+    EXPECT_THROW(a.label("x"), sim::FatalError);
+}
+
+TEST(Assembler, ImmediateRangeChecked) {
+    Assembler a;
+    EXPECT_THROW(a.addi(t0, t0, 2048), sim::FatalError);
+    EXPECT_THROW(a.addi(t0, t0, -2049), sim::FatalError);
+    EXPECT_THROW(a.lw(t0, 5000, t1), sim::FatalError);
+}
+
+TEST(Assembler, BranchOutOfRangeIsFatal) {
+    Assembler a;
+    a.beq(t0, t1, "far");
+    for (int i = 0; i < 2000; ++i) a.nop();
+    a.label("far");
+    EXPECT_THROW(a.assemble(), sim::FatalError);
+}
+
+TEST(Assembler, LiSingleInstructionWhenSmall) {
+    Assembler a;
+    a.li(t0, 100);
+    EXPECT_EQ(a.instruction_count(), 1u);
+    a.li(t0, 0x12345678);
+    EXPECT_EQ(a.instruction_count(), 3u);
+}
+
+TEST(Assembler, HereTracksPosition) {
+    Assembler a(0x100);
+    EXPECT_EQ(a.here(), 0x100u);
+    a.nop();
+    a.nop();
+    EXPECT_EQ(a.here(), 0x108u);
+}
+
+TEST(Disasm, KnownInstructions) {
+    EXPECT_EQ(disassemble(encode_i(5, t0, 0, t1, kOpImm)), "addi t1, t0, 5");
+    EXPECT_EQ(disassemble(encode_r(0, t2, t1, 0, t0, kOpReg)), "add t0, t1, t2");
+    EXPECT_EQ(disassemble(encode_r(0x20, t2, t1, 0, t0, kOpReg)), "sub t0, t1, t2");
+    EXPECT_EQ(disassemble(0x00100073), "ebreak");
+    EXPECT_EQ(disassemble(0x00000073), "ecall");
+    EXPECT_EQ(disassemble(encode_i(-8, sp, 2, a0, kOpLoad)), "lw a0, -8(sp)");
+    EXPECT_EQ(disassemble(encode_s(12, a1, sp, 2)), "sw a1, 12(sp)");
+}
+
+TEST(Disasm, BranchTargetsAbsolute) {
+    uint32_t insn = encode_b(-8, t1, t0, 0);
+    EXPECT_EQ(disassemble(insn, 0x100), "beq t0, t1, 0xf8");
+}
+
+TEST(Disasm, ImageHasOneLinePerWord) {
+    Assembler a;
+    a.nop();
+    a.li(t0, 0x12345678);
+    auto image = a.assemble();
+    std::string text = disassemble_image(image);
+    size_t lines = std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(lines, image.size());
+}
+
+TEST(Disasm, EveryEncodableOpcodeDisassembles) {
+    // Property: nothing the assembler emits disassembles to ".word".
+    Assembler a;
+    a.add(t0, t1, t2); a.sub(t0, t1, t2); a.sll(t0, t1, t2); a.slt(t0, t1, t2);
+    a.sltu(t0, t1, t2); a.xor_(t0, t1, t2); a.srl(t0, t1, t2); a.sra(t0, t1, t2);
+    a.or_(t0, t1, t2); a.and_(t0, t1, t2); a.mul(t0, t1, t2); a.mulh(t0, t1, t2);
+    a.mulhsu(t0, t1, t2); a.mulhu(t0, t1, t2); a.div(t0, t1, t2); a.divu(t0, t1, t2);
+    a.rem(t0, t1, t2); a.remu(t0, t1, t2);
+    a.addi(t0, t1, 1); a.slti(t0, t1, 1); a.sltiu(t0, t1, 1); a.xori(t0, t1, 1);
+    a.ori(t0, t1, 1); a.andi(t0, t1, 1); a.slli(t0, t1, 1); a.srli(t0, t1, 1);
+    a.srai(t0, t1, 1);
+    a.lb(t0, 0, t1); a.lh(t0, 0, t1); a.lw(t0, 0, t1); a.lbu(t0, 0, t1);
+    a.lhu(t0, 0, t1); a.sb(t0, 0, t1); a.sh(t0, 0, t1); a.sw(t0, 0, t1);
+    a.lui(t0, 1); a.auipc(t0, 1);
+    a.jalr(t0, t1, 0); a.ecall(); a.ebreak(); a.fence(); a.csrrs(t0, kCsrCycle, zero);
+    a.label("l");
+    a.beq(t0, t1, "l"); a.bne(t0, t1, "l"); a.blt(t0, t1, "l"); a.bge(t0, t1, "l");
+    a.bltu(t0, t1, "l"); a.bgeu(t0, t1, "l"); a.jal(ra, "l");
+    auto image = a.assemble();
+    for (size_t i = 0; i < image.size(); ++i) {
+        std::string d = disassemble(image[i], uint32_t(i * 4));
+        EXPECT_EQ(d.find(".word"), std::string::npos) << d;
+    }
+}
+
+}  // namespace
+}  // namespace rosebud::rv

@@ -1,0 +1,231 @@
+/// Unit tests for the simulation kernel primitives: two-phase clocking,
+/// registered FIFOs, registers, stats, and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include "sim/fifo.h"
+#include "sim/kernel.h"
+#include "sim/random.h"
+#include "sim/resources.h"
+#include "sim/stats.h"
+
+namespace rosebud::sim {
+namespace {
+
+class CountingComponent : public Component {
+ public:
+    CountingComponent(Kernel& k, std::string name) : Component(k, std::move(name)) {}
+    void tick() override { ++ticks; }
+    int ticks = 0;
+};
+
+TEST(Kernel, TicksEveryComponentOncePerCycle) {
+    Kernel k;
+    CountingComponent a(k, "a");
+    CountingComponent b(k, "b");
+    k.run(10);
+    EXPECT_EQ(a.ticks, 10);
+    EXPECT_EQ(b.ticks, 10);
+    EXPECT_EQ(k.now(), 10u);
+}
+
+TEST(Kernel, NowNsMatchesClock) {
+    Kernel k;
+    k.run(250);
+    EXPECT_DOUBLE_EQ(k.now_ns(), 1000.0);  // 250 cycles at 4 ns
+}
+
+TEST(Kernel, RunUntilStopsOnPredicate) {
+    Kernel k;
+    CountingComponent a(k, "a");
+    bool fired = k.run_until([&] { return a.ticks >= 5; }, 100);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(a.ticks, 5);
+}
+
+TEST(Kernel, RunUntilTimesOut) {
+    Kernel k;
+    bool fired = k.run_until([] { return false; }, 7);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(k.now(), 7u);
+}
+
+TEST(Fifo, PushNotVisibleUntilCommit) {
+    Kernel k;
+    Fifo<int> f(k, "f", 4);
+    ASSERT_TRUE(f.push(1));
+    EXPECT_TRUE(f.empty());  // same cycle: not yet visible
+    k.step();
+    ASSERT_FALSE(f.empty());
+    EXPECT_EQ(f.front(), 1);
+}
+
+TEST(Fifo, CapacityCountsStagedPushes) {
+    Kernel k;
+    Fifo<int> f(k, "f", 2);
+    EXPECT_TRUE(f.push(1));
+    EXPECT_TRUE(f.push(2));
+    EXPECT_FALSE(f.can_push());
+    EXPECT_FALSE(f.push(3));
+    k.step();
+    EXPECT_EQ(f.size(), 2u);
+    EXPECT_FALSE(f.can_push());
+}
+
+TEST(Fifo, PopFreesSpaceWithinSameCycle) {
+    Kernel k;
+    Fifo<int> f(k, "f", 1);
+    ASSERT_TRUE(f.push(1));
+    k.step();
+    EXPECT_FALSE(f.can_push());
+    EXPECT_EQ(f.pop(), 1);
+    // Skid-buffer behaviour: the pop frees the slot for a same-cycle push.
+    EXPECT_TRUE(f.can_push());
+    EXPECT_TRUE(f.push(2));
+    k.step();
+    EXPECT_EQ(f.front(), 2);
+}
+
+TEST(Fifo, FifoOrderPreserved) {
+    Kernel k;
+    Fifo<int> f(k, "f", 8);
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(f.push(i));
+    k.step();
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(f.pop(), i);
+}
+
+TEST(Fifo, ClearDropsEverything) {
+    Kernel k;
+    Fifo<int> f(k, "f", 8);
+    ASSERT_TRUE(f.push(1));
+    k.step();
+    ASSERT_TRUE(f.push(2));
+    f.clear();
+    k.step();
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.free_slots(), 8u);
+}
+
+TEST(Fifo, FreeSlotsAccounting) {
+    Kernel k;
+    Fifo<int> f(k, "f", 3);
+    EXPECT_EQ(f.free_slots(), 3u);
+    ASSERT_TRUE(f.push(1));
+    EXPECT_EQ(f.free_slots(), 2u);
+    k.step();
+    EXPECT_EQ(f.free_slots(), 2u);
+}
+
+TEST(Reg, WriteVisibleNextCycle) {
+    Kernel k;
+    Reg<int> r(k, 7);
+    EXPECT_EQ(r.get(), 7);
+    r.set(42);
+    EXPECT_EQ(r.get(), 7);
+    k.step();
+    EXPECT_EQ(r.get(), 42);
+}
+
+TEST(Reg, LastWriteWins) {
+    Kernel k;
+    Reg<int> r(k);
+    r.set(1);
+    r.set(2);
+    k.step();
+    EXPECT_EQ(r.get(), 2);
+}
+
+TEST(Stats, CountersFindOrCreate) {
+    Stats s;
+    s.counter("a.b").add(3);
+    s.counter("a.b").add(2);
+    EXPECT_EQ(s.get("a.b"), 5u);
+    EXPECT_EQ(s.get("missing"), 0u);
+}
+
+TEST(Stats, ResetAll) {
+    Stats s;
+    s.counter("x").add(9);
+    s.sampler("y").add(1.0);
+    s.reset_all();
+    EXPECT_EQ(s.get("x"), 0u);
+    EXPECT_TRUE(s.sampler("y").empty());
+}
+
+TEST(Sampler, Statistics) {
+    Sampler s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+}
+
+TEST(Sampler, EmptyIsZero) {
+    Sampler s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.99), 0.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowIsInRange) {
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng r(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Resources, Arithmetic) {
+    ResourceFootprint a{100, 200, 3, 4, 5};
+    ResourceFootprint b{10, 20, 1, 1, 1};
+    ResourceFootprint sum = a + b;
+    EXPECT_EQ(sum.luts, 110u);
+    EXPECT_EQ(sum.regs, 220u);
+    ResourceFootprint scaled = b * 3;
+    EXPECT_EQ(scaled.luts, 30u);
+    ResourceFootprint diff = a.saturating_sub(b);
+    EXPECT_EQ(diff.luts, 90u);
+    ResourceFootprint clamped = b.saturating_sub(a);
+    EXPECT_EQ(clamped.luts, 0u);
+}
+
+TEST(Resources, FormatRowContainsPercentages) {
+    std::string row = format_footprint_row("Test", {118224, 0, 0, 0, 0}, kXcvu9p);
+    EXPECT_NE(row.find("Test"), std::string::npos);
+    EXPECT_NE(row.find("10.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rosebud::sim

@@ -1,0 +1,109 @@
+/// End-to-end integration tests: forwarder firmware on the full system.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "firmware/programs.h"
+#include "net/headers.h"
+
+namespace rosebud {
+namespace {
+
+net::PacketPtr
+make_test_packet(uint32_t size, uint64_t id) {
+    net::PacketBuilder b;
+    b.ipv4(0x0a000001, 0x0a000002).udp(1000, 2000).frame_size(size);
+    auto p = b.build();
+    p->id = id;
+    return p;
+}
+
+TEST(SystemForwarding, BootsAndConfiguresSlots) {
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(200);
+
+    for (unsigned i = 0; i < sys.rpu_count(); ++i) {
+        EXPECT_FALSE(sys.rpu(i).core_halted()) << "rpu " << i;
+        EXPECT_FALSE(sys.rpu(i).core_faulted()) << "rpu " << i;
+        EXPECT_EQ(sys.rpu(i).slot_config().count, 32u) << "rpu " << i;
+        EXPECT_EQ(sys.lb().free_slots(uint8_t(i)), 32u) << "rpu " << i;
+    }
+}
+
+TEST(SystemForwarding, ForwardsOnePacket) {
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(200);
+
+    auto pkt = make_test_packet(128, 7);
+    ASSERT_TRUE(sys.fabric().mac_rx(0, pkt));
+    sys.run_cycles(2000);
+
+    EXPECT_EQ(sys.sink(1).frames(), 1u);  // port 0 in -> port 1 out
+    EXPECT_EQ(sys.sink(0).frames(), 0u);
+}
+
+TEST(SystemForwarding, ForwardedBytesAreIdentical) {
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(200);
+
+    auto pkt = make_test_packet(256, 9);
+    std::vector<uint8_t> original = pkt->data;
+
+    net::PacketPtr got;
+    sys.fabric().set_mac_tx_sink(1, [&](net::PacketPtr p) { got = p; });
+    ASSERT_TRUE(sys.fabric().mac_rx(0, pkt));
+    sys.run_cycles(2000);
+
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->data, original);
+    EXPECT_EQ(got->id, 9u);
+}
+
+TEST(SystemForwarding, ManyPacketsAllForwardedAndSlotsRecycled) {
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(200);
+
+    const unsigned kCount = 500;
+    unsigned injected = 0;
+    uint64_t next_id = 0;
+    for (unsigned cycle = 0; injected < kCount && cycle < 200000; ++cycle) {
+        if (cycle % 3 == 0 && injected < kCount) {
+            if (sys.fabric().mac_rx(injected % 2, make_test_packet(200, next_id++))) {
+                ++injected;
+            }
+        }
+        sys.run_cycles(1);
+    }
+    sys.run_cycles(20000);
+
+    EXPECT_EQ(injected, kCount);
+    EXPECT_EQ(sys.sink(0).frames() + sys.sink(1).frames(), kCount);
+    // All slots returned to the LB.
+    for (unsigned i = 0; i < sys.rpu_count(); ++i) {
+        EXPECT_EQ(sys.lb().free_slots(uint8_t(i)), 32u) << "rpu " << i;
+        EXPECT_EQ(sys.rpu(i).occupancy(), 0u) << "rpu " << i;
+    }
+}
+
+}  // namespace
+}  // namespace rosebud

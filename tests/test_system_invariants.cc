@@ -1,0 +1,167 @@
+/// Whole-system property tests: packet conservation (every packet offered
+/// is exactly one of forwarded / host-delivered / dropped-with-a-counter),
+/// no duplication, slot-accounting closure, and determinism of complete
+/// runs — under randomized traffic mixes and configurations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "accel/firewall.h"
+#include "core/system.h"
+#include "firmware/programs.h"
+#include "net/tracegen.h"
+
+namespace rosebud {
+namespace {
+
+struct RunCounts {
+    uint64_t offered = 0;
+    uint64_t forwarded = 0;
+    uint64_t host = 0;
+    uint64_t rx_fifo_drops = 0;
+    uint64_t fw_drops = 0;
+    uint64_t in_flight = 0;  // still inside at the end
+    uint64_t byte_hash = 0;  // rolling hash over delivered frame bytes
+    std::map<uint64_t, int> sink_ids;
+};
+
+RunCounts
+run_random_mix(uint64_t seed, unsigned rpus, lb::Policy policy, double load,
+               uint32_t size) {
+    SystemConfig cfg;
+    cfg.rpu_count = rpus;
+    cfg.lb_policy = policy;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(500);
+
+    RunCounts rc;
+    auto sink = [&](net::PacketPtr p) {
+        ++rc.forwarded;
+        ++rc.sink_ids[p->id];
+        for (uint8_t b : p->data) rc.byte_hash = rc.byte_hash * 131 + b;
+    };
+    sys.fabric().set_mac_tx_sink(0, sink);
+    sys.fabric().set_mac_tx_sink(1, sink);
+    sys.host().set_rx_handler([&](net::PacketPtr) { ++rc.host; });
+
+    net::TrafficSpec spec;
+    spec.packet_size = size;
+    spec.seed = seed;
+    spec.udp_fraction = 0.3;
+    auto gen = std::make_shared<net::TraceGenerator>(spec);
+    auto& src = sys.add_source(
+        {.port = 0, .load = load, .max_packets = 400},
+        [gen] { return gen->next(); });
+    sys.run_cycles(120000);  // enough to fully drain at any load
+
+    rc.offered = src.offered();
+    rc.rx_fifo_drops = sys.stats().get("port0.rx_fifo_drops") +
+                       sys.stats().get("port1.rx_fifo_drops");
+    for (unsigned i = 0; i < rpus; ++i) {
+        rc.fw_drops += sys.stats().get("rpu" + std::to_string(i) + ".dropped_packets");
+        rc.in_flight += sys.rpu(i).occupancy();
+    }
+    return rc;
+}
+
+class ConservationTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, lb::Policy, double>> {};
+
+TEST_P(ConservationTest, EveryPacketAccountedExactlyOnce) {
+    auto [rpus, policy, load] = GetParam();
+    RunCounts rc = run_random_mix(7, rpus, policy, load, 300);
+    EXPECT_EQ(rc.offered,
+              rc.forwarded + rc.host + rc.rx_fifo_drops + rc.fw_drops + rc.in_flight);
+    EXPECT_EQ(rc.in_flight, 0u) << "packets stuck inside after drain";
+    for (const auto& [id, count] : rc.sink_ids) {
+        EXPECT_EQ(count, 1) << "packet " << id << " duplicated";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, ConservationTest,
+    ::testing::Values(std::make_tuple(4u, lb::Policy::kRoundRobin, 0.3),
+                      std::make_tuple(4u, lb::Policy::kRoundRobin, 1.0),
+                      std::make_tuple(8u, lb::Policy::kHash, 0.5),
+                      std::make_tuple(8u, lb::Policy::kLeastLoaded, 1.0),
+                      std::make_tuple(16u, lb::Policy::kRoundRobin, 1.0)),
+    [](const auto& info) {
+        return "rpus" + std::to_string(std::get<0>(info.param)) + "_policy" +
+               std::to_string(int(std::get<1>(info.param))) + "_load" +
+               std::to_string(int(std::get<2>(info.param) * 10));
+    });
+
+TEST(SystemInvariants, SlotAccountingClosesAfterDrain) {
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        RunCounts rc = run_random_mix(seed, 8, lb::Policy::kRoundRobin, 1.0, 128);
+        EXPECT_EQ(rc.in_flight, 0u);
+        EXPECT_GT(rc.forwarded, 0u);
+    }
+    SystemConfig cfg;
+    cfg.rpu_count = 8;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(500);
+    for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(sys.lb().free_slots(uint8_t(i)), 32u);
+}
+
+TEST(SystemInvariants, RunsAreBitIdenticalAcrossProcessReplays) {
+    auto fingerprint = [](uint64_t seed) {
+        RunCounts rc = run_random_mix(seed, 8, lb::Policy::kHash, 0.8, 200);
+        uint64_t fp = rc.forwarded * 1000003 + rc.host * 10007 + rc.fw_drops * 101 +
+                      rc.rx_fifo_drops + rc.byte_hash;
+        for (const auto& [id, n] : rc.sink_ids) fp = fp * 31 + id * uint64_t(n);
+        return fp;
+    };
+    EXPECT_EQ(fingerprint(11), fingerprint(11));
+    EXPECT_NE(fingerprint(11), fingerprint(12));
+}
+
+TEST(SystemInvariants, FirewallConservationWithDrops) {
+    sim::Rng rng(9);
+    auto bl = net::Blacklist::synthesize(64, rng);
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    System sys(cfg);
+    sys.attach_accelerators([&] { return std::make_unique<accel::FirewallMatcher>(bl); });
+    auto fw = fwlib::firewall();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(500);
+
+    uint64_t forwarded = 0;
+    sys.fabric().set_mac_tx_sink(0, [&](net::PacketPtr) { ++forwarded; });
+    sys.fabric().set_mac_tx_sink(1, [&](net::PacketPtr) { ++forwarded; });
+
+    net::TrafficSpec spec;
+    spec.packet_size = 200;
+    spec.attack_fraction = 0.3;
+    spec.seed = 9;
+    auto gen = std::make_shared<net::TraceGenerator>(spec, nullptr, &bl);
+    uint64_t attacks = 0;
+    auto& src = sys.add_source({.port = 0, .load = 0.3, .max_packets = 300},
+                               [gen, &attacks] {
+                                   auto p = gen->next();
+                                   attacks += p->is_attack;
+                                   return p;
+                               });
+    sys.run_cycles(100000);
+
+    uint64_t drops = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        drops += sys.stats().get("rpu" + std::to_string(i) + ".dropped_packets");
+    }
+    EXPECT_EQ(src.offered(), 300u);
+    EXPECT_EQ(drops, attacks);              // exactly the blacklisted traffic
+    EXPECT_EQ(forwarded, 300u - attacks);   // everything else came out
+}
+
+}  // namespace
+}  // namespace rosebud
