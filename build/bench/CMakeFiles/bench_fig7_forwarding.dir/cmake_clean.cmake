@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_forwarding.dir/bench_fig7_forwarding.cc.o"
+  "CMakeFiles/bench_fig7_forwarding.dir/bench_fig7_forwarding.cc.o.d"
+  "bench_fig7_forwarding"
+  "bench_fig7_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ips.dir/bench_fig8_ips.cc.o"
+  "CMakeFiles/bench_fig8_ips.dir/bench_fig8_ips.cc.o.d"
+  "bench_fig8_ips"
+  "bench_fig8_ips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cycles.dir/bench_fig9_cycles.cc.o"
+  "CMakeFiles/bench_fig9_cycles.dir/bench_fig9_cycles.cc.o.d"
+  "bench_fig9_cycles"
+  "bench_fig9_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_reconfig.dir/bench_sec41_reconfig.cc.o"
+  "CMakeFiles/bench_sec41_reconfig.dir/bench_sec41_reconfig.cc.o.d"
+  "bench_sec41_reconfig"
+  "bench_sec41_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

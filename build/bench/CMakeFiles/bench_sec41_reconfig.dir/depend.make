@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec41_reconfig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_messaging.dir/bench_sec63_messaging.cc.o"
+  "CMakeFiles/bench_sec63_messaging.dir/bench_sec63_messaging.cc.o.d"
+  "bench_sec63_messaging"
+  "bench_sec63_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

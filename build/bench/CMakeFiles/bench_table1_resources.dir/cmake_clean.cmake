@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_resources.dir/bench_table1_resources.cc.o"
+  "CMakeFiles/bench_table1_resources.dir/bench_table1_resources.cc.o.d"
+  "bench_table1_resources"
+  "bench_table1_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_resources.dir/bench_table2_resources.cc.o"
+  "CMakeFiles/bench_table2_resources.dir/bench_table2_resources.cc.o.d"
+  "bench_table2_resources"
+  "bench_table2_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

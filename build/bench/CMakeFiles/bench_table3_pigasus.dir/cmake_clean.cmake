@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pigasus.dir/bench_table3_pigasus.cc.o"
+  "CMakeFiles/bench_table3_pigasus.dir/bench_table3_pigasus.cc.o.d"
+  "bench_table3_pigasus"
+  "bench_table3_pigasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pigasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

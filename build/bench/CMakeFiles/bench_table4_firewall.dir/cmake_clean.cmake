@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_firewall.dir/bench_table4_firewall.cc.o"
+  "CMakeFiles/bench_table4_firewall.dir/bench_table4_firewall.cc.o.d"
+  "bench_table4_firewall"
+  "bench_table4_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

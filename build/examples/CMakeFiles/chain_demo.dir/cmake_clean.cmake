@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_demo.dir/chain_demo.cpp.o"
+  "CMakeFiles/chain_demo.dir/chain_demo.cpp.o.d"
+  "chain_demo"
+  "chain_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_tour.dir/debug_tour.cpp.o"
+  "CMakeFiles/debug_tour.dir/debug_tour.cpp.o.d"
+  "debug_tour"
+  "debug_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/firewall_demo.cpp" "examples/CMakeFiles/firewall_demo.dir/firewall_demo.cpp.o" "gcc" "examples/CMakeFiles/firewall_demo.dir/firewall_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rosebud_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rosebud_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/rosebud_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/rosebud_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/rosebud_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/rosebud_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/rosebud_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/rosebud_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpu/CMakeFiles/rosebud_rpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rosebud_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv/CMakeFiles/rosebud_rv.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rosebud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rosebud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

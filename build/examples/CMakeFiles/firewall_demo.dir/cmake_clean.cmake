@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_demo.dir/firewall_demo.cpp.o"
+  "CMakeFiles/firewall_demo.dir/firewall_demo.cpp.o.d"
+  "firewall_demo"
+  "firewall_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

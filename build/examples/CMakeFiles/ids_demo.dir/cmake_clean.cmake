@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_demo.dir/ids_demo.cpp.o"
+  "CMakeFiles/ids_demo.dir/ids_demo.cpp.o.d"
+  "ids_demo"
+  "ids_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_reconfigure.dir/live_reconfigure.cpp.o"
+  "CMakeFiles/live_reconfigure.dir/live_reconfigure.cpp.o.d"
+  "live_reconfigure"
+  "live_reconfigure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_reconfigure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant.dir/multi_tenant.cpp.o"
+  "CMakeFiles/multi_tenant.dir/multi_tenant.cpp.o.d"
+  "multi_tenant"
+  "multi_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_demo.dir/nat_demo.cpp.o"
+  "CMakeFiles/nat_demo.dir/nat_demo.cpp.o.d"
+  "nat_demo"
+  "nat_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_cli.dir/rosebud_cli.cpp.o"
+  "CMakeFiles/rosebud_cli.dir/rosebud_cli.cpp.o.d"
+  "rosebud_cli"
+  "rosebud_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

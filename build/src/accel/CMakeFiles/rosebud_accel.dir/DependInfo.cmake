@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/firewall.cc" "src/accel/CMakeFiles/rosebud_accel.dir/firewall.cc.o" "gcc" "src/accel/CMakeFiles/rosebud_accel.dir/firewall.cc.o.d"
+  "/root/repo/src/accel/nat.cc" "src/accel/CMakeFiles/rosebud_accel.dir/nat.cc.o" "gcc" "src/accel/CMakeFiles/rosebud_accel.dir/nat.cc.o.d"
+  "/root/repo/src/accel/pigasus.cc" "src/accel/CMakeFiles/rosebud_accel.dir/pigasus.cc.o" "gcc" "src/accel/CMakeFiles/rosebud_accel.dir/pigasus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpu/CMakeFiles/rosebud_rpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rosebud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rosebud_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv/CMakeFiles/rosebud_rv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rosebud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

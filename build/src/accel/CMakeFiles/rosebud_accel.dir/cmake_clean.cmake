@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_accel.dir/firewall.cc.o"
+  "CMakeFiles/rosebud_accel.dir/firewall.cc.o.d"
+  "CMakeFiles/rosebud_accel.dir/nat.cc.o"
+  "CMakeFiles/rosebud_accel.dir/nat.cc.o.d"
+  "CMakeFiles/rosebud_accel.dir/pigasus.cc.o"
+  "CMakeFiles/rosebud_accel.dir/pigasus.cc.o.d"
+  "librosebud_accel.a"
+  "librosebud_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

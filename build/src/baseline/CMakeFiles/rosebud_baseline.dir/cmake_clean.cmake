@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_baseline.dir/snort_model.cc.o"
+  "CMakeFiles/rosebud_baseline.dir/snort_model.cc.o.d"
+  "librosebud_baseline.a"
+  "librosebud_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_core.dir/experiments.cc.o"
+  "CMakeFiles/rosebud_core.dir/experiments.cc.o.d"
+  "CMakeFiles/rosebud_core.dir/system.cc.o"
+  "CMakeFiles/rosebud_core.dir/system.cc.o.d"
+  "CMakeFiles/rosebud_core.dir/tracer.cc.o"
+  "CMakeFiles/rosebud_core.dir/tracer.cc.o.d"
+  "librosebud_core.a"
+  "librosebud_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

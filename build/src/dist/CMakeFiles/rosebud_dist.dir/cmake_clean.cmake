@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_dist.dir/fabric.cc.o"
+  "CMakeFiles/rosebud_dist.dir/fabric.cc.o.d"
+  "CMakeFiles/rosebud_dist.dir/traffic.cc.o"
+  "CMakeFiles/rosebud_dist.dir/traffic.cc.o.d"
+  "librosebud_dist.a"
+  "librosebud_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_firmware.dir/programs.cc.o"
+  "CMakeFiles/rosebud_firmware.dir/programs.cc.o.d"
+  "librosebud_firmware.a"
+  "librosebud_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_host.dir/host.cc.o"
+  "CMakeFiles/rosebud_host.dir/host.cc.o.d"
+  "librosebud_host.a"
+  "librosebud_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_lb.dir/load_balancer.cc.o"
+  "CMakeFiles/rosebud_lb.dir/load_balancer.cc.o.d"
+  "librosebud_lb.a"
+  "librosebud_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_mem.dir/memory.cc.o"
+  "CMakeFiles/rosebud_mem.dir/memory.cc.o.d"
+  "librosebud_mem.a"
+  "librosebud_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_msg.dir/broadcast.cc.o"
+  "CMakeFiles/rosebud_msg.dir/broadcast.cc.o.d"
+  "librosebud_msg.a"
+  "librosebud_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow.cc" "src/net/CMakeFiles/rosebud_net.dir/flow.cc.o" "gcc" "src/net/CMakeFiles/rosebud_net.dir/flow.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/rosebud_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/rosebud_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/rosebud_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/rosebud_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/patmatch.cc" "src/net/CMakeFiles/rosebud_net.dir/patmatch.cc.o" "gcc" "src/net/CMakeFiles/rosebud_net.dir/patmatch.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/net/CMakeFiles/rosebud_net.dir/pcap.cc.o" "gcc" "src/net/CMakeFiles/rosebud_net.dir/pcap.cc.o.d"
+  "/root/repo/src/net/rules.cc" "src/net/CMakeFiles/rosebud_net.dir/rules.cc.o" "gcc" "src/net/CMakeFiles/rosebud_net.dir/rules.cc.o.d"
+  "/root/repo/src/net/tracegen.cc" "src/net/CMakeFiles/rosebud_net.dir/tracegen.cc.o" "gcc" "src/net/CMakeFiles/rosebud_net.dir/tracegen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rosebud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_net.dir/flow.cc.o"
+  "CMakeFiles/rosebud_net.dir/flow.cc.o.d"
+  "CMakeFiles/rosebud_net.dir/headers.cc.o"
+  "CMakeFiles/rosebud_net.dir/headers.cc.o.d"
+  "CMakeFiles/rosebud_net.dir/packet.cc.o"
+  "CMakeFiles/rosebud_net.dir/packet.cc.o.d"
+  "CMakeFiles/rosebud_net.dir/patmatch.cc.o"
+  "CMakeFiles/rosebud_net.dir/patmatch.cc.o.d"
+  "CMakeFiles/rosebud_net.dir/pcap.cc.o"
+  "CMakeFiles/rosebud_net.dir/pcap.cc.o.d"
+  "CMakeFiles/rosebud_net.dir/rules.cc.o"
+  "CMakeFiles/rosebud_net.dir/rules.cc.o.d"
+  "CMakeFiles/rosebud_net.dir/tracegen.cc.o"
+  "CMakeFiles/rosebud_net.dir/tracegen.cc.o.d"
+  "librosebud_net.a"
+  "librosebud_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_rpu.dir/rpu.cc.o"
+  "CMakeFiles/rosebud_rpu.dir/rpu.cc.o.d"
+  "librosebud_rpu.a"
+  "librosebud_rpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_rpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

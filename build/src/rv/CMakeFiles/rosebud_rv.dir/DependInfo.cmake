@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rv/assembler.cc" "src/rv/CMakeFiles/rosebud_rv.dir/assembler.cc.o" "gcc" "src/rv/CMakeFiles/rosebud_rv.dir/assembler.cc.o.d"
+  "/root/repo/src/rv/core.cc" "src/rv/CMakeFiles/rosebud_rv.dir/core.cc.o" "gcc" "src/rv/CMakeFiles/rosebud_rv.dir/core.cc.o.d"
+  "/root/repo/src/rv/disasm.cc" "src/rv/CMakeFiles/rosebud_rv.dir/disasm.cc.o" "gcc" "src/rv/CMakeFiles/rosebud_rv.dir/disasm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rosebud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_rv.dir/assembler.cc.o"
+  "CMakeFiles/rosebud_rv.dir/assembler.cc.o.d"
+  "CMakeFiles/rosebud_rv.dir/core.cc.o"
+  "CMakeFiles/rosebud_rv.dir/core.cc.o.d"
+  "CMakeFiles/rosebud_rv.dir/disasm.cc.o"
+  "CMakeFiles/rosebud_rv.dir/disasm.cc.o.d"
+  "librosebud_rv.a"
+  "librosebud_rv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_rv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/rosebud_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/rosebud_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/sim/CMakeFiles/rosebud_sim.dir/log.cc.o" "gcc" "src/sim/CMakeFiles/rosebud_sim.dir/log.cc.o.d"
+  "/root/repo/src/sim/resources.cc" "src/sim/CMakeFiles/rosebud_sim.dir/resources.cc.o" "gcc" "src/sim/CMakeFiles/rosebud_sim.dir/resources.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/rosebud_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/rosebud_sim.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosebud_sim.dir/kernel.cc.o"
+  "CMakeFiles/rosebud_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/rosebud_sim.dir/log.cc.o"
+  "CMakeFiles/rosebud_sim.dir/log.cc.o.d"
+  "CMakeFiles/rosebud_sim.dir/resources.cc.o"
+  "CMakeFiles/rosebud_sim.dir/resources.cc.o.d"
+  "CMakeFiles/rosebud_sim.dir/stats.cc.o"
+  "CMakeFiles/rosebud_sim.dir/stats.cc.o.d"
+  "librosebud_sim.a"
+  "librosebud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosebud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

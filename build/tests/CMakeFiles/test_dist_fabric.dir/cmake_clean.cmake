@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_fabric.dir/test_dist_fabric.cc.o"
+  "CMakeFiles/test_dist_fabric.dir/test_dist_fabric.cc.o.d"
+  "test_dist_fabric"
+  "test_dist_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

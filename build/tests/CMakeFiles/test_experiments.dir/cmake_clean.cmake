@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiments.dir/test_experiments.cc.o"
+  "CMakeFiles/test_experiments.dir/test_experiments.cc.o.d"
+  "test_experiments"
+  "test_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

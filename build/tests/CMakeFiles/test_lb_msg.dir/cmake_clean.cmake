@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_msg.dir/test_lb_msg.cc.o"
+  "CMakeFiles/test_lb_msg.dir/test_lb_msg.cc.o.d"
+  "test_lb_msg"
+  "test_lb_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lb_msg.
+# This may be replaced when dependencies are built.

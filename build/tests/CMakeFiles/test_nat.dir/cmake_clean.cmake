@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nat.dir/test_nat.cc.o"
+  "CMakeFiles/test_nat.dir/test_nat.cc.o.d"
+  "test_nat"
+  "test_nat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_flow_rules.dir/test_net_flow_rules.cc.o"
+  "CMakeFiles/test_net_flow_rules.dir/test_net_flow_rules.cc.o.d"
+  "test_net_flow_rules"
+  "test_net_flow_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_flow_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

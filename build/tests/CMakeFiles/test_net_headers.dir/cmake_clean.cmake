@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_headers.dir/test_net_headers.cc.o"
+  "CMakeFiles/test_net_headers.dir/test_net_headers.cc.o.d"
+  "test_net_headers"
+  "test_net_headers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

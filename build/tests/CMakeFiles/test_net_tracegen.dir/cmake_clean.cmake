@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_tracegen.dir/test_net_tracegen.cc.o"
+  "CMakeFiles/test_net_tracegen.dir/test_net_tracegen.cc.o.d"
+  "test_net_tracegen"
+  "test_net_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

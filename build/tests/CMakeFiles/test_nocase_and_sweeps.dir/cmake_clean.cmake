@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nocase_and_sweeps.dir/test_nocase_and_sweeps.cc.o"
+  "CMakeFiles/test_nocase_and_sweeps.dir/test_nocase_and_sweeps.cc.o.d"
+  "test_nocase_and_sweeps"
+  "test_nocase_and_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nocase_and_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

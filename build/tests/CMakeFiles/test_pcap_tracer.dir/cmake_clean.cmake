@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcap_tracer.dir/test_pcap_tracer.cc.o"
+  "CMakeFiles/test_pcap_tracer.dir/test_pcap_tracer.cc.o.d"
+  "test_pcap_tracer"
+  "test_pcap_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcap_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpu.dir/test_rpu.cc.o"
+  "CMakeFiles/test_rpu.dir/test_rpu.cc.o.d"
+  "test_rpu"
+  "test_rpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rv_assembler.dir/test_rv_assembler.cc.o"
+  "CMakeFiles/test_rv_assembler.dir/test_rv_assembler.cc.o.d"
+  "test_rv_assembler"
+  "test_rv_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rv_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rv_core.dir/test_rv_core.cc.o"
+  "CMakeFiles/test_rv_core.dir/test_rv_core.cc.o.d"
+  "test_rv_core"
+  "test_rv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rv_fuzz.dir/test_rv_fuzz.cc.o"
+  "CMakeFiles/test_rv_fuzz.dir/test_rv_fuzz.cc.o.d"
+  "test_rv_fuzz"
+  "test_rv_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rv_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rv_irq.dir/test_rv_irq.cc.o"
+  "CMakeFiles/test_rv_irq.dir/test_rv_irq.cc.o.d"
+  "test_rv_irq"
+  "test_rv_irq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rv_irq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

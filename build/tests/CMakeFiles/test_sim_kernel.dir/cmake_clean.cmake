@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_kernel.dir/test_sim_kernel.cc.o"
+  "CMakeFiles/test_sim_kernel.dir/test_sim_kernel.cc.o.d"
+  "test_sim_kernel"
+  "test_sim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_forwarding.dir/test_system_forwarding.cc.o"
+  "CMakeFiles/test_system_forwarding.dir/test_system_forwarding.cc.o.d"
+  "test_system_forwarding"
+  "test_system_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_invariants.dir/test_system_invariants.cc.o"
+  "CMakeFiles/test_system_invariants.dir/test_system_invariants.cc.o.d"
+  "test_system_invariants"
+  "test_system_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
