@@ -5,9 +5,11 @@
 #define ROSEBUD_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/system.h"
+#include "oracle/harness.h"
 #include "sim/resources.h"
 
 namespace rosebud::bench {
@@ -31,6 +33,31 @@ print_resource_table(const std::string& title,
                                                         : sim::kXcvu9p)
                         .c_str());
     }
+}
+
+/// Functional gate for the perf binaries: a short differential run against
+/// the golden oracle with the same pipeline the benchmark is about to
+/// sweep. Throughput numbers from a functionally wrong dataplane are
+/// meaningless, so a divergence aborts the benchmark.
+inline void
+check_with_oracle(oracle::Pipeline pipeline, unsigned rpus,
+                  lb::Policy policy = lb::Policy::kRoundRobin, uint64_t seed = 1) {
+    oracle::RunSpec s;
+    s.pipeline = pipeline;
+    s.rpu_count = rpus;
+    s.policy = policy;
+    s.seed = seed;
+    s.attack_fraction = pipeline == oracle::Pipeline::kForwarder ? 0.0 : 0.2;
+    auto r = oracle::run_differential(s);
+    if (!r.ok) {
+        std::fprintf(stderr, "oracle check FAILED for %s (%llu divergences):\n%s\n",
+                     oracle::pipeline_name(pipeline),
+                     (unsigned long long)r.counts.divergences, r.report.c_str());
+        std::exit(1);
+    }
+    std::printf("[oracle] %s x %u RPUs: %llu packets checked, 0 divergences\n",
+                oracle::pipeline_name(pipeline), rpus,
+                (unsigned long long)r.counts.offered);
 }
 
 }  // namespace rosebud::bench

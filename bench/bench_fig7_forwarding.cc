@@ -34,6 +34,8 @@ sweep(unsigned rpus, unsigned ports) {
 
 int
 main() {
+    bench::check_with_oracle(oracle::Pipeline::kForwarder, 16);
+    bench::check_with_oracle(oracle::Pipeline::kForwarder, 8);
     bench::heading("Figure 7a: forwarding throughput, 16 RPUs");
     sweep(16, 2);
     sweep(16, 1);

@@ -15,6 +15,7 @@ using namespace rosebud;
 
 int
 main() {
+    bench::check_with_oracle(oracle::Pipeline::kFirewall, 16);
     sim::Rng rng(7);
     auto blacklist = net::Blacklist::synthesize(1050, rng);
 

@@ -9,6 +9,7 @@
 ///   $ ./examples/rosebud_cli loopback --size 65
 ///   $ ./examples/rosebud_cli broadcast --rpus 16
 ///   $ ./examples/rosebud_cli resources --rpus 8
+///   $ ./examples/rosebud_cli oracle --pipeline nat --seed 3 --packets 500
 
 #include <cstdio>
 #include <cstring>
@@ -17,6 +18,7 @@
 
 #include "core/experiments.h"
 #include "firmware/programs.h"
+#include "oracle/harness.h"
 
 using namespace rosebud;
 
@@ -53,7 +55,12 @@ usage() {
                  "  loopback   --rpus N --size N\n"
                  "  broadcast  --rpus N\n"
                  "  reconfig   --rpus N --loads N\n"
-                 "  resources  --rpus N\n");
+                 "  resources  --rpus N\n"
+                 "  oracle     --pipeline forwarder|firewall|ids-hw|ids-sw|nat\n"
+                 "             --policy rr|hash|ll --rpus N --seed N --packets N\n"
+                 "             --size N --attack F --reorder F\n"
+                 "             (differential run against the golden oracle;\n"
+                 "              exits 1 on any divergence)\n");
     return 2;
 }
 
@@ -141,6 +148,35 @@ main(int argc, char** argv) {
                          .total_ms;
         }
         std::printf("%u loads: %.1f ms average pause+load+boot\n", loads, total / loads);
+    } else if (args.experiment == "oracle") {
+        oracle::RunSpec s;
+        s.pipeline = oracle::parse_pipeline(args.str("pipeline", "forwarder"));
+        std::string pol = args.str(
+            "policy", s.pipeline == oracle::Pipeline::kPigasusSwReorder ? "hash" : "rr");
+        s.policy = pol == "hash" ? lb::Policy::kHash
+                   : pol == "ll" ? lb::Policy::kLeastLoaded
+                                 : lb::Policy::kRoundRobin;
+        s.rpu_count = args.u32("rpus", 8);
+        s.seed = args.u32("seed", 1);
+        s.max_packets = args.u32("packets", 250);
+        s.packet_size = args.u32("size", 256);
+        s.load = args.f64("load", 0.5);
+        s.attack_fraction = args.f64("attack", 0.2);
+        s.reorder_fraction = args.f64("reorder", 0.0);
+        auto r = oracle::run_differential(s);
+        std::printf("pipeline=%s policy=%s rpus=%u seed=%llu: offered %llu, "
+                    "forwarded %llu, to host %llu (%llu punts), dropped %llu, "
+                    "congestion %llu -> %llu divergence(s)\n",
+                    oracle::pipeline_name(s.pipeline), pol.c_str(), s.rpu_count,
+                    (unsigned long long)s.seed, (unsigned long long)r.counts.offered,
+                    (unsigned long long)r.counts.forwarded_wire,
+                    (unsigned long long)r.counts.host_delivered,
+                    (unsigned long long)r.counts.punted,
+                    (unsigned long long)r.counts.fw_dropped,
+                    (unsigned long long)r.counts.congestion_dropped,
+                    (unsigned long long)r.counts.divergences);
+        if (!r.report.empty()) std::printf("%s\n", r.report.c_str());
+        if (!r.ok) return 1;
     } else if (args.experiment == "resources") {
         SystemConfig cfg;
         cfg.rpu_count = args.u32("rpus", 16);

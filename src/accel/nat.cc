@@ -4,26 +4,6 @@
 
 namespace rosebud::accel {
 
-namespace {
-
-/// Incremental internet-checksum update (RFC 1624): replace 16-bit word
-/// `old_w` by `new_w` in a header whose checksum is `check`.
-uint16_t
-checksum_fixup(uint16_t check, uint16_t old_w, uint16_t new_w) {
-    uint32_t sum = uint32_t(uint16_t(~check)) + uint32_t(uint16_t(~old_w)) + new_w;
-    while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
-    return uint16_t(~sum);
-}
-
-/// Apply a 32-bit field replacement to a checksum (two 16-bit fixups).
-uint16_t
-checksum_fixup32(uint16_t check, uint32_t old_v, uint32_t new_v) {
-    check = checksum_fixup(check, uint16_t(old_v >> 16), uint16_t(new_v >> 16));
-    return checksum_fixup(check, uint16_t(old_v), uint16_t(new_v));
-}
-
-}  // namespace
-
 NatEngine::NatEngine() : NatEngine(Params{}) {}
 
 NatEngine::NatEngine(Params params) : params_(params) {}
@@ -92,7 +72,7 @@ NatEngine::translate(rpu::AccelContext& ctx, const Job& job) {
             ctx.stats.counter("nat.mappings_created").add();
         }
         // Rewrite src ip/port in place, with incremental checksum fixes.
-        uint16_t new_check = checksum_fixup32(ip_check, src_ip, params_.external_ip);
+        uint16_t new_check = net::checksum_fixup32(ip_check, src_ip, params_.external_ip);
         ctx.pmem.write8(off + 26, uint8_t(params_.external_ip >> 24));
         ctx.pmem.write8(off + 27, uint8_t(params_.external_ip >> 16));
         ctx.pmem.write8(off + 28, uint8_t(params_.external_ip >> 8));
@@ -114,7 +94,7 @@ NatEngine::translate(rpu::AccelContext& ctx, const Job& job) {
         }
         uint32_t int_ip = uint32_t(it->second >> 16);
         uint16_t int_port = uint16_t(it->second);
-        uint16_t new_check = checksum_fixup32(ip_check, dst_ip, int_ip);
+        uint16_t new_check = net::checksum_fixup32(ip_check, dst_ip, int_ip);
         ctx.pmem.write8(off + 30, uint8_t(int_ip >> 24));
         ctx.pmem.write8(off + 31, uint8_t(int_ip >> 16));
         ctx.pmem.write8(off + 32, uint8_t(int_ip >> 8));

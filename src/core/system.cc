@@ -92,6 +92,41 @@ System::add_source(const dist::TrafficSource::Config& cfg, dist::TrafficSource::
     return *sources_.back();
 }
 
+uint64_t
+System::add_packet_observer(PacketObserver fn) {
+    if (!observer_hooks_installed_) {
+        auto hook = [this](const char* stage, const net::Packet& pkt) {
+            dispatch_packet_event(stage, pkt);
+        };
+        fabric_->set_trace(hook);
+        for (auto& r : rpus_) r->set_trace(hook);
+        observer_hooks_installed_ = true;
+    }
+    // Compact slots freed by remove_packet_observer (never during a
+    // dispatch, so iteration in dispatch_packet_event stays valid).
+    std::erase_if(observers_, [](const Observer& o) { return !o.fn; });
+    uint64_t handle = next_observer_handle_++;
+    observers_.push_back({handle, std::move(fn)});
+    return handle;
+}
+
+void
+System::remove_packet_observer(uint64_t handle) {
+    // Null the slot instead of erasing so removal from inside a dispatch
+    // does not invalidate the iteration.
+    for (auto& o : observers_) {
+        if (o.handle == handle) o.fn = nullptr;
+    }
+}
+
+void
+System::dispatch_packet_event(const char* stage, const net::Packet& pkt) {
+    sim::Cycle now = kernel_.now();
+    for (size_t i = 0; i < observers_.size(); ++i) {
+        if (observers_[i].fn) observers_[i].fn(stage, pkt, now);
+    }
+}
+
 std::vector<System::ResourceRow>
 System::resource_report() const {
     std::vector<ResourceRow> rows;

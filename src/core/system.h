@@ -83,6 +83,26 @@ class System {
     dist::TrafficSource& add_source(const dist::TrafficSource::Config& cfg,
                                     dist::TrafficSource::GenFn gen);
 
+    // --- packet lifecycle observation ----------------------------------------
+
+    /// Per-packet lifecycle callback: fired at every stage boundary a
+    /// packet crosses (mac_rx, lb_assign, rpu_rx_complete, fw_send,
+    /// fw_drop, mac_tx, host_deliver, ...). Multiple observers may be
+    /// registered concurrently; this is the API the tracing tooling
+    /// (core/tracer.h) and the golden-model scoreboard (oracle/) share.
+    using PacketObserver =
+        std::function<void(const char* stage, const net::Packet& pkt, sim::Cycle now)>;
+
+    /// Register an observer; returns a handle for remove_packet_observer.
+    /// Registration takes over the Fabric/Rpu `set_trace` hooks — do not
+    /// mix direct set_trace calls with this API on the same System.
+    /// Observers that may die before the System must deregister; an
+    /// observer living at least as long as the System may skip that.
+    uint64_t add_packet_observer(PacketObserver fn);
+
+    /// Deregister. Safe to call from within a dispatch.
+    void remove_packet_observer(uint64_t handle);
+
     /// Advance simulated time.
     void run_cycles(sim::Cycle n) { kernel_.run(n); }
     void run_us(double us) { kernel_.run(sim::Cycle(us * 1e3 / sim::kNsPerCycle)); }
@@ -107,6 +127,15 @@ class System {
     std::unique_ptr<host::HostContext> host_;
     std::vector<std::unique_ptr<dist::TrafficSink>> sinks_;
     std::vector<std::unique_ptr<dist::TrafficSource>> sources_;
+
+    struct Observer {
+        uint64_t handle = 0;
+        PacketObserver fn;  ///< null = removed, compacted lazily
+    };
+    void dispatch_packet_event(const char* stage, const net::Packet& pkt);
+    std::vector<Observer> observers_;
+    uint64_t next_observer_handle_ = 1;
+    bool observer_hooks_installed_ = false;
 };
 
 }  // namespace rosebud

@@ -8,15 +8,10 @@ const std::vector<PacketTracer::Event> PacketTracer::kEmpty;
 
 void
 PacketTracer::attach(System& sys) {
-    sim::Kernel* kernel = &sys.kernel();
-    sys.fabric().set_trace([this, kernel](const char* stage, const net::Packet& pkt) {
-        record(stage, pkt, kernel->now());
-    });
-    for (unsigned i = 0; i < sys.rpu_count(); ++i) {
-        sys.rpu(i).set_trace([this, kernel](const char* stage, const net::Packet& pkt) {
-            record(stage, pkt, kernel->now());
+    sys.add_packet_observer(
+        [this](const char* stage, const net::Packet& pkt, sim::Cycle now) {
+            record(stage, pkt, now);
         });
-    }
 }
 
 void

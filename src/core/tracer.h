@@ -27,8 +27,10 @@ class PacketTracer {
         uint8_t rpu = 0;
     };
 
-    /// Start recording every packet event in `sys`. The tracer must
-    /// outlive the system's remaining simulation.
+    /// Start recording every packet event in `sys` (registered through
+    /// System::add_packet_observer, so it composes with other observers
+    /// such as the oracle scoreboard). The tracer must outlive the
+    /// system's remaining simulation.
     void attach(System& sys);
 
     /// Events recorded for one packet id, in time order.

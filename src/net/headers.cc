@@ -41,6 +41,19 @@ internet_checksum(const uint8_t* data, size_t len) {
     return uint16_t(~sum);
 }
 
+uint16_t
+checksum_fixup16(uint16_t check, uint16_t old_w, uint16_t new_w) {
+    uint32_t sum = uint32_t(uint16_t(~check)) + uint32_t(uint16_t(~old_w)) + new_w;
+    while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+    return uint16_t(~sum);
+}
+
+uint16_t
+checksum_fixup32(uint16_t check, uint32_t old_v, uint32_t new_v) {
+    check = checksum_fixup16(check, uint16_t(old_v >> 16), uint16_t(new_v >> 16));
+    return checksum_fixup16(check, uint16_t(old_v), uint16_t(new_v));
+}
+
 EthHeader
 EthHeader::parse(const uint8_t* p) {
     EthHeader h;

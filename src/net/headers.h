@@ -43,6 +43,14 @@ void store_be32(uint8_t* p, uint32_t v);
 /// RFC 1071 internet checksum over `len` bytes.
 uint16_t internet_checksum(const uint8_t* data, size_t len);
 
+/// RFC 1624 incremental checksum update: the checksum `check` of a header
+/// in which 16-bit word `old_w` is replaced by `new_w`.
+uint16_t checksum_fixup16(uint16_t check, uint16_t old_w, uint16_t new_w);
+
+/// Incremental update for a 32-bit field replacement (two 16-bit fixups),
+/// e.g. rewriting an IPv4 address, as NAT hardware does.
+uint16_t checksum_fixup32(uint16_t check, uint32_t old_v, uint32_t new_v);
+
 struct EthHeader {
     std::array<uint8_t, 6> dst{};
     std::array<uint8_t, 6> src{};

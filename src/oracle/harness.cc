@@ -1,0 +1,136 @@
+#include "oracle/harness.h"
+
+#include <memory>
+
+#include "accel/firewall.h"
+#include "accel/nat.h"
+#include "accel/pigasus.h"
+#include "firmware/programs.h"
+#include "net/tracegen.h"
+#include "sim/log.h"
+
+namespace rosebud::oracle {
+
+Pipeline
+parse_pipeline(const std::string& name) {
+    if (name == "forwarder") return Pipeline::kForwarder;
+    if (name == "firewall") return Pipeline::kFirewall;
+    if (name == "ids-hw" || name == "pigasus-hw") return Pipeline::kPigasusHwReorder;
+    if (name == "ids-sw" || name == "pigasus-sw") return Pipeline::kPigasusSwReorder;
+    if (name == "nat") return Pipeline::kNat;
+    sim::fatal("unknown pipeline: " + name +
+               " (want forwarder|firewall|ids-hw|ids-sw|nat)");
+    return Pipeline::kForwarder;
+}
+
+RunResult
+run_differential(const RunSpec& spec) {
+    // Unlimited traffic never drains, so packets genuinely in flight at the
+    // cutoff would be misreported as stuck.
+    if (spec.max_packets == 0) {
+        sim::fatal("oracle harness: max_packets must be finite "
+                   "(the run must drain to empty for the scoreboard to close)");
+    }
+    SystemConfig scfg;
+    scfg.rpu_count = spec.rpu_count;
+    scfg.lb_policy = spec.policy;
+    scfg.hw_reassembler = spec.hw_reassembler;
+    System sys(scfg);
+
+    // Rules are synthesized from the run seed; the oracle and the device
+    // accelerators are built from the *same* objects, so divergences mean
+    // behavioral disagreement, not configuration skew.
+    sim::Rng rng(spec.seed);
+    net::IdsRuleSet rules;
+    net::Blacklist blacklist;
+    accel::NatEngine::Params nat_params{};
+
+    fwlib::Program fw;
+    OracleConfig ocfg;
+    ocfg.pipeline = spec.pipeline;
+    ocfg.lb_policy = spec.policy;
+    ocfg.rpu_count = spec.rpu_count;
+
+    const net::IdsRuleSet* gen_rules = nullptr;
+    const net::Blacklist* gen_blacklist = nullptr;
+
+    switch (spec.pipeline) {
+    case Pipeline::kForwarder:
+        fw = fwlib::forwarder();
+        break;
+    case Pipeline::kFirewall:
+        blacklist = net::Blacklist::synthesize(spec.blacklist_count, rng);
+        sys.attach_accelerators(
+            [&] { return std::make_unique<accel::FirewallMatcher>(blacklist); });
+        fw = fwlib::firewall();
+        ocfg.blacklist = &blacklist;
+        gen_blacklist = &blacklist;
+        break;
+    case Pipeline::kPigasusHwReorder:
+    case Pipeline::kPigasusSwReorder:
+        rules = net::IdsRuleSet::synthesize(spec.rule_count, rng);
+        sys.attach_accelerators(
+            [&] { return std::make_unique<accel::PigasusMatcher>(rules); });
+        fw = spec.pipeline == Pipeline::kPigasusHwReorder
+                 ? fwlib::pigasus_hw_reorder()
+                 : fwlib::pigasus_sw_reorder();
+        ocfg.rules = &rules;
+        gen_rules = &rules;
+        break;
+    case Pipeline::kNat:
+        // A blacklist steers the attack fraction to external source IPs,
+        // exercising the engine's pass-through path alongside outbound
+        // translation (the oracle's NAT model doesn't use it).
+        blacklist = net::Blacklist::synthesize(spec.blacklist_count, rng);
+        sys.attach_accelerators(
+            [&] { return std::make_unique<accel::NatEngine>(nat_params); });
+        fw = fwlib::nat(fwlib::SlotParams{16, 16 * 1024},
+                        spec.policy == lb::Policy::kHash);
+        ocfg.nat = nat_params;
+        gen_blacklist = &blacklist;
+        break;
+    }
+
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+
+    // Corrupted-oracle hook: validates the divergence reporting path.
+    if (spec.oracle_blacklist) ocfg.blacklist = spec.oracle_blacklist;
+
+    DataplaneOracle oracle(ocfg);
+    Scoreboard scoreboard(sys, oracle, spec.scoreboard);
+
+    net::TrafficSpec tspec;
+    tspec.packet_size = spec.packet_size;
+    tspec.attack_fraction = spec.attack_fraction;
+    tspec.reorder_fraction = spec.reorder_fraction;
+    tspec.flow_count = spec.flow_count;
+    tspec.udp_fraction = spec.udp_fraction;
+    tspec.seed = spec.seed * 2654435761u + 1;  // decouple from rule synthesis
+    auto gen = std::make_shared<net::TraceGenerator>(tspec, gen_rules, gen_blacklist);
+
+    dist::TrafficSource::Config src;
+    src.port = 0;
+    src.load = spec.load;
+    src.max_packets = spec.max_packets;
+    sys.add_source(src, [gen] { return gen->next(); });
+
+    if (spec.mid_run) {
+        sys.run_cycles(spec.run_cycles / 2);
+        spec.mid_run(sys);
+        sys.run_cycles(spec.run_cycles - spec.run_cycles / 2);
+    } else {
+        sys.run_cycles(spec.run_cycles);
+    }
+    for (unsigned i = 0; i < spec.drain_rounds && scoreboard.outstanding() > 0; ++i) {
+        sys.run_cycles(spec.drain_cycles);
+    }
+
+    RunResult res;
+    res.counts = scoreboard.finish();
+    res.report = scoreboard.report();
+    res.ok = res.counts.divergences == 0 && res.counts.offered > 0;
+    return res;
+}
+
+}  // namespace rosebud::oracle

@@ -148,9 +148,10 @@ Assembler::li(Reg rd, int32_t imm) {
         return;
     }
     // lui + addi with carry adjustment for the sign-extended low part.
-    int32_t hi = (imm + 0x800) >> 12;
-    int32_t lo = imm - (hi << 12);
-    lui(rd, hi);
+    // Unsigned arithmetic: imm near INT32_MAX must wrap, not overflow.
+    uint32_t hi = (uint32_t(imm) + 0x800u) >> 12;
+    int32_t lo = int32_t(uint32_t(imm) - (hi << 12));
+    lui(rd, int32_t(hi));
     if (lo != 0) addi(rd, rd, lo);
 }
 

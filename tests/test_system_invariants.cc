@@ -2,71 +2,42 @@
 /// is exactly one of forwarded / host-delivered / dropped-with-a-counter),
 /// no duplication, slot-accounting closure, and determinism of complete
 /// runs — under randomized traffic mixes and configurations.
+///
+/// Expressed against the golden-oracle scoreboard (src/oracle): a run with
+/// zero divergences already proves per-packet conservation, no duplication,
+/// no stuck packets, and byte-exact outputs, so these tests assert on the
+/// scoreboard's counts instead of re-deriving them from raw stats.
 
 #include <gtest/gtest.h>
 
-#include <map>
 #include <memory>
 
 #include "accel/firewall.h"
 #include "core/system.h"
 #include "firmware/programs.h"
 #include "net/tracegen.h"
+#include "oracle/harness.h"
 
 namespace rosebud {
 namespace {
 
-struct RunCounts {
-    uint64_t offered = 0;
-    uint64_t forwarded = 0;
-    uint64_t host = 0;
-    uint64_t rx_fifo_drops = 0;
-    uint64_t fw_drops = 0;
-    uint64_t in_flight = 0;  // still inside at the end
-    uint64_t byte_hash = 0;  // rolling hash over delivered frame bytes
-    std::map<uint64_t, int> sink_ids;
-};
+namespace oracle = rosebud::oracle;
 
-RunCounts
+/// Forwarder pipeline under a randomized traffic mix, checked online by
+/// the differential scoreboard.
+oracle::RunResult
 run_random_mix(uint64_t seed, unsigned rpus, lb::Policy policy, double load,
                uint32_t size) {
-    SystemConfig cfg;
-    cfg.rpu_count = rpus;
-    cfg.lb_policy = policy;
-    System sys(cfg);
-    auto fw = fwlib::forwarder();
-    sys.host().load_firmware_all(fw.image, fw.entry);
-    sys.host().boot_all();
-    sys.run_cycles(500);
-
-    RunCounts rc;
-    auto sink = [&](net::PacketPtr p) {
-        ++rc.forwarded;
-        ++rc.sink_ids[p->id];
-        for (uint8_t b : p->data) rc.byte_hash = rc.byte_hash * 131 + b;
-    };
-    sys.fabric().set_mac_tx_sink(0, sink);
-    sys.fabric().set_mac_tx_sink(1, sink);
-    sys.host().set_rx_handler([&](net::PacketPtr) { ++rc.host; });
-
-    net::TrafficSpec spec;
-    spec.packet_size = size;
-    spec.seed = seed;
-    spec.udp_fraction = 0.3;
-    auto gen = std::make_shared<net::TraceGenerator>(spec);
-    auto& src = sys.add_source(
-        {.port = 0, .load = load, .max_packets = 400},
-        [gen] { return gen->next(); });
-    sys.run_cycles(120000);  // enough to fully drain at any load
-
-    rc.offered = src.offered();
-    rc.rx_fifo_drops = sys.stats().get("port0.rx_fifo_drops") +
-                       sys.stats().get("port1.rx_fifo_drops");
-    for (unsigned i = 0; i < rpus; ++i) {
-        rc.fw_drops += sys.stats().get("rpu" + std::to_string(i) + ".dropped_packets");
-        rc.in_flight += sys.rpu(i).occupancy();
-    }
-    return rc;
+    oracle::RunSpec s;
+    s.pipeline = oracle::Pipeline::kForwarder;
+    s.rpu_count = rpus;
+    s.policy = policy;
+    s.seed = seed;
+    s.load = load;
+    s.packet_size = size;
+    s.max_packets = 400;
+    s.udp_fraction = 0.3;
+    return oracle::run_differential(s);
 }
 
 class ConservationTest
@@ -74,13 +45,14 @@ class ConservationTest
 
 TEST_P(ConservationTest, EveryPacketAccountedExactlyOnce) {
     auto [rpus, policy, load] = GetParam();
-    RunCounts rc = run_random_mix(7, rpus, policy, load, 300);
-    EXPECT_EQ(rc.offered,
-              rc.forwarded + rc.host + rc.rx_fifo_drops + rc.fw_drops + rc.in_flight);
-    EXPECT_EQ(rc.in_flight, 0u) << "packets stuck inside after drain";
-    for (const auto& [id, count] : rc.sink_ids) {
-        EXPECT_EQ(count, 1) << "packet " << id << " duplicated";
-    }
+    oracle::RunResult res = run_random_mix(7, rpus, policy, load, 300);
+    // Zero divergences covers duplication (a second terminal for the same
+    // packet diverges) and stuck packets (flagged by finish()).
+    EXPECT_TRUE(res.ok) << res.report;
+    EXPECT_EQ(res.counts.divergences, 0u) << res.report;
+    EXPECT_EQ(res.counts.offered,
+              res.counts.forwarded_wire + res.counts.host_delivered +
+                  res.counts.fw_dropped + res.counts.congestion_dropped);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -98,9 +70,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SystemInvariants, SlotAccountingClosesAfterDrain) {
     for (uint64_t seed : {1ull, 2ull, 3ull}) {
-        RunCounts rc = run_random_mix(seed, 8, lb::Policy::kRoundRobin, 1.0, 128);
-        EXPECT_EQ(rc.in_flight, 0u);
-        EXPECT_GT(rc.forwarded, 0u);
+        oracle::RunResult res =
+            run_random_mix(seed, 8, lb::Policy::kRoundRobin, 1.0, 128);
+        EXPECT_EQ(res.counts.divergences, 0u) << res.report;
+        EXPECT_GT(res.counts.forwarded_wire, 0u);
     }
     SystemConfig cfg;
     cfg.rpu_count = 8;
@@ -114,10 +87,14 @@ TEST(SystemInvariants, SlotAccountingClosesAfterDrain) {
 
 TEST(SystemInvariants, RunsAreBitIdenticalAcrossProcessReplays) {
     auto fingerprint = [](uint64_t seed) {
-        RunCounts rc = run_random_mix(seed, 8, lb::Policy::kHash, 0.8, 200);
-        uint64_t fp = rc.forwarded * 1000003 + rc.host * 10007 + rc.fw_drops * 101 +
-                      rc.rx_fifo_drops + rc.byte_hash;
-        for (const auto& [id, n] : rc.sink_ids) fp = fp * 31 + id * uint64_t(n);
+        oracle::RunResult res = run_random_mix(seed, 8, lb::Policy::kHash, 0.8, 200);
+        EXPECT_EQ(res.counts.divergences, 0u) << res.report;
+        // output_byte_hash digests (egress kind, packet id, bytes) for
+        // every terminal: equal digests mean byte-identical runs.
+        uint64_t fp = res.counts.output_byte_hash;
+        fp = fp * 1000003 + res.counts.forwarded_wire;
+        fp = fp * 10007 + res.counts.host_delivered;
+        fp = fp * 101 + res.counts.fw_dropped + res.counts.congestion_dropped;
         return fp;
     };
     EXPECT_EQ(fingerprint(11), fingerprint(11));
@@ -125,6 +102,9 @@ TEST(SystemInvariants, RunsAreBitIdenticalAcrossProcessReplays) {
 }
 
 TEST(SystemInvariants, FirewallConservationWithDrops) {
+    // Scoreboard attached directly to a hand-built System: the oracle does
+    // not just count drops, it checks each one was justified (blacklisted
+    // source) and each forward was byte-exact.
     sim::Rng rng(9);
     auto bl = net::Blacklist::synthesize(64, rng);
     SystemConfig cfg;
@@ -136,9 +116,13 @@ TEST(SystemInvariants, FirewallConservationWithDrops) {
     sys.host().boot_all();
     sys.run_cycles(500);
 
-    uint64_t forwarded = 0;
-    sys.fabric().set_mac_tx_sink(0, [&](net::PacketPtr) { ++forwarded; });
-    sys.fabric().set_mac_tx_sink(1, [&](net::PacketPtr) { ++forwarded; });
+    oracle::OracleConfig ocfg;
+    ocfg.pipeline = oracle::Pipeline::kFirewall;
+    ocfg.lb_policy = lb::Policy::kRoundRobin;
+    ocfg.rpu_count = 4;
+    ocfg.blacklist = &bl;
+    oracle::DataplaneOracle orc(ocfg);
+    oracle::Scoreboard sb(sys, orc);
 
     net::TrafficSpec spec;
     spec.packet_size = 200;
@@ -154,13 +138,54 @@ TEST(SystemInvariants, FirewallConservationWithDrops) {
                                });
     sys.run_cycles(100000);
 
-    uint64_t drops = 0;
-    for (unsigned i = 0; i < 4; ++i) {
-        drops += sys.stats().get("rpu" + std::to_string(i) + ".dropped_packets");
-    }
+    auto counts = sb.finish();
+    EXPECT_EQ(sb.divergence_count(), 0u) << sb.report();
     EXPECT_EQ(src.offered(), 300u);
-    EXPECT_EQ(drops, attacks);              // exactly the blacklisted traffic
-    EXPECT_EQ(forwarded, 300u - attacks);   // everything else came out
+    EXPECT_EQ(counts.fw_dropped, attacks);              // exactly the blacklisted traffic
+    EXPECT_EQ(counts.forwarded_wire, 300u - attacks);   // everything else came out
+}
+
+TEST(SystemInvariants, NoDuplicationAcrossReconfiguration) {
+    // Partial reconfiguration mid-traffic (host drains the target RPU,
+    // swaps the region, reboots it, resumes traffic) must not duplicate,
+    // lose, or corrupt a single packet. The scoreboard would flag any of
+    // those as a divergence.
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(500);
+
+    oracle::OracleConfig ocfg;
+    ocfg.pipeline = oracle::Pipeline::kForwarder;
+    ocfg.lb_policy = lb::Policy::kRoundRobin;
+    ocfg.rpu_count = 4;
+    oracle::DataplaneOracle orc(ocfg);
+    oracle::Scoreboard sb(sys, orc);
+
+    net::TrafficSpec spec;
+    spec.packet_size = 256;
+    spec.seed = 21;
+    auto gen = std::make_shared<net::TraceGenerator>(spec);
+    auto& src = sys.add_source({.port = 0, .load = 0.5, .max_packets = 600},
+                               [gen] { return gen->next(); });
+
+    sys.run_cycles(1000);  // traffic in full flight
+    sim::Rng rng(5);
+    sys.host().reconfigure(1, nullptr, fw.image, fw.entry, rng);
+    sys.run_cycles(1000);
+    sys.host().reconfigure(2, nullptr, fw.image, fw.entry, rng);
+
+    for (int i = 0; i < 30 && sb.outstanding() > 0; ++i) sys.run_cycles(10000);
+    auto counts = sb.finish();
+    EXPECT_EQ(sb.divergence_count(), 0u) << sb.report();
+    EXPECT_EQ(src.offered(), 600u);
+    EXPECT_EQ(counts.offered,
+              counts.forwarded_wire + counts.host_delivered + counts.fw_dropped +
+                  counts.congestion_dropped);
+    EXPECT_EQ(sys.stats().get("host.pr_loads"), 2u);
 }
 
 }  // namespace
