@@ -10,6 +10,7 @@
 ///   $ ./examples/rosebud_cli broadcast --rpus 16
 ///   $ ./examples/rosebud_cli resources --rpus 8
 ///   $ ./examples/rosebud_cli oracle --pipeline nat --seed 3 --packets 500
+///   $ ./examples/rosebud_cli verify --program firewall --dot fw.dot
 
 #include <cstdio>
 #include <cstring>
@@ -19,6 +20,7 @@
 #include "core/experiments.h"
 #include "firmware/programs.h"
 #include "oracle/harness.h"
+#include "verify/verifier.h"
 
 using namespace rosebud;
 
@@ -60,8 +62,44 @@ usage() {
                  "             --policy rr|hash|ll --rpus N --seed N --packets N\n"
                  "             --size N --attack F --reorder F\n"
                  "             (differential run against the golden oracle;\n"
-                 "              exits 1 on any divergence)\n");
+                 "              exits 1 on any divergence)\n"
+                 "  verify     --program all|forwarder|two-step|firewall|ids-hw|ids-sw|nat\n"
+                 "             --dot FILE (write the CFG as Graphviz DOT)\n"
+                 "             (static firmware verification; exits 1 on any error)\n");
     return 2;
+}
+
+/// Run the static verifier over one named program; print per-check
+/// verdicts; optionally dump the CFG. Returns the number of errors.
+size_t
+verify_one(const char* name, const fwlib::Program& prog, const std::string& dot_path) {
+    verify::Options opts;
+    opts.entry = prog.entry;
+    verify::Report r = verify::verify_image(prog.image, opts);
+    std::printf("%-18s %4u insns, %3zu blocks, %zu root(s)%s\n", name, r.instructions,
+                r.blocks.size(), r.roots.size(),
+                r.interrupts_possible ? ", interrupts" : "");
+    static const verify::Check kChecks[] = {
+        verify::Check::kDecode, verify::Check::kCfg,    verify::Check::kMemory,
+        verify::Check::kMmio,   verify::Check::kCsr,    verify::Check::kUninit,
+        verify::Check::kUnreachable, verify::Check::kLoop, verify::Check::kSlots,
+    };
+    for (verify::Check c : kChecks) {
+        std::printf("  %-12s %s\n", verify::check_name(c),
+                    r.check_passed(c) ? "pass" : "FAIL");
+    }
+    if (!r.diags.empty()) std::printf("%s", r.summary().c_str());
+    if (!dot_path.empty()) {
+        std::string dot = verify::cfg_dot(prog.image, r, name);
+        if (FILE* f = std::fopen(dot_path.c_str(), "w")) {
+            std::fwrite(dot.data(), 1, dot.size(), f);
+            std::fclose(f);
+            std::printf("  CFG written to %s\n", dot_path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n", dot_path.c_str());
+        }
+    }
+    return r.errors();
 }
 
 }  // namespace
@@ -177,6 +215,41 @@ main(int argc, char** argv) {
                     (unsigned long long)r.counts.divergences);
         if (!r.report.empty()) std::printf("%s\n", r.report.c_str());
         if (!r.ok) return 1;
+    } else if (args.experiment == "verify") {
+        std::string which = args.str("program", "all");
+        std::string dot = args.str("dot", "");
+        struct Entry { const char* name; fwlib::Program prog; };
+        std::vector<Entry> entries;
+        if (which == "all" || which == "forwarder") {
+            entries.push_back({"forwarder", fwlib::forwarder()});
+        }
+        if (which == "all" || which == "two-step") {
+            entries.push_back({"two-step", fwlib::two_step_forwarder(args.u32("rpus", 16))});
+        }
+        if (which == "all" || which == "firewall") {
+            entries.push_back({"firewall", fwlib::firewall()});
+        }
+        if (which == "all" || which == "ids-hw") {
+            entries.push_back({"ids-hw", fwlib::pigasus_hw_reorder()});
+        }
+        if (which == "all" || which == "ids-sw") {
+            entries.push_back({"ids-sw", fwlib::pigasus_sw_reorder()});
+        }
+        if (which == "all" || which == "nat") {
+            entries.push_back({"nat", fwlib::nat()});
+        }
+        if (entries.empty()) return usage();
+        size_t errors = 0;
+        for (const auto& e : entries) {
+            // With --dot and multiple programs, suffix the file per program.
+            std::string path = dot;
+            if (!dot.empty() && entries.size() > 1) path = dot + "." + e.name;
+            errors += verify_one(e.name, e.prog, path);
+        }
+        if (errors != 0) {
+            std::printf("%zu verifier error(s)\n", errors);
+            return 1;
+        }
     } else if (args.experiment == "resources") {
         SystemConfig cfg;
         cfg.rpu_count = args.u32("rpus", 16);

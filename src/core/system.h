@@ -45,6 +45,9 @@ struct SystemConfig {
     dist::FabricConfig fabric{};
     rpu::Rpu::Config rpu_template{};
     msg::BroadcastNetwork::Config broadcast{};
+    /// Static firmware-verifier gate policy applied to every host firmware
+    /// load (kEnforce rejects provably bad images before they run).
+    host::FirmwareCheck firmware_check = host::FirmwareCheck::kEnforce;
 };
 
 /// PR region capacities of the pre-laid-out floorplans (paper Figures 5-6;

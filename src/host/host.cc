@@ -3,6 +3,7 @@
 #include "rpu/descriptor.h"
 #include "sim/log.h"
 #include "sim/resources.h"
+#include "verify/verifier.h"
 
 namespace rosebud::host {
 
@@ -11,13 +12,31 @@ HostContext::HostContext(sim::Kernel& kernel, sim::Stats& stats, lb::LoadBalance
     : kernel_(kernel), stats_(stats), lb_(lb), fabric_(fabric), rpus_(std::move(rpus)) {}
 
 void
+HostContext::gate_firmware(const std::vector<uint32_t>& image, uint32_t entry) const {
+    if (firmware_check_ == FirmwareCheck::kOff) return;
+    verify::Options opts;
+    opts.entry = entry;
+    verify::Report report = verify::verify_image(image, opts);
+    if (report.ok()) return;
+    std::string msg = "firmware rejected by static verifier (" +
+                      std::to_string(report.errors()) + " error(s)):\n" + report.summary();
+    if (firmware_check_ == FirmwareCheck::kEnforce) {
+        sim::fatal(msg);
+    } else {
+        sim::warn(msg);
+    }
+}
+
+void
 HostContext::load_firmware(unsigned rpu, const std::vector<uint32_t>& image, uint32_t entry) {
+    gate_firmware(image, entry);
     rpus_.at(rpu)->load_firmware(image, entry);
 }
 
 void
 HostContext::load_firmware_all(const std::vector<uint32_t>& image, uint32_t entry) {
-    for (unsigned i = 0; i < rpus_.size(); ++i) load_firmware(i, image, entry);
+    gate_firmware(image, entry);  // verify once, not once per RPU
+    for (unsigned i = 0; i < rpus_.size(); ++i) rpus_.at(i)->load_firmware(image, entry);
 }
 
 void
@@ -68,6 +87,10 @@ HostContext::reconfigure(unsigned rpu_idx,
                          const std::vector<uint32_t>& image, uint32_t entry, sim::Rng& rng) {
     PrTiming t;
     rpu::Rpu& target = *rpus_.at(rpu_idx);
+
+    // 0. Verify the replacement image up front so a bad one fails the
+    //    reconfiguration before traffic is stopped or the RPU drained.
+    gate_firmware(image, entry);
 
     // 1. Tell the LB to stop sending traffic to this RPU.
     uint32_t mask = lb_.recv_mask();

@@ -28,6 +28,16 @@
 
 namespace rosebud::host {
 
+/// Policy for the static firmware verifier gate (verify::verify_image) that
+/// runs on every firmware load. Mirrors the paper's safety story: hardware
+/// memory protection catches bad RPUs at runtime, the verifier refuses to
+/// load provably bad images in the first place.
+enum class FirmwareCheck {
+    kEnforce,  ///< verifier errors abort the load (default)
+    kWarn,     ///< verifier errors are logged, load proceeds
+    kOff,      ///< no static verification
+};
+
 /// Breakdown of one partial-reconfiguration cycle.
 struct PrTiming {
     double drain_us = 0;      ///< waiting for in-flight packets (simulated)
@@ -45,6 +55,10 @@ class HostContext {
 
     void load_firmware(unsigned rpu, const std::vector<uint32_t>& image, uint32_t entry = 0);
     void load_firmware_all(const std::vector<uint32_t>& image, uint32_t entry = 0);
+
+    /// Set the verifier-gate policy for subsequent firmware loads.
+    void set_firmware_check(FirmwareCheck mode) { firmware_check_ = mode; }
+    FirmwareCheck firmware_check() const { return firmware_check_; }
     void boot(unsigned rpu);
     void boot_all();
 
@@ -92,6 +106,11 @@ class HostContext {
     unsigned rpu_count() const { return unsigned(rpus_.size()); }
 
  private:
+    /// Run the static verifier over `image` per the current policy;
+    /// sim::fatal on errors when enforcing.
+    void gate_firmware(const std::vector<uint32_t>& image, uint32_t entry) const;
+
+    FirmwareCheck firmware_check_ = FirmwareCheck::kEnforce;
     sim::Kernel& kernel_;
     sim::Stats& stats_;
     lb::LoadBalancer& lb_;

@@ -1,5 +1,7 @@
 #include "rv/assembler.h"
 
+#include <cstdio>
+
 #include "sim/log.h"
 
 namespace rosebud::rv {
@@ -47,6 +49,13 @@ check_imm12(int32_t imm) {
     if (imm < -2048 || imm > 2047) {
         sim::fatal("immediate out of 12-bit range: " + std::to_string(imm));
     }
+}
+
+std::string
+to_hex(uint32_t v) {
+    char buf[12];
+    std::snprintf(buf, sizeof(buf), "%x", v);
+    return buf;
 }
 }  // namespace
 
@@ -173,13 +182,25 @@ Assembler::assemble() {
         switch (fix.kind) {
         case FixKind::kBranch:
             if (offset < -4096 || offset > 4094) {
-                sim::fatal("branch offset out of range to label " + fix.label);
+                sim::fatal("branch at pc 0x" + to_hex(pc) + " to label '" + fix.label +
+                           "' is out of range: distance " + std::to_string(offset) +
+                           " bytes, B-type immediate allows [-4096, +4094]");
+            }
+            if (offset & 1) {
+                sim::fatal("branch at pc 0x" + to_hex(pc) + " to label '" + fix.label +
+                           "' has odd distance " + std::to_string(offset));
             }
             w = encode_b(offset, dec_rs2(w), dec_rs1(w), dec_funct3(w));
             break;
         case FixKind::kJal:
             if (offset < -(1 << 20) || offset >= (1 << 20)) {
-                sim::fatal("jal offset out of range to label " + fix.label);
+                sim::fatal("jal at pc 0x" + to_hex(pc) + " to label '" + fix.label +
+                           "' is out of range: distance " + std::to_string(offset) +
+                           " bytes, J-type immediate allows [-1048576, +1048574]");
+            }
+            if (offset & 1) {
+                sim::fatal("jal at pc 0x" + to_hex(pc) + " to label '" + fix.label +
+                           "' has odd distance " + std::to_string(offset));
             }
             w = encode_j(offset, dec_rd(w));
             break;

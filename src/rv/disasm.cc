@@ -98,8 +98,17 @@ disassemble(uint32_t insn, uint32_t pc) {
     case kOpMiscMem: return "fence";
 
     case kOpSystem:
-        if (f3 == 0) return insn == 0x00100073 ? "ebreak" : "ecall";
-        return fmt("csrrs %s, 0x%x, %s", reg(rd), insn >> 20, reg(rs1));
+        if (f3 == 0) {
+            if (insn == 0x00000073) return "ecall";
+            if (insn == 0x00100073) return "ebreak";
+            if (insn == 0x30200073) return "mret";
+            break;
+        }
+        if (f3 >= 1 && f3 <= 3) {
+            static const char* names[4] = {"?", "csrrw", "csrrs", "csrrc"};
+            return fmt("%s %s, 0x%x, %s", names[f3], reg(rd), insn >> 20, reg(rs1));
+        }
+        break;
     }
     return fmt(".word 0x%08x", insn);
 }

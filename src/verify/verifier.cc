@@ -1,0 +1,1032 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "rv/disasm.h"
+#include "rv/isa.h"
+
+namespace rosebud::verify {
+
+namespace {
+
+using rv::Reg;
+
+// --- decoding ---------------------------------------------------------------
+
+/// Strict RV32IM decode classes. The interpreter in rv/core.cc is lenient
+/// in places (it executes some malformed encodings); the verifier follows
+/// the unprivileged spec so firmware stays portable to a real VexRiscv.
+enum class Op {
+    kIllegal,
+    kLui,
+    kAuipc,
+    kJal,
+    kJalr,
+    kBranch,
+    kLoad,
+    kStore,
+    kAluImm,
+    kAluReg,
+    kFence,
+    kEcall,
+    kEbreak,
+    kMret,
+    kCsr,
+};
+
+struct Insn {
+    Op op = Op::kIllegal;
+    Reg rd{};
+    Reg rs1{};
+    Reg rs2{};
+    int32_t imm = 0;
+    uint32_t funct3 = 0;
+    uint32_t funct7 = 0;
+    uint32_t csr = 0;
+};
+
+Insn
+decode(uint32_t w) {
+    Insn d;
+    d.rd = rv::dec_rd(w);
+    d.rs1 = rv::dec_rs1(w);
+    d.rs2 = rv::dec_rs2(w);
+    d.funct3 = rv::dec_funct3(w);
+    d.funct7 = rv::dec_funct7(w);
+    switch (rv::dec_opcode(w)) {
+    case rv::kOpLui:
+        d.op = Op::kLui;
+        d.imm = rv::dec_imm_u(w);
+        break;
+    case rv::kOpAuipc:
+        d.op = Op::kAuipc;
+        d.imm = rv::dec_imm_u(w);
+        break;
+    case rv::kOpJal:
+        d.op = Op::kJal;
+        d.imm = rv::dec_imm_j(w);
+        break;
+    case rv::kOpJalr:
+        if (d.funct3 != 0) break;
+        d.op = Op::kJalr;
+        d.imm = rv::dec_imm_i(w);
+        break;
+    case rv::kOpBranch:
+        if (d.funct3 == 2 || d.funct3 == 3) break;
+        d.op = Op::kBranch;
+        d.imm = rv::dec_imm_b(w);
+        break;
+    case rv::kOpLoad:
+        if (d.funct3 == 3 || d.funct3 > 5) break;
+        d.op = Op::kLoad;
+        d.imm = rv::dec_imm_i(w);
+        break;
+    case rv::kOpStore:
+        if (d.funct3 > 2) break;
+        d.op = Op::kStore;
+        d.imm = rv::dec_imm_s(w);
+        break;
+    case rv::kOpImm:
+        d.imm = rv::dec_imm_i(w);
+        if (d.funct3 == 1 && d.funct7 != 0) break;
+        if (d.funct3 == 5 && d.funct7 != 0 && d.funct7 != 0x20) break;
+        d.op = Op::kAluImm;
+        break;
+    case rv::kOpReg:
+        if (d.funct7 == 0x01 || d.funct7 == 0x00 ||
+            (d.funct7 == 0x20 && (d.funct3 == 0 || d.funct3 == 5))) {
+            d.op = Op::kAluReg;
+        }
+        break;
+    case rv::kOpMiscMem:
+        if (d.funct3 == 0) d.op = Op::kFence;
+        break;
+    case rv::kOpSystem:
+        if (w == 0x00000073) {
+            d.op = Op::kEcall;
+        } else if (w == 0x00100073) {
+            d.op = Op::kEbreak;
+        } else if (w == 0x30200073) {
+            d.op = Op::kMret;
+        } else if (d.funct3 >= 1 && d.funct3 <= 3) {
+            d.op = Op::kCsr;
+            d.csr = w >> 20;
+        }
+        break;
+    default:
+        break;
+    }
+    return d;
+}
+
+bool
+reads_rs1(const Insn& d) {
+    switch (d.op) {
+    case Op::kJalr:
+    case Op::kBranch:
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kAluImm:
+    case Op::kAluReg:
+    case Op::kCsr:
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool
+reads_rs2(const Insn& d) {
+    return d.op == Op::kBranch || d.op == Op::kStore || d.op == Op::kAluReg;
+}
+
+bool
+writes_rd(const Insn& d) {
+    switch (d.op) {
+    case Op::kLui:
+    case Op::kAuipc:
+    case Op::kJal:
+    case Op::kJalr:
+    case Op::kLoad:
+    case Op::kAluImm:
+    case Op::kAluReg:
+    case Op::kCsr:
+        return d.rd != rv::zero;
+    default:
+        return false;
+    }
+}
+
+/// True if control cannot continue to pc+4 after this instruction.
+bool
+is_terminator(const Insn& d) {
+    switch (d.op) {
+    case Op::kJal:
+    case Op::kJalr:
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kMret:
+    case Op::kIllegal:
+        return true;
+    default:
+        return false;
+    }
+}
+
+// --- abstract domain --------------------------------------------------------
+
+/// Interval bound large enough to hold any sum/shift of 32-bit values the
+/// transfer functions produce without overflowing int64.
+constexpr int64_t kClamp = int64_t(1) << 40;
+constexpr int64_t kWordMax = (int64_t(1) << 32) - 1;
+
+/// Abstract register: a signed interval plus a must-initialized bit.
+struct AbsVal {
+    bool init = false;
+    int64_t lo = -kClamp;
+    int64_t hi = kClamp;
+
+    static AbsVal top(bool initialized) { return {initialized, -kClamp, kClamp}; }
+    static AbsVal constant(int64_t v) { return {true, v, v}; }
+    static AbsVal range(int64_t lo, int64_t hi) {
+        return {true, std::max(lo, -kClamp), std::min(hi, kClamp)};
+    }
+
+    bool is_const() const { return lo == hi; }
+    bool is_top() const { return lo <= -kClamp && hi >= kClamp; }
+    /// The interval maps 1:1 onto unsigned 32-bit values (usable as an
+    /// address range without worrying about wraparound).
+    bool is_word_range() const { return lo >= 0 && hi <= kWordMax; }
+};
+
+struct RegState {
+    std::array<AbsVal, 32> r{};
+    bool bottom = true;  ///< no path reaches this point yet
+};
+
+RegState
+make_root_state(bool regs_initialized) {
+    RegState s;
+    s.bottom = false;
+    for (auto& v : s.r) v = AbsVal::top(regs_initialized);
+    s.r[0] = AbsVal::constant(0);
+    return s;
+}
+
+/// Join `src` into `dst`. When `widen`, any interval that would grow goes
+/// straight to top so loop counters converge. Returns true on change.
+bool
+join_into(RegState& dst, const RegState& src, bool widen) {
+    if (src.bottom) return false;
+    if (dst.bottom) {
+        dst = src;
+        return true;
+    }
+    bool changed = false;
+    for (int i = 0; i < 32; ++i) {
+        AbsVal& d = dst.r[i];
+        const AbsVal& s = src.r[i];
+        bool init = d.init && s.init;
+        int64_t lo = std::min(d.lo, s.lo);
+        int64_t hi = std::max(d.hi, s.hi);
+        if (widen && (lo != d.lo || hi != d.hi)) {
+            lo = -kClamp;
+            hi = kClamp;
+        }
+        if (init != d.init || lo != d.lo || hi != d.hi) {
+            d = {init, lo, hi};
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+int64_t
+clamp64(int64_t v) {
+    return std::max(-kClamp, std::min(kClamp, v));
+}
+
+AbsVal
+abs_add(const AbsVal& a, int64_t blo, int64_t bhi, bool binit) {
+    return {a.init && binit, clamp64(a.lo + blo), clamp64(a.hi + bhi)};
+}
+
+/// Smallest (2^k - 1) covering `v` — the sound upper bound for or/xor of
+/// non-negative operands.
+int64_t
+pow2_mask(int64_t v) {
+    int64_t m = 1;
+    while (m - 1 < v) m <<= 1;
+    return m - 1;
+}
+
+/// Transfer function for one instruction; interval semantics of the ops
+/// firmware uses for address formation are exact, the rest go to top.
+AbsVal
+eval_alu(const Insn& d, const AbsVal& a, const AbsVal& b, uint32_t pc) {
+    const bool imm_form = d.op == Op::kAluImm;
+    const bool init = a.init && (imm_form || b.init);
+    auto top = [&] { return AbsVal::top(init); };
+    switch (d.op) {
+    case Op::kLui:
+        return AbsVal::constant(int32_t(d.imm));
+    case Op::kAuipc:
+        return AbsVal::constant(int64_t(uint32_t(pc + uint32_t(d.imm))));
+    case Op::kJal:
+    case Op::kJalr:
+        return AbsVal::constant(pc + 4);
+    case Op::kCsr:
+        return AbsVal::top(true);
+    default:
+        break;
+    }
+    const int64_t blo = imm_form ? d.imm : b.lo;
+    const int64_t bhi = imm_form ? d.imm : b.hi;
+    switch (d.funct3) {
+    case 0:  // add/addi/sub
+        if (d.op == Op::kAluReg && d.funct7 == 0x20) {
+            return {init, clamp64(a.lo - bhi), clamp64(a.hi - blo)};
+        }
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();  // mul
+        return abs_add(a, blo, bhi, init);
+    case 1:  // sll/slli (mulh as reg form funct7=1)
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        if (blo == bhi && a.lo >= 0 && (a.hi << blo) <= kWordMax) {
+            return {init, a.lo << blo, a.hi << blo};
+        }
+        return top();
+    case 2:  // slt family (mulhsu)
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        return {init, 0, 1};
+    case 3:  // sltu family (mulhu)
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        return {init, 0, 1};
+    case 4:  // xor/xori (div)
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        if (a.is_const() && blo == bhi) {
+            return {init, int64_t(uint32_t(a.lo) ^ uint32_t(blo)),
+                    int64_t(uint32_t(a.lo) ^ uint32_t(blo))};
+        }
+        if (a.lo >= 0 && blo >= 0 && a.hi <= kWordMax && bhi <= kWordMax) {
+            return {init, 0, pow2_mask(std::max(a.hi, bhi))};
+        }
+        return top();
+    case 5:  // srl/sra/srli/srai (divu)
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        if (blo == bhi) {
+            const int64_t s = blo & 0x1f;
+            const bool arith = d.funct7 == 0x20 || (imm_form && (d.imm & 0x400));
+            if (a.is_word_range() && (!arith || a.hi < (int64_t(1) << 31))) {
+                return {init, a.lo >> s, a.hi >> s};
+            }
+            if (!arith && s > 0) return {init, 0, kWordMax >> s};
+        }
+        return top();
+    case 6:  // or/ori (rem)
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        if (a.is_const() && blo == bhi) {
+            return AbsVal::constant(int64_t(uint32_t(a.lo) | uint32_t(blo)));
+        }
+        if (a.lo >= 0 && blo >= 0 && a.hi <= kWordMax && bhi <= kWordMax) {
+            return {init, std::max(a.lo, blo), pow2_mask(std::max(a.hi, bhi))};
+        }
+        return top();
+    case 7:  // and/andi (remu)
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        if (a.is_const() && blo == bhi) {
+            return AbsVal::constant(int64_t(uint32_t(a.lo) & uint32_t(blo)));
+        }
+        if (imm_form && d.imm >= 0) {
+            return {init, 0, a.lo >= 0 ? std::min<int64_t>(a.hi, d.imm) : d.imm};
+        }
+        // Mask with high bits set (e.g. andi rd, rs, -16) clears low bits:
+        // for a non-negative operand the result stays within [0, hi].
+        if (a.lo >= 0 && a.hi <= kWordMax && (imm_form || b.init)) {
+            if (imm_form || blo >= 0) return {init, 0, a.hi};
+        }
+        return top();
+    default:
+        return top();
+    }
+}
+
+// --- memory map -------------------------------------------------------------
+
+struct Region {
+    uint32_t base;
+    uint32_t size;
+    const char* name;
+};
+
+constexpr Region kLoadRegions[] = {
+    {rpu::kImemBase, rpu::kImemSize, "IMEM"},
+    {rpu::kDmemBase, rpu::kDmemSize, "DMEM"},
+    {rpu::kPmemBase, rpu::kPmemSize, "PMEM"},
+    {rpu::kAmemBase, rpu::kAmemSize, "AMEM"},
+    {rpu::kIoBase, rpu::kIoSize, "IO"},
+    {rpu::kIoExtBase, rpu::kIoExtSize, "IO_EXT"},
+    {rpu::kBcastBase, rpu::kBcastSize, "BCAST"},
+};
+
+/// Stores may not target instruction memory (the bus faults).
+constexpr Region kStoreRegions[] = {
+    {rpu::kDmemBase, rpu::kDmemSize, "DMEM"},
+    {rpu::kPmemBase, rpu::kPmemSize, "PMEM"},
+    {rpu::kAmemBase, rpu::kAmemSize, "AMEM"},
+    {rpu::kIoBase, rpu::kIoSize, "IO"},
+    {rpu::kIoExtBase, rpu::kIoExtSize, "IO_EXT"},
+    {rpu::kBcastBase, rpu::kBcastSize, "BCAST"},
+};
+
+/// Interconnect registers with read side effects or values (io_read).
+constexpr uint32_t kReadableIo[] = {
+    rpu::kRegRecvLow,   rpu::kRegRecvHigh,  rpu::kRegRxReady,   rpu::kRegDebugLow,
+    rpu::kRegDebugHigh, rpu::kRegCycle,     rpu::kRegCoreId,    rpu::kRegIrqStatus,
+    rpu::kRegBcastAddr, rpu::kRegBcastData, rpu::kRegBcastReady, rpu::kRegLbSlotResp,
+};
+
+/// Interconnect registers accepted by io_write (plus the TX doorbell).
+constexpr uint32_t kWritableIo[] = {
+    rpu::kRegRecvRelease, rpu::kRegSendLow,  rpu::kRegSendHigh, rpu::kRegSendDest,
+    rpu::kRegTimerCmp,    rpu::kRegDebugLow, rpu::kRegDebugHigh, rpu::kRegIrqMask,
+    rpu::kRegIrqAck,      rpu::kRegSlotCount, rpu::kRegSlotBase, rpu::kRegSlotSize,
+    rpu::kRegHdrBase,     rpu::kRegHdrSize,  rpu::kRegSlotCommit, rpu::kRegBcastPop,
+    rpu::kRegLbSlotReq,
+};
+
+constexpr uint32_t kAllowedCsrs[] = {
+    rv::kCsrMstatus, rv::kCsrMtvec,    rv::kCsrMepc,  rv::kCsrMcause, rv::kCsrCycle,
+    rv::kCsrTime,    rv::kCsrInstret,  rv::kCsrCycleH, rv::kCsrTimeH, rv::kCsrInstretH,
+};
+
+template <typename C, typename V>
+bool
+contains(const C& c, V v) {
+    return std::find(std::begin(c), std::end(c), v) != std::end(c);
+}
+
+bool
+intersects_any_region(const Region* regions, size_t n, int64_t lo, int64_t hi) {
+    for (size_t i = 0; i < n; ++i) {
+        int64_t rlo = regions[i].base;
+        int64_t rhi = rlo + regions[i].size - 1;
+        if (lo <= rhi && hi >= rlo) return true;
+    }
+    return false;
+}
+
+bool
+region_contains(const Region& r, int64_t lo, int64_t hi) {
+    return lo >= r.base && hi < int64_t(r.base) + r.size;
+}
+
+constexpr const char* kRegNames[32] = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+};
+
+std::string
+hex(uint32_t v) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%x", v);
+    return buf;
+}
+
+// --- verifier ---------------------------------------------------------------
+
+class Verifier {
+ public:
+    Verifier(const std::vector<uint32_t>& image, const Options& opts)
+        : image_(image), opts_(opts), insns_(image.size()), reachable_(image.size(), 0) {}
+
+    Report run();
+
+ private:
+    uint32_t end_addr() const { return uint32_t(image_.size()) * 4; }
+
+    void diag(Check c, Severity sev, uint32_t pc, std::string msg) {
+        // Deduplicate: the final pass walks blocks whose states were
+        // already explored during the fixpoint.
+        if (!seen_.insert({pc, int(c), msg}).second) return;
+        report_.diags.push_back({c, sev, pc, std::move(msg)});
+    }
+
+    void discover_from_roots();
+    void build_blocks();
+    std::vector<uint32_t> successors(uint32_t pc, const Insn& d, bool emit_diags);
+    void fixpoint();
+    RegState transfer(size_t block_idx, RegState state, bool emit);
+    void check_instruction(uint32_t pc, const Insn& d, const RegState& state);
+    void check_memory(uint32_t pc, const Insn& d, const RegState& state);
+    void scan_unreachable();
+    void find_busy_loops();
+    void check_slot_window();
+
+    const std::vector<uint32_t>& image_;
+    Options opts_;
+    std::vector<Insn> insns_;
+    std::vector<uint8_t> reachable_;
+    std::set<uint32_t> leaders_;
+    std::set<uint32_t> roots_;
+    std::set<uint32_t> handler_roots_;
+    Report report_;
+
+    // Blocks + per-block analysis state.
+    std::vector<BasicBlock> blocks_;
+    std::map<uint32_t, size_t> block_at_;  ///< first-insn addr -> block index
+    std::vector<RegState> in_states_;
+    std::vector<int> join_counts_;
+    std::vector<uint8_t> observable_;  ///< block may touch MMIO/broadcast
+
+    std::set<std::tuple<uint32_t, int, std::string>> seen_;
+    static constexpr int kWidenAfter = 24;
+};
+
+void
+Verifier::discover_from_roots() {
+    std::fill(reachable_.begin(), reachable_.end(), 0);
+    leaders_.clear();
+    std::deque<uint32_t> work(roots_.begin(), roots_.end());
+    for (uint32_t r : roots_) leaders_.insert(r);
+    while (!work.empty()) {
+        uint32_t pc = work.front();
+        work.pop_front();
+        if (pc >= end_addr() || (pc & 3)) continue;  // diagnosed at the edge
+        size_t idx = pc / 4;
+        if (reachable_[idx]) continue;
+        reachable_[idx] = 1;
+        insns_[idx] = decode(image_[idx]);
+        for (uint32_t s : successors(pc, insns_[idx], /*emit_diags=*/false)) {
+            work.push_back(s);
+        }
+    }
+}
+
+/// Successor pcs of the instruction at `pc`; with `emit_diags`, report bad
+/// targets and fall-off-the-end instead of following them.
+std::vector<uint32_t>
+Verifier::successors(uint32_t pc, const Insn& d, bool emit_diags) {
+    std::vector<uint32_t> out;
+    auto add_target = [&](uint32_t target, const char* what) {
+        if (target & 3) {
+            if (emit_diags) {
+                diag(Check::kCfg, Severity::kError, pc,
+                     std::string(what) + " target " + hex(target) +
+                         " is not on an instruction boundary");
+            }
+            return;
+        }
+        if (target >= end_addr()) {
+            if (emit_diags) {
+                const char* where =
+                    target >= rpu::kImemSize ? "outside IMEM" : "past the end of the image";
+                diag(Check::kCfg, Severity::kError, pc,
+                     std::string(what) + " target " + hex(target) + " lands " + where +
+                         " (image ends at " + hex(end_addr()) + ")");
+            }
+            return;
+        }
+        out.push_back(target);
+    };
+    auto add_fallthrough = [&] {
+        if (pc + 4 >= end_addr() && pc + 4 == end_addr()) {
+            if (emit_diags) {
+                diag(Check::kCfg, Severity::kError, pc,
+                     "control falls off the end of the image after " + hex(pc));
+            }
+            return;
+        }
+        out.push_back(pc + 4);
+    };
+    switch (d.op) {
+    case Op::kJal:
+        add_target(pc + uint32_t(d.imm), "jal");
+        break;
+    case Op::kBranch:
+        add_target(pc + uint32_t(d.imm), "branch");
+        add_fallthrough();
+        break;
+    case Op::kJalr:
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kMret:
+    case Op::kIllegal:
+        break;  // terminators with no static successor
+    default:
+        add_fallthrough();
+        break;
+    }
+    return out;
+}
+
+void
+Verifier::build_blocks() {
+    blocks_.clear();
+    block_at_.clear();
+    // Every jump/branch target and every fall-through after a branch
+    // starts a block.
+    for (size_t i = 0; i < image_.size(); ++i) {
+        if (!reachable_[i]) continue;
+        uint32_t pc = uint32_t(i) * 4;
+        const Insn& d = insns_[i];
+        if (d.op == Op::kBranch || d.op == Op::kJal || is_terminator(d)) {
+            for (uint32_t s : successors(pc, d, false)) leaders_.insert(s);
+        }
+    }
+    BasicBlock cur;
+    bool open = false;
+    for (size_t i = 0; i < image_.size(); ++i) {
+        if (!reachable_[i]) {
+            open = false;
+            continue;
+        }
+        uint32_t pc = uint32_t(i) * 4;
+        if (!open || leaders_.count(pc)) {
+            if (open) {
+                cur.succs = {pc};
+                blocks_.push_back(cur);
+            }
+            cur = BasicBlock{pc, pc, {}};
+            open = true;
+        }
+        cur.last = pc;
+        const Insn& d = insns_[i];
+        if (d.op == Op::kBranch || is_terminator(d)) {
+            cur.succs = successors(pc, d, false);
+            blocks_.push_back(cur);
+            open = false;
+        }
+    }
+    if (open) {
+        cur.succs = successors(cur.last, insns_[cur.last / 4], false);
+        blocks_.push_back(cur);
+    }
+    for (size_t b = 0; b < blocks_.size(); ++b) block_at_[blocks_[b].first] = b;
+    in_states_.assign(blocks_.size(), RegState{});
+    join_counts_.assign(blocks_.size(), 0);
+    observable_.assign(blocks_.size(), 0);
+}
+
+RegState
+Verifier::transfer(size_t block_idx, RegState state, bool emit) {
+    const BasicBlock& bb = blocks_[block_idx];
+    for (uint32_t pc = bb.first; pc <= bb.last; pc += 4) {
+        const Insn& d = insns_[pc / 4];
+        if (emit) check_instruction(pc, d, state);
+
+        // Track whether this block can touch MMIO or the broadcast region
+        // (an observable side effect for the busy-loop check).
+        if (d.op == Op::kLoad || d.op == Op::kStore) {
+            const AbsVal& base = state.r[d.rs1];
+            constexpr Region kObservable[] = {
+                {rpu::kIoBase, rpu::kIoSize, "IO"},
+                {rpu::kIoExtBase, rpu::kIoExtSize, "IO_EXT"},
+                {rpu::kBcastBase, rpu::kBcastSize, "BCAST"},
+            };
+            if (!base.is_word_range() ||
+                intersects_any_region(kObservable, 3, base.lo + d.imm,
+                                      base.hi + d.imm + (1 << (d.funct3 & 3)) - 1)) {
+                observable_[block_idx] = 1;
+            }
+        }
+
+        // Discover interrupt vectors / interrupt enables.
+        if (d.op == Op::kCsr && d.rs1 != rv::zero && d.funct3 <= 2) {
+            if (d.csr == rv::kCsrMtvec && state.r[d.rs1].is_const()) {
+                handler_roots_.insert(uint32_t(state.r[d.rs1].lo) & ~3u);
+            }
+            if (d.csr == rv::kCsrMstatus) report_.interrupts_possible = true;
+        }
+
+        AbsVal result = AbsVal::top(true);
+        switch (d.op) {
+        case Op::kLui:
+        case Op::kAuipc:
+        case Op::kJal:
+        case Op::kJalr:
+        case Op::kCsr:
+            result = eval_alu(d, state.r[d.rs1], state.r[d.rs2], pc);
+            break;
+        case Op::kAluImm:
+        case Op::kAluReg:
+            result = eval_alu(d, state.r[d.rs1], state.r[d.rs2], pc);
+            break;
+        case Op::kLoad:
+            result = AbsVal::top(true);
+            break;
+        default:
+            break;
+        }
+        if (writes_rd(d)) state.r[d.rd] = result;
+        state.r[0] = AbsVal::constant(0);
+    }
+    return state;
+}
+
+void
+Verifier::fixpoint() {
+    std::deque<size_t> work;
+    for (uint32_t root : roots_) {
+        auto it = block_at_.find(root);
+        if (it == block_at_.end()) continue;
+        bool handler = handler_roots_.count(root) && root != opts_.entry;
+        join_into(in_states_[it->second], make_root_state(handler), false);
+        work.push_back(it->second);
+    }
+    while (!work.empty()) {
+        size_t b = work.front();
+        work.pop_front();
+        RegState out = transfer(b, in_states_[b], /*emit=*/false);
+        for (uint32_t succ : blocks_[b].succs) {
+            auto it = block_at_.find(succ);
+            if (it == block_at_.end()) continue;
+            size_t sb = it->second;
+            bool widen = ++join_counts_[sb] > kWidenAfter;
+            if (join_into(in_states_[sb], out, widen)) work.push_back(sb);
+        }
+    }
+}
+
+void
+Verifier::check_instruction(uint32_t pc, const Insn& d, const RegState& state) {
+    if (d.op == Op::kIllegal) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "illegal instruction 0x%08x on a reachable path",
+                      image_[pc / 4]);
+        diag(Check::kDecode, Severity::kError, pc, buf);
+        return;
+    }
+    if (opts_.check_uninit) {
+        auto check_read = [&](Reg r) {
+            if (r != rv::zero && !state.r[r].init) {
+                diag(Check::kUninit, Severity::kError, pc,
+                     "register " + std::string(kRegNames[r]) +
+                         " is read but never written on some path to " + hex(pc));
+            }
+        };
+        if (reads_rs1(d)) check_read(d.rs1);
+        if (reads_rs2(d)) check_read(d.rs2);
+    }
+    if (d.op == Op::kCsr && !contains(kAllowedCsrs, d.csr)) {
+        diag(Check::kCsr, Severity::kError, pc,
+             "access to reserved CSR " + hex(d.csr) +
+                 " (core implements mstatus/mtvec/mepc/mcause and the counters)");
+    }
+    if (d.op == Op::kJalr) {
+        const AbsVal& base = state.r[d.rs1];
+        if (base.is_const()) {
+            uint32_t target = uint32_t(base.lo + d.imm) & ~1u;
+            if ((target & 3) || target >= end_addr()) {
+                diag(Check::kCfg, Severity::kError, pc,
+                     "jalr target " + hex(target) + " is outside the image");
+            }
+        } else {
+            diag(Check::kCfg, Severity::kWarning, pc,
+                 "indirect jump with a statically unknown target is not verified");
+        }
+    }
+    if (d.op == Op::kLoad || d.op == Op::kStore) check_memory(pc, d, state);
+}
+
+void
+Verifier::check_memory(uint32_t pc, const Insn& d, const RegState& state) {
+    const AbsVal& base = state.r[d.rs1];
+    if (!base.init) return;  // already reported as an uninitialized read
+    const uint32_t size = 1u << (d.funct3 & 3);
+    const bool is_store = d.op == Op::kStore;
+    const Region* regions = is_store ? kStoreRegions : kLoadRegions;
+    const size_t nregions =
+        is_store ? std::size(kStoreRegions) : std::size(kLoadRegions);
+    const char* verb = is_store ? "store" : "load";
+
+    if (base.is_const()) {
+        // Exact address: check with 32-bit wraparound semantics.
+        const uint32_t addr = uint32_t(int64_t(base.lo) + d.imm);
+        const int64_t lo = addr, hi = int64_t(addr) + size - 1;
+        if (!intersects_any_region(regions, nregions, lo, hi)) {
+            diag(Check::kMemory, Severity::kError, pc,
+                 std::string(verb) + " of " + std::to_string(size) + " bytes at " +
+                     hex(addr) + " is outside every mapped region");
+            return;
+        }
+        const Region io{rpu::kIoBase, rpu::kIoSize, "IO"};
+        if (region_contains(io, lo, hi)) {
+            const uint32_t offset = (addr - rpu::kIoBase) & ~3u;
+            const bool known = is_store ? contains(kWritableIo, offset)
+                                        : contains(kReadableIo, offset);
+            if (!known) {
+                diag(Check::kMmio, Severity::kError, pc,
+                     std::string(verb) + " touches reserved interconnect register offset " +
+                         hex(offset));
+            }
+        }
+        return;
+    }
+    if (!base.is_word_range()) return;  // unknown: cannot prove a violation
+    const int64_t lo = base.lo + d.imm;
+    const int64_t hi = base.hi + d.imm + size - 1;
+    if (lo >= 0 && hi <= kWordMax && !intersects_any_region(regions, nregions, lo, hi)) {
+        diag(Check::kMemory, Severity::kError, pc,
+             std::string(verb) + " range [" + hex(uint32_t(lo)) + ", " + hex(uint32_t(hi)) +
+                 "] is provably outside every mapped region");
+    }
+}
+
+void
+Verifier::scan_unreachable() {
+    size_t i = 0;
+    while (i < image_.size()) {
+        if (reachable_[i] || image_[i] == 0) {
+            ++i;
+            continue;
+        }
+        size_t start = i;
+        while (i < image_.size() && !reachable_[i] && image_[i] != 0) ++i;
+        diag(Check::kUnreachable, Severity::kWarning, uint32_t(start) * 4,
+             "unreachable code: " + std::to_string(i - start) + " word(s) at " +
+                 hex(uint32_t(start) * 4) + ".." + hex(uint32_t(i) * 4 - 4) +
+                 " are never executed");
+    }
+}
+
+/// Tarjan SCC over the block graph; flag cycles with no exit edge and no
+/// observable effect (unless an interrupt could rescue them).
+void
+Verifier::find_busy_loops() {
+    const size_t n = blocks_.size();
+    std::vector<int> index(n, -1), low(n, 0), on_stack(n, 0), comp(n, -1);
+    std::vector<size_t> stack;
+    int next_index = 0, next_comp = 0;
+
+    // Iterative Tarjan to keep the verifier stack-safe on big images.
+    struct Frame {
+        size_t v;
+        size_t child = 0;
+    };
+    for (size_t start = 0; start < n; ++start) {
+        if (index[start] != -1) continue;
+        std::vector<Frame> frames{{start}};
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            size_t v = f.v;
+            if (f.child == 0) {
+                index[v] = low[v] = next_index++;
+                stack.push_back(v);
+                on_stack[v] = 1;
+            }
+            bool descended = false;
+            while (f.child < blocks_[v].succs.size()) {
+                auto it = block_at_.find(blocks_[v].succs[f.child]);
+                ++f.child;
+                if (it == block_at_.end()) continue;
+                size_t w = it->second;
+                if (index[w] == -1) {
+                    frames.push_back({w});
+                    descended = true;
+                    break;
+                }
+                if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+            }
+            if (descended) continue;
+            if (low[v] == index[v]) {
+                while (true) {
+                    size_t w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = 0;
+                    comp[w] = next_comp;
+                    if (w == v) break;
+                }
+                ++next_comp;
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                size_t parent = frames.back().v;
+                low[parent] = std::min(low[parent], low[v]);
+            }
+        }
+    }
+
+    for (int c = 0; c < next_comp; ++c) {
+        bool cyclic = false, has_exit = false, observable = false;
+        uint32_t first_pc = ~0u;
+        size_t members = 0;
+        for (size_t b = 0; b < n; ++b) {
+            if (comp[b] != c) continue;
+            ++members;
+            first_pc = std::min(first_pc, blocks_[b].first);
+            if (observable_[b]) observable = true;
+            for (uint32_t s : blocks_[b].succs) {
+                auto it = block_at_.find(s);
+                if (it == block_at_.end()) continue;
+                if (comp[it->second] == c) {
+                    cyclic = true;
+                } else {
+                    has_exit = true;
+                }
+            }
+        }
+        if (members > 1) cyclic = true;
+        if (cyclic && !has_exit && !observable && !report_.interrupts_possible) {
+            diag(Check::kLoop, Severity::kError, first_pc,
+                 "busy loop at " + hex(first_pc) +
+                     " has no exit edge and no observable side effect "
+                     "(provably infinite)");
+        }
+    }
+}
+
+void
+Verifier::check_slot_window() {
+    const SlotWindow& s = opts_.slots;
+    if (s.count == 0) return;
+    const uint64_t end = uint64_t(s.base) + uint64_t(s.count) * s.size;
+    if (s.base < rpu::kPmemBase || end > uint64_t(rpu::kPmemBase) + rpu::kPmemSize) {
+        diag(Check::kSlots, Severity::kError, 0,
+             "slot window [" + hex(s.base) + ", " + hex(uint32_t(end)) + ") — " +
+                 std::to_string(s.count) + " slots of " + std::to_string(s.size) +
+                 " bytes — does not fit packet memory");
+    }
+    if (s.count > 250) {
+        diag(Check::kSlots, Severity::kError, 0,
+             "slot count " + std::to_string(s.count) +
+                 " exceeds the descriptor tag range (250)");
+    }
+}
+
+Report
+Verifier::run() {
+    if (image_.empty()) {
+        diag(Check::kCfg, Severity::kError, 0, "empty firmware image");
+        return std::move(report_);
+    }
+    if ((opts_.entry & 3) || opts_.entry >= end_addr()) {
+        diag(Check::kCfg, Severity::kError, opts_.entry,
+             "entry point " + hex(opts_.entry) + " is not a valid instruction address");
+        return std::move(report_);
+    }
+    check_slot_window();
+
+    // Interrupt handlers discovered through constant mtvec writes become
+    // extra CFG roots; iterate until the root set is stable.
+    roots_ = {opts_.entry};
+    for (int iter = 0; iter < 4; ++iter) {
+        discover_from_roots();
+        build_blocks();
+        fixpoint();
+        size_t before = roots_.size();
+        for (uint32_t h : handler_roots_) {
+            if (h < end_addr() && (h & 3) == 0) roots_.insert(h);
+        }
+        if (roots_.size() == before) break;
+    }
+
+    // Final pass: walk every reachable block once with diagnostics on.
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+        if (in_states_[b].bottom) continue;
+        transfer(b, in_states_[b], /*emit=*/true);
+        // Edge diagnostics (bad targets, fall-off-the-end).
+        successors(blocks_[b].last, insns_[blocks_[b].last / 4], /*emit_diags=*/true);
+    }
+    if (opts_.check_loops) find_busy_loops();
+    scan_unreachable();
+
+    report_.blocks = blocks_;
+    report_.roots.assign(roots_.begin(), roots_.end());
+    for (uint8_t r : reachable_) report_.instructions += r;
+    std::sort(report_.diags.begin(), report_.diags.end(),
+              [](const Diagnostic& a, const Diagnostic& b) { return a.pc < b.pc; });
+    return std::move(report_);
+}
+
+}  // namespace
+
+// --- public API -------------------------------------------------------------
+
+const char*
+check_name(Check c) {
+    switch (c) {
+    case Check::kDecode: return "decode";
+    case Check::kCfg: return "cfg";
+    case Check::kMemory: return "memory";
+    case Check::kMmio: return "mmio";
+    case Check::kCsr: return "csr";
+    case Check::kUninit: return "uninit";
+    case Check::kUnreachable: return "unreachable";
+    case Check::kLoop: return "loop";
+    case Check::kSlots: return "slots";
+    }
+    return "?";
+}
+
+size_t
+Report::errors() const {
+    size_t n = 0;
+    for (const auto& d : diags) n += d.severity == Severity::kError;
+    return n;
+}
+
+size_t
+Report::warnings() const {
+    return diags.size() - errors();
+}
+
+bool
+Report::check_passed(Check c) const {
+    for (const auto& d : diags) {
+        if (d.check == c) return false;
+    }
+    return true;
+}
+
+std::string
+Report::summary() const {
+    std::string out;
+    for (const auto& d : diags) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%s[%s] pc=0x%x: ",
+                      d.severity == Severity::kError ? "error" : "warning",
+                      check_name(d.check), d.pc);
+        out += buf;
+        out += d.message;
+        out += "\n";
+    }
+    return out;
+}
+
+Report
+verify_image(const std::vector<uint32_t>& image, const Options& opts) {
+    return Verifier(image, opts).run();
+}
+
+std::string
+cfg_dot(const std::vector<uint32_t>& image, const Report& report, const std::string& name) {
+    std::string out = "digraph \"" + name + "\" {\n";
+    out += "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+    for (const auto& bb : report.blocks) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "  \"%x\" [label=\"", bb.first);
+        out += buf;
+        for (uint32_t pc = bb.first; pc <= bb.last && pc / 4 < image.size(); pc += 4) {
+            std::snprintf(buf, sizeof(buf), "%04x: ", pc);
+            out += buf;
+            out += rv::disassemble(image[pc / 4], pc);
+            out += "\\l";
+        }
+        out += "\"];\n";
+        for (uint32_t s : bb.succs) {
+            std::snprintf(buf, sizeof(buf), "  \"%x\" -> \"%x\";\n", bb.first, s);
+            out += buf;
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+}  // namespace rosebud::verify

@@ -1,0 +1,114 @@
+/// \file
+/// Static firmware verifier for RPU images (eBPF-verifier style).
+///
+/// The paper's hardware memory protection and debug subsystem catch a
+/// misbehaving RPU at *runtime*; this module moves the common failure
+/// classes to *load time*. Given an assembled RV32IM image it decodes every
+/// reachable instruction, builds a basic-block control-flow graph, and runs
+/// a small abstract interpreter (an interval domain over the 31 general
+/// registers plus a must-initialized bit) to prove the absence of:
+///
+///   * undecodable instructions on any reachable path;
+///   * jump/branch targets outside the image or off instruction boundaries;
+///   * loads/stores provably outside the RPU memory map (DMEM, PMEM slot
+///     windows, AMEM, interconnect/accelerator MMIO, broadcast region);
+///   * accesses to reserved interconnect MMIO offsets or reserved CSRs;
+///   * reads of registers that are never written on some path;
+///   * code that falls off the end of the image;
+///   * busy loops with no exit edge and no observable side effect.
+///
+/// The analysis is *sound for rejection*: it only reports a memory error
+/// when every concrete execution reaching the instruction would be out of
+/// bounds, so correct firmware with data-dependent addressing (descriptor
+/// slot indices, hash-table probes) is never rejected. Firmware that
+/// installs an interrupt vector gets the handler analyzed as an extra CFG
+/// root, and the infinite-loop check is relaxed (a watchdog can rescue any
+/// loop once interrupts are live — exactly the paper's debug story).
+///
+/// Used as a load-time gate by host::HostContext (hard error by default,
+/// warn-only for experiments) and by the `verify` rosebud_cli experiment.
+
+#ifndef ROSEBUD_VERIFY_VERIFIER_H
+#define ROSEBUD_VERIFY_VERIFIER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpu/descriptor.h"
+
+namespace rosebud::verify {
+
+/// Check categories, one per verifier pass.
+enum class Check {
+    kDecode,       ///< reachable instruction does not decode as RV32IM
+    kCfg,          ///< bad jump/branch target or fall-off-the-end
+    kMemory,       ///< load/store provably outside the RPU memory map
+    kMmio,         ///< access to a reserved interconnect MMIO offset
+    kCsr,          ///< access to a CSR the core does not implement
+    kUninit,       ///< read of a register never written on some path
+    kUnreachable,  ///< code that no path from any root reaches
+    kLoop,         ///< busy loop with no exit edge and no side effect
+    kSlots,        ///< slot provisioning does not fit packet memory
+};
+
+enum class Severity { kError, kWarning };
+
+const char* check_name(Check c);
+
+struct Diagnostic {
+    Check check = Check::kDecode;
+    Severity severity = Severity::kError;
+    uint32_t pc = 0;  ///< byte address of the offending instruction/block
+    std::string message;
+};
+
+/// One CFG node: a maximal straight-line run of reachable instructions.
+struct BasicBlock {
+    uint32_t first = 0;           ///< address of the first instruction
+    uint32_t last = 0;            ///< address of the last instruction
+    std::vector<uint32_t> succs;  ///< successor block start addresses
+};
+
+/// Expected packet-slot provisioning (mirrors fwlib::SlotParams); when
+/// `count` is non-zero the verifier checks the window fits packet memory.
+struct SlotWindow {
+    uint32_t count = 0;
+    uint32_t size = 0;
+    uint32_t base = rpu::kPmemBase;
+};
+
+struct Options {
+    uint32_t entry = 0;        ///< boot pc of the image
+    SlotWindow slots{};        ///< optional slot-provisioning cross-check
+    bool check_uninit = true;  ///< enable the never-written-register pass
+    bool check_loops = true;   ///< enable the busy-loop pass
+};
+
+struct Report {
+    std::vector<Diagnostic> diags;
+    std::vector<BasicBlock> blocks;  ///< reachable blocks, address order
+    std::vector<uint32_t> roots;     ///< entry + discovered interrupt vectors
+    uint32_t instructions = 0;       ///< reachable decoded instructions
+    bool interrupts_possible = false;
+
+    bool ok() const { return errors() == 0; }
+    size_t errors() const;
+    size_t warnings() const;
+    bool check_passed(Check c) const;
+
+    /// One line per diagnostic: "error[memory] pc=0x14: ...".
+    std::string summary() const;
+};
+
+/// Verify an assembled image (words at byte address 0, as loaded into IMEM).
+Report verify_image(const std::vector<uint32_t>& image, const Options& opts = {});
+
+/// Render the CFG as Graphviz DOT, one record node per basic block with
+/// the disassembly of its instructions.
+std::string cfg_dot(const std::vector<uint32_t>& image, const Report& report,
+                    const std::string& name = "firmware");
+
+}  // namespace rosebud::verify
+
+#endif  // ROSEBUD_VERIFY_VERIFIER_H

@@ -37,11 +37,15 @@ TEST(FailureInjection, CorruptFirmwareFaultsOnlyItsRpu) {
     System sys(cfg4());
     auto fw = fwlib::forwarder();
     sys.host().load_firmware_all(fw.image, fw.entry);
-    // RPU 2 gets garbage instructions.
+    // RPU 2 gets garbage instructions. The static verifier would reject
+    // them at load time, so drop the gate to warn-only: this test is about
+    // the *runtime* fault-isolation story.
     sim::Rng rng(13);
     std::vector<uint32_t> garbage(64);
     for (auto& w : garbage) w = uint32_t(rng.next()) | 1;  // avoid all-zero
+    sys.host().set_firmware_check(host::FirmwareCheck::kWarn);
     sys.host().load_firmware(2, garbage);
+    sys.host().set_firmware_check(host::FirmwareCheck::kEnforce);
     sys.host().boot_all();
     sys.run_cycles(500);
 
@@ -61,7 +65,10 @@ TEST(FailureInjection, FaultedRpuRecoversViaReconfiguration) {
     System sys(cfg4());
     auto fw = fwlib::forwarder();
     sys.host().load_firmware_all(fw.image, fw.entry);
-    sys.host().load_firmware(1, {0xffffffff, 0xffffffff});  // bad image
+    // Bad image, forced past the static verifier to exercise runtime repair.
+    sys.host().set_firmware_check(host::FirmwareCheck::kOff);
+    sys.host().load_firmware(1, {0xffffffff, 0xffffffff});
+    sys.host().set_firmware_check(host::FirmwareCheck::kEnforce);
     sys.host().boot_all();
     sys.run_cycles(200);
     ASSERT_TRUE(sys.rpu(1).core_faulted());

@@ -172,5 +172,192 @@ TEST(Disasm, EveryEncodableOpcodeDisassembles) {
     }
 }
 
+TEST(Assembler, BranchOutOfRangeReportsLabelAndDistance) {
+    Assembler a;
+    a.beq(t0, t1, "far");
+    for (int i = 0; i < 2000; ++i) a.nop();
+    a.label("far");
+    try {
+        a.assemble();
+        FAIL() << "expected FatalError";
+    } catch (const sim::FatalError& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("'far'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("8004"), std::string::npos) << msg;  // 2001 words away
+        EXPECT_NE(msg.find("-4096"), std::string::npos) << msg;  // the legal range
+    }
+}
+
+TEST(Assembler, JalOutOfRangeReportsLabelAndDistance) {
+    Assembler a;
+    a.jal(ra, "very_far");
+    for (int i = 0; i < (1 << 18) + 1; ++i) a.nop();  // > 1 MB away
+    a.label("very_far");
+    try {
+        a.assemble();
+        FAIL() << "expected FatalError";
+    } catch (const sim::FatalError& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("'very_far'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::to_string(((1 << 18) + 2) * 4)), std::string::npos) << msg;
+        EXPECT_NE(msg.find("1048574"), std::string::npos) << msg;
+    }
+}
+
+// --- disassembler round-trip ------------------------------------------------
+//
+// A tiny re-assembler for the disassembler's output grammar: enough to
+// prove text -> word is the inverse of word -> text for every instruction
+// form the Assembler can emit.
+
+Reg
+parse_reg(const std::string& name) {
+    static const char* names[32] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+        "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+        "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    };
+    for (int i = 0; i < 32; ++i) {
+        if (name == names[i]) return Reg(i);
+    }
+    ADD_FAILURE() << "not a register: " << name;
+    return zero;
+}
+
+uint32_t
+reassemble(const std::string& text, uint32_t pc) {
+    // Tokenize: strip commas/parens so "lw a0, -8(sp)" -> [lw, a0, -8, sp].
+    std::vector<std::string> tok;
+    std::string cur;
+    for (char c : text) {
+        if (c == ' ' || c == ',' || c == '(' || c == ')') {
+            if (!cur.empty()) tok.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty()) tok.push_back(cur);
+    const std::string& m = tok[0];
+    auto num = [&](size_t i) { return int32_t(std::strtol(tok[i].c_str(), nullptr, 0)); };
+    auto unum = [&](size_t i) { return uint32_t(std::strtoul(tok[i].c_str(), nullptr, 0)); };
+
+    struct RForm { const char* name; uint32_t f7, f3; };
+    static const RForm r_forms[] = {
+        {"add", 0, 0},    {"sub", 0x20, 0}, {"sll", 0, 1},    {"slt", 0, 2},
+        {"sltu", 0, 3},   {"xor", 0, 4},    {"srl", 0, 5},    {"sra", 0x20, 5},
+        {"or", 0, 6},     {"and", 0, 7},    {"mul", 1, 0},    {"mulh", 1, 1},
+        {"mulhsu", 1, 2}, {"mulhu", 1, 3},  {"div", 1, 4},    {"divu", 1, 5},
+        {"rem", 1, 6},    {"remu", 1, 7},
+    };
+    for (const auto& f : r_forms) {
+        if (m == f.name) {
+            return encode_r(f.f7, parse_reg(tok[3]), parse_reg(tok[2]), f.f3,
+                            parse_reg(tok[1]), kOpReg);
+        }
+    }
+    struct IForm { const char* name; uint32_t f3; };
+    static const IForm i_alu[] = {{"addi", 0}, {"slti", 2}, {"sltiu", 3},
+                                  {"xori", 4}, {"ori", 6},  {"andi", 7}};
+    for (const auto& f : i_alu) {
+        if (m == f.name) {
+            return encode_i(num(3), parse_reg(tok[2]), f.f3, parse_reg(tok[1]), kOpImm);
+        }
+    }
+    if (m == "slli") return encode_i(num(3), parse_reg(tok[2]), 1, parse_reg(tok[1]), kOpImm);
+    if (m == "srli") return encode_i(num(3), parse_reg(tok[2]), 5, parse_reg(tok[1]), kOpImm);
+    if (m == "srai") {
+        return encode_i(0x400 | num(3), parse_reg(tok[2]), 5, parse_reg(tok[1]), kOpImm);
+    }
+    static const IForm loads[] = {{"lb", 0}, {"lh", 1}, {"lw", 2}, {"lbu", 4}, {"lhu", 5}};
+    for (const auto& f : loads) {
+        if (m == f.name) {
+            return encode_i(num(2), parse_reg(tok[3]), f.f3, parse_reg(tok[1]), kOpLoad);
+        }
+    }
+    static const IForm stores[] = {{"sb", 0}, {"sh", 1}, {"sw", 2}};
+    for (const auto& f : stores) {
+        if (m == f.name) {
+            return encode_s(num(2), parse_reg(tok[1]), parse_reg(tok[3]), f.f3);
+        }
+    }
+    static const IForm branches[] = {{"beq", 0},  {"bne", 1},  {"blt", 4},
+                                     {"bge", 5},  {"bltu", 6}, {"bgeu", 7}};
+    for (const auto& f : branches) {
+        if (m == f.name) {
+            return encode_b(int32_t(unum(3) - pc), parse_reg(tok[2]), parse_reg(tok[1]), f.f3);
+        }
+    }
+    if (m == "jal") return encode_j(int32_t(unum(2) - pc), parse_reg(tok[1]));
+    if (m == "jalr") return encode_i(num(2), parse_reg(tok[3]), 0, parse_reg(tok[1]), kOpJalr);
+    if (m == "lui") return encode_u(int32_t(unum(2)), parse_reg(tok[1]), kOpLui);
+    if (m == "auipc") return encode_u(int32_t(unum(2)), parse_reg(tok[1]), kOpAuipc);
+    if (m == "csrrw" || m == "csrrs" || m == "csrrc") {
+        uint32_t f3 = m == "csrrw" ? 1 : (m == "csrrs" ? 2 : 3);
+        return unum(2) << 20 | uint32_t(parse_reg(tok[3])) << 15 | f3 << 12 |
+               uint32_t(parse_reg(tok[1])) << 7 | kOpSystem;
+    }
+    if (m == "ecall") return 0x00000073;
+    if (m == "ebreak") return 0x00100073;
+    if (m == "mret") return 0x30200073;
+    if (m == "fence") return 0x0000000f;
+    ADD_FAILURE() << "unparsed mnemonic in: " << text;
+    return 0;
+}
+
+TEST(Disasm, FullInstructionSetRoundTrips) {
+    // Every RV32IM form plus every pseudo-instruction: assemble,
+    // disassemble, re-assemble — must reproduce the identical word.
+    Assembler a;
+    a.add(t0, t1, t2); a.sub(s0, s1, s2); a.sll(a0, a1, a2); a.slt(t3, t4, t5);
+    a.sltu(t0, t1, t2); a.xor_(s3, s4, s5); a.srl(a3, a4, a5); a.sra(t6, s6, s7);
+    a.or_(s8, s9, s10); a.and_(s11, a6, a7); a.mul(t0, t1, t2); a.mulh(t0, t1, t2);
+    a.mulhsu(t0, t1, t2); a.mulhu(t0, t1, t2); a.div(t0, t1, t2); a.divu(t0, t1, t2);
+    a.rem(t0, t1, t2); a.remu(t0, t1, t2);
+    a.addi(t0, t1, -2048); a.addi(t0, t1, 2047); a.slti(a0, a1, -1);
+    a.sltiu(a0, a1, 255); a.xori(t2, t3, 0x7ff); a.ori(s0, s1, -2048);
+    a.andi(gp, tp, 0xff);
+    a.slli(t0, t1, 0); a.slli(t0, t1, 31); a.srli(t0, t1, 1); a.srli(t0, t1, 31);
+    a.srai(t0, t1, 1); a.srai(t0, t1, 31);
+    a.lb(a0, -2048, sp); a.lh(a1, 2047, gp); a.lw(a2, 0, tp); a.lbu(a3, 1, ra);
+    a.lhu(a4, -1, s0);
+    a.sb(a0, -2048, sp); a.sh(a1, 2047, gp); a.sw(a2, 4, tp);
+    a.lui(t0, 0); a.lui(t0, 0xfffff); a.lui(t0, 0x2000);
+    a.auipc(t1, 0); a.auipc(t1, 0xfffff);
+    a.jalr(ra, t0, -4); a.jalr(zero, ra, 0);
+    a.ecall(); a.ebreak(); a.fence(); a.mret();
+    a.csrrw(zero, kCsrMtvec, t0); a.csrrs(t1, kCsrCycle, zero);
+    a.csrrc(a0, kCsrMstatus, a1);
+    // Pseudo-instructions.
+    a.nop(); a.mv(s0, s1); a.li(t0, 42); a.li(t0, -42); a.li(t0, 0x12345678);
+    a.li(t0, int32_t(0x80000000)); a.ret();
+    a.label("target");
+    a.beq(t0, t1, "target"); a.bne(t0, t1, "target"); a.blt(t0, t1, "target");
+    a.bge(t0, t1, "target"); a.bltu(t0, t1, "target"); a.bgeu(t0, t1, "target");
+    a.beqz(a0, "target"); a.bnez(a0, "target");
+    a.jal(ra, "target"); a.j("target"); a.call("target");
+
+    auto image = a.assemble();
+    ASSERT_GT(image.size(), 70u);
+    for (size_t i = 0; i < image.size(); ++i) {
+        uint32_t pc = uint32_t(i) * 4;
+        std::string text = disassemble(image[i], pc);
+        ASSERT_EQ(text.find(".word"), std::string::npos)
+            << "word " << i << " did not disassemble: " << text;
+        EXPECT_EQ(reassemble(text, pc), image[i])
+            << "round-trip mismatch at pc 0x" << std::hex << pc << ": " << text;
+    }
+}
+
+TEST(Disasm, SystemInstructionsPrintExactly) {
+    EXPECT_EQ(disassemble(0x30200073), "mret");
+    Assembler a;
+    a.csrrw(zero, kCsrMtvec, t0);
+    a.csrrc(t1, kCsrMstatus, zero);
+    auto image = a.assemble();
+    EXPECT_EQ(disassemble(image[0]), "csrrw zero, 0x305, t0");
+    EXPECT_EQ(disassemble(image[1]), "csrrc t1, 0x300, zero");
+}
+
 }  // namespace
 }  // namespace rosebud::rv

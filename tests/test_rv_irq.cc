@@ -190,6 +190,7 @@ TEST(Watchdog, RearmedTimerKeepsQuietSystemAlive) {
     a.sw(t0, rpu::kRegIrqMask, gp);
     a.li(t0, 8);
     a.csrrs(zero, kCsrMstatus, t0);
+    a.mv(t1, zero);  // heartbeat counter
     a.label("loop");
     a.li(t0, 500);
     a.sw(t0, rpu::kRegTimerCmp, gp);  // kick the dog

@@ -1,0 +1,315 @@
+/// Static firmware verifier tests: every shipped firmware program must
+/// verify with zero diagnostics, every hand-crafted bad image must be
+/// rejected with the right diagnostic, and the host-side load gate must
+/// enforce/warn per its policy.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "firmware/programs.h"
+#include "rpu/descriptor.h"
+#include "rv/assembler.h"
+#include "rv/isa.h"
+#include "sim/log.h"
+#include "verify/verifier.h"
+
+namespace rosebud {
+namespace {
+
+using namespace rosebud::rv;
+using verify::Check;
+using verify::Options;
+using verify::Report;
+using verify::Severity;
+
+bool
+has_error(const Report& r, Check c) {
+    for (const auto& d : r.diags) {
+        if (d.check == c && d.severity == Severity::kError) return true;
+    }
+    return false;
+}
+
+// --- shipped firmware ------------------------------------------------------
+
+struct Shipped {
+    const char* name;
+    fwlib::Program prog;
+};
+
+std::vector<Shipped>
+shipped_programs() {
+    std::vector<Shipped> out;
+    out.push_back({"forwarder", fwlib::forwarder()});
+    out.push_back({"two_step_forwarder", fwlib::two_step_forwarder(16)});
+    out.push_back({"firewall", fwlib::firewall()});
+    out.push_back({"pigasus_hw_reorder", fwlib::pigasus_hw_reorder()});
+    out.push_back({"pigasus_sw_reorder", fwlib::pigasus_sw_reorder()});
+    out.push_back({"nat", fwlib::nat()});
+    out.push_back({"nat_hash_prepended", fwlib::nat(fwlib::SlotParams{16, 16 * 1024}, true)});
+    out.push_back({"chained_firewall", fwlib::chained_firewall(16)});
+    out.push_back({"broadcast_sender", fwlib::broadcast_sender(64)});
+    out.push_back({"broadcast_sink", fwlib::broadcast_sink()});
+    out.push_back({"broadcast_stress", fwlib::broadcast_stress()});
+    return out;
+}
+
+TEST(Verifier, ShippedFirmwareVerifiesWithZeroDiagnostics) {
+    for (const auto& s : shipped_programs()) {
+        Options opts;
+        opts.entry = s.prog.entry;
+        Report r = verify::verify_image(s.prog.image, opts);
+        EXPECT_TRUE(r.ok()) << s.name << ":\n" << r.summary();
+        EXPECT_EQ(r.diags.size(), 0u) << s.name << ":\n" << r.summary();
+        EXPECT_GT(r.instructions, 0u) << s.name;
+        EXPECT_GE(r.blocks.size(), 2u) << s.name;
+    }
+}
+
+TEST(Verifier, SlotWindowCrossCheckAcceptsPaperDefaults) {
+    auto fw = fwlib::forwarder();
+    Options opts;
+    opts.slots = {32, 16 * 1024, rpu::kPmemBase};
+    Report r = verify::verify_image(fw.image, opts);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, SlotWindowOverflowingPmemIsRejected) {
+    auto fw = fwlib::forwarder();
+    Options opts;
+    opts.slots = {128, 16 * 1024, rpu::kPmemBase};  // 2 MB > 1 MB of PMEM
+    Report r = verify::verify_image(fw.image, opts);
+    EXPECT_TRUE(has_error(r, Check::kSlots)) << r.summary();
+}
+
+TEST(Verifier, CfgDotRendersBlocksAndEdges) {
+    auto fw = fwlib::forwarder();
+    Report r = verify::verify_image(fw.image, Options{});
+    std::string dot = verify::cfg_dot(fw.image, r, "forwarder");
+    EXPECT_NE(dot.find("digraph \"forwarder\""), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);  // at least one edge
+    EXPECT_NE(dot.find("lui"), std::string::npos); // disassembly in labels
+}
+
+// --- hand-crafted bad firmware (satellite: negative tests) -----------------
+
+TEST(Verifier, OutOfBoundsStoreIsRejected) {
+    Assembler a;
+    a.li(t0, 0x03000000);  // past the broadcast region
+    a.sw(zero, 0, t0);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_error(r, Check::kMemory)) << r.summary();
+}
+
+TEST(Verifier, StoreToImemIsRejected) {
+    Assembler a;
+    a.li(t0, 0x100);  // inside IMEM: loads are fine, stores fault
+    a.sw(zero, 0, t0);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kMemory)) << r.summary();
+}
+
+TEST(Verifier, JumpPastImemIsRejected) {
+    std::vector<uint32_t> image = {
+        encode_j(0x40000, zero),  // target 0x40000 is past the 64 KB IMEM
+        0x00100073,               // ebreak
+    };
+    Report r = verify::verify_image(image, Options{});
+    EXPECT_TRUE(has_error(r, Check::kCfg)) << r.summary();
+}
+
+TEST(Verifier, JumpPastImageEndIsRejected) {
+    std::vector<uint32_t> image = {
+        encode_j(0x1000, zero),  // inside IMEM but past the loaded image
+        0x00100073,
+    };
+    Report r = verify::verify_image(image, Options{});
+    EXPECT_TRUE(has_error(r, Check::kCfg)) << r.summary();
+}
+
+TEST(Verifier, MisalignedBranchTargetIsRejected) {
+    std::vector<uint32_t> image = {
+        encode_b(2, zero, zero, 0),  // beq zero, zero, +2: lands mid-word
+        0x00100073,
+    };
+    Report r = verify::verify_image(image, Options{});
+    EXPECT_TRUE(has_error(r, Check::kCfg)) << r.summary();
+}
+
+TEST(Verifier, UninitializedRegisterReadIsRejected) {
+    Assembler a;
+    a.addi(t1, t0, 1);  // t0 never written
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kUninit)) << r.summary();
+
+    Options lenient;
+    lenient.check_uninit = false;
+    EXPECT_TRUE(verify::verify_image(a.assemble(), lenient).ok());
+}
+
+TEST(Verifier, ProvablyInfiniteLoopIsRejected) {
+    Assembler a;
+    a.li(t0, 0);
+    a.label("self");
+    a.j("self");  // no exit edge, no MMIO access, no interrupts
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kLoop)) << r.summary();
+
+    Options lenient;
+    lenient.check_loops = false;
+    EXPECT_TRUE(verify::verify_image(a.assemble(), lenient).ok());
+}
+
+TEST(Verifier, PollLoopWithExitEdgeIsAccepted) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.label("poll");
+    a.lw(t0, rpu::kRegRxReady, gp);
+    a.beqz(t0, "poll");
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, MmioLoopWithoutExitIsAcceptedAsObservable) {
+    // A loop that hammers the debug register forever: no exit edge, but
+    // the stores are host-visible side effects, so it is not "provably
+    // useless" and must not be flagged.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.li(t0, 1);
+    a.label("spin");
+    a.sw(t0, rpu::kRegDebugLow, gp);
+    a.j("spin");
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, ReservedCsrAccessIsRejected) {
+    Assembler a;
+    a.li(t0, 1);
+    a.csrrw(zero, 0x123, t0);  // not implemented by the core
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kCsr)) << r.summary();
+}
+
+TEST(Verifier, ReservedMmioOffsetIsRejected) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.sw(zero, 0x0c, gp);  // gap between RecvRelease (0x08) and SendLow (0x10)
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kMmio)) << r.summary();
+}
+
+TEST(Verifier, LoadFromWriteOnlyMmioRegisterIsRejected) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegSendLow, gp);  // TX latch is write-only
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kMmio)) << r.summary();
+}
+
+TEST(Verifier, FallOffTheEndIsRejected) {
+    Assembler a;
+    a.li(t0, 1);  // no terminator follows
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kCfg)) << r.summary();
+}
+
+TEST(Verifier, UndecodableInstructionIsRejected) {
+    std::vector<uint32_t> image = {0xffffffffu};
+    Report r = verify::verify_image(image, Options{});
+    EXPECT_TRUE(has_error(r, Check::kDecode)) << r.summary();
+}
+
+TEST(Verifier, EmptyImageIsRejected) {
+    Report r = verify::verify_image({}, Options{});
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Verifier, UnreachableCodeIsAWarningNotAnError) {
+    Assembler a;
+    a.ebreak();
+    a.li(t0, 42);  // dead code after the terminator
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_FALSE(r.check_passed(Check::kUnreachable));
+    EXPECT_GE(r.warnings(), 1u);
+}
+
+TEST(Verifier, InterruptHandlerDiscoveredThroughMtvecIsAnalyzed) {
+    // The handler installed via a constant mtvec write becomes a CFG root;
+    // a bad store inside it must still be caught.
+    Assembler a;
+    a.li(t0, 0x40);
+    a.csrrw(zero, kCsrMtvec, t0);
+    a.li(t0, 8);
+    a.csrrs(zero, kCsrMstatus, t0);
+    a.ebreak();
+    while (a.here() < 0x40) a.nop();
+    a.label("handler");
+    a.li(t1, 0x03000000);
+    a.sw(zero, 0, t1);  // out of bounds, inside the handler
+    a.mret();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kMemory)) << r.summary();
+    EXPECT_EQ(r.roots.size(), 2u);
+}
+
+// --- host load gate --------------------------------------------------------
+
+SystemConfig
+small_cfg() {
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    return cfg;
+}
+
+TEST(VerifierGate, HostRejectsBadFirmwareByDefault) {
+    System sys(small_cfg());
+    EXPECT_THROW(sys.host().load_firmware_all({0xffffffffu}), sim::FatalError);
+    EXPECT_THROW(sys.host().load_firmware(0, {0xffffffffu}), sim::FatalError);
+}
+
+TEST(VerifierGate, WarnModeLoadsBadFirmwareAnyway) {
+    System sys(small_cfg());
+    sys.host().set_firmware_check(host::FirmwareCheck::kWarn);
+    EXPECT_NO_THROW(sys.host().load_firmware(0, {0xffffffffu}));
+    sys.host().set_firmware_check(host::FirmwareCheck::kOff);
+    EXPECT_NO_THROW(sys.host().load_firmware(0, {0xffffffffu}));
+}
+
+TEST(VerifierGate, SystemConfigPolicyIsForwarded) {
+    SystemConfig cfg = small_cfg();
+    cfg.firmware_check = host::FirmwareCheck::kWarn;
+    System sys(cfg);
+    EXPECT_EQ(sys.host().firmware_check(), host::FirmwareCheck::kWarn);
+    EXPECT_NO_THROW(sys.host().load_firmware(0, {0xffffffffu}));
+}
+
+TEST(VerifierGate, ReconfigureVerifiesBeforeDraining) {
+    System sys(small_cfg());
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(300);
+    sim::Rng rng(7);
+    EXPECT_THROW(sys.host().reconfigure(0, nullptr, {0xffffffffu}, 0, rng),
+                 sim::FatalError);
+    // The RPU was never halted: the gate fired before the drain started.
+    EXPECT_FALSE(sys.rpu(0).core_halted());
+}
+
+}  // namespace
+}  // namespace rosebud
