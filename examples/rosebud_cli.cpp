@@ -11,6 +11,7 @@
 ///   $ ./examples/rosebud_cli resources --rpus 8
 ///   $ ./examples/rosebud_cli oracle --pipeline nat --seed 3 --packets 500
 ///   $ ./examples/rosebud_cli verify --program firewall --dot fw.dot
+///   $ ./examples/rosebud_cli lint --rpus 16 --dot netlist.dot
 
 #include <cstdio>
 #include <cstring>
@@ -19,6 +20,7 @@
 
 #include "core/experiments.h"
 #include "firmware/programs.h"
+#include "lint/netlist.h"
 #include "oracle/harness.h"
 #include "verify/verifier.h"
 
@@ -65,7 +67,10 @@ usage() {
                  "              exits 1 on any divergence)\n"
                  "  verify     --program all|forwarder|two-step|firewall|ids-hw|ids-sw|nat\n"
                  "             --dot FILE (write the CFG as Graphviz DOT)\n"
-                 "             (static firmware verification; exits 1 on any error)\n");
+                 "             (static firmware verification; exits 1 on any error)\n"
+                 "  lint       --rpus N (omit to sweep 4/8/16) --dot FILE\n"
+                 "             (elaborate every shipped config and run the static\n"
+                 "              netlist checks; exits 1 on any violation)\n");
     return 2;
 }
 
@@ -248,6 +253,60 @@ main(int argc, char** argv) {
         }
         if (errors != 0) {
             std::printf("%zu verifier error(s)\n", errors);
+            return 1;
+        }
+    } else if (args.experiment == "lint") {
+        // Elaborate every shipped LB-policy / reassembler combination and run
+        // the static netlist checks on each. This is the same gate System
+        // arms before cycle 0; running it standalone gives CI (and humans) a
+        // pass/fail without executing a single cycle.
+        std::string dot = args.str("dot", "");
+        std::vector<unsigned> rpu_counts;
+        if (args.has("rpus")) {
+            rpu_counts.push_back(args.u32("rpus", 16));
+        } else {
+            rpu_counts = {4, 8, 16};
+        }
+        struct Combo { const char* name; lb::Policy policy; bool reassembler; };
+        static const Combo kCombos[] = {
+            {"rr", lb::Policy::kRoundRobin, false},
+            {"hash", lb::Policy::kHash, false},
+            {"ll", lb::Policy::kLeastLoaded, false},
+            {"hash+reassembler", lb::Policy::kHash, true},
+        };
+        size_t total = 0;
+        for (unsigned n : rpu_counts) {
+            for (const Combo& c : kCombos) {
+                SystemConfig cfg;
+                cfg.rpu_count = n;
+                cfg.lb_policy = c.policy;
+                cfg.hw_reassembler = c.reassembler;
+                System sys(cfg);
+                auto violations = sys.lint_check();
+                std::printf("rpus=%-2u %-18s %zu net(s), %zu port(s): %s\n", n,
+                            c.name, sys.kernel().nets().size(),
+                            sys.kernel().ports().size(),
+                            violations.empty()
+                                ? "clean"
+                                : ("FAIL\n" + lint::report(violations)).c_str());
+                total += violations.size();
+            }
+        }
+        if (!dot.empty()) {
+            SystemConfig cfg;
+            cfg.rpu_count = rpu_counts.back();
+            System sys(cfg);
+            std::string graph = lint::to_dot(sys.kernel());
+            if (FILE* f = std::fopen(dot.c_str(), "w")) {
+                std::fwrite(graph.data(), 1, graph.size(), f);
+                std::fclose(f);
+                std::printf("netlist written to %s\n", dot.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write %s\n", dot.c_str());
+            }
+        }
+        if (total != 0) {
+            std::printf("%zu lint violation(s)\n", total);
             return 1;
         }
     } else if (args.experiment == "resources") {

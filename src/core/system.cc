@@ -1,5 +1,7 @@
 #include "core/system.h"
 
+#include <cstring>
+
 #include "sim/log.h"
 
 namespace rosebud {
@@ -22,8 +24,11 @@ System::System(const SystemConfig& config) : config_(config) {
         sim::fatal("System: rpu_count must be a positive multiple of 4 (<= 32)");
     }
 
-    // RPUs first: registration order is tick order, and the per-RPU link
-    // serialization must advance before the fabric hands over new packets.
+    // RPUs first, then broadcast/fabric/sources: a deterministic default
+    // tick order. Results must not depend on it — every cross-component
+    // exchange goes through staged primitives, the race detector faults
+    // same-cycle stage/read overlaps, and shuffle_tick_order() + the
+    // fingerprint tests enforce bit-identical runs under any permutation.
     for (unsigned i = 0; i < config_.rpu_count; ++i) {
         rpu::Rpu::Config rc = config_.rpu_template;
         rc.id = uint8_t(i);
@@ -36,6 +41,7 @@ System::System(const SystemConfig& config) : config_(config) {
     lbc.reassembler = config_.hw_reassembler;
     lbc.custom_steer = config_.lb_custom_steer;
     lb_ = std::make_unique<lb::LoadBalancer>(stats_, lbc);
+    lb_->attach(kernel_);
 
     msg::BroadcastNetwork::Config bc = config_.broadcast;
     bc.rpu_count = config_.rpu_count;
@@ -60,14 +66,32 @@ System::System(const SystemConfig& config) : config_(config) {
         r->set_slot_config_handler([this](uint8_t rpu, const rpu::SlotConfig& cfg) {
             lb_->on_slot_config(rpu, cfg);
         });
-        r->set_slot_request_handler(
-            [this](uint8_t dst) { return lb_->request_slot(dst); });
+        r->set_slot_request_handler([this](uint8_t requester, uint8_t dst) {
+            lb_->request_slot_routed(requester, dst);
+        });
         r->set_broadcast_sender([this](uint8_t rpu, uint32_t off, uint32_t val) {
             return broadcast_->try_send(rpu, off, val);
         });
         broadcast_->set_deliver(
             i, [r](uint32_t off, uint32_t val) { r->broadcast_deliver(off, val); });
+
+        // System-level boundary ports: which component drives which net is
+        // only known here, at wiring time.
+        std::string rn = r->name();
+        kernel_.declare_port({rn, "broadcast.tx" + std::to_string(i),
+                              sim::PortRecord::kWrite, 64, bc.tx_fifo_depth});
+        kernel_.declare_port({"broadcast", rn + ".bcast_in", sim::PortRecord::kWrite, 64, 1});
+        kernel_.declare_port({"broadcast", rn + ".bcast_notify", sim::PortRecord::kWrite, 64,
+                              config_.rpu_template.bcast_notify_depth});
+        kernel_.declare_port(
+            {rn, "lb.ctrl.r" + std::to_string(i), sim::PortRecord::kWrite, 64, 1});
+        kernel_.declare_port(
+            {rn, "lb.resp.r" + std::to_string(i), sim::PortRecord::kRead, 64, 1});
     }
+    lb_->set_slot_response_handler(
+        [this](uint8_t requester, uint8_t dst, std::optional<uint8_t> slot) {
+            rpus_[requester]->slot_response(dst, slot);
+        });
 
     for (unsigned port = 0; port < 2; ++port) {
         sinks_.push_back(std::make_unique<dist::TrafficSink>(
@@ -75,6 +99,21 @@ System::System(const SystemConfig& config) : config_(config) {
         dist::TrafficSink* sink = sinks_.back().get();
         fabric_->set_mac_tx_sink(port,
                                  [sink](net::PacketPtr pkt) { sink->deliver(pkt); });
+        kernel_.declare_port({"sink.port" + std::to_string(port),
+                              "fabric.mac_tx.p" + std::to_string(port),
+                              sim::PortRecord::kRead, 512, 0});
+    }
+
+    // Pre-cycle-0 gate: the static lint runs once, right before the first
+    // tick, so late wiring (sources, accelerators) is already elaborated.
+    if (config_.lint != LintMode::kOff) {
+        kernel_.set_prestep_hook([this](sim::Kernel&) {
+            auto violations = lint_check();
+            if (violations.empty()) return;
+            std::string msg = "netlist lint failed:\n" + lint::report(violations);
+            if (config_.lint == LintMode::kEnforce) sim::fatal(msg);
+            sim::warn(msg);
+        });
     }
 }
 
@@ -157,6 +196,98 @@ System::resource_report() const {
     rows.push_back({"Complete design", total});
     rows.push_back({"VU9P device", sim::kXcvu9p});
     return rows;
+}
+
+std::vector<lint::Violation>
+System::lint_check() const {
+    auto violations = lint::check_netlist(kernel_, lint::paper_width_table());
+
+    // Resource-model consistency: the per-component rows of Tables 1-2 must
+    // sum exactly into "Complete design", which must fit the VU9P, and the
+    // replicated blocks must fit their pre-laid-out PR regions.
+    unsigned n = config_.rpu_count;
+    auto rows = resource_report();
+    auto row = [&](const std::string& name) -> const sim::ResourceFootprint& {
+        for (const auto& r : rows) {
+            if (r.name == name) return r.fp;
+        }
+        sim::panic("lint_check: missing resource row " + name);
+    };
+    std::vector<lint::ResourceItem> children = {
+        {"Single RPU", row("Single RPU"), n},
+        {"LB", row("LB"), 1},
+        {"Single Interconnect", row("Single Interconnect"), n},
+        {"CMAC", row("CMAC"), 1},
+        {"PCIe", row("PCIe"), 1},
+        {"Switching", row("Switching"), 1},
+    };
+    auto append = [&](std::vector<lint::Violation> v) {
+        violations.insert(violations.end(), std::make_move_iterator(v.begin()),
+                          std::make_move_iterator(v.end()));
+    };
+    append(lint::check_resource_sum("Complete design", row("Complete design"), children));
+    append(lint::check_resource_fit("Complete design", row("Complete design"),
+                                    sim::kXcvu9p));
+    append(lint::check_resource_fit("Single RPU (PR region)", row("Single RPU"),
+                                    pr_region_capacity(n)));
+    append(lint::check_resource_fit("LB (PR block)", row("LB"), lb_region_capacity(n)));
+    return violations;
+}
+
+namespace {
+
+void
+fnv_mix(uint64_t& h, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+}
+
+void
+fnv_mix(uint64_t& h, const std::string& s) {
+    for (char c : s) {
+        h ^= uint8_t(c);
+        h *= 0x100000001b3ull;
+    }
+    fnv_mix(h, s.size());
+}
+
+}  // namespace
+
+uint64_t
+System::state_fingerprint() const {
+    uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+    // Stats maps are ordered, so iteration itself is deterministic; the
+    // per-sampler XOR absorbs any same-cycle sample reordering.
+    for (const auto& [name, c] : stats_.counters()) {
+        fnv_mix(h, name);
+        fnv_mix(h, c.get());
+    }
+    for (const auto& [name, s] : stats_.samplers()) {
+        fnv_mix(h, name);
+        fnv_mix(h, uint64_t(s.count()));
+        uint64_t bag = 0;
+        for (double v : s.samples()) {
+            uint64_t bits;
+            std::memcpy(&bits, &v, sizeof bits);
+            bag ^= bits;
+        }
+        fnv_mix(h, bag);
+    }
+    for (const auto& sink : sinks_) {
+        fnv_mix(h, sink->frames());
+        fnv_mix(h, sink->bytes());
+    }
+    for (const auto& r : rpus_) {
+        fnv_mix(h, r->debug_low());
+        fnv_mix(h, r->debug_high());
+        fnv_mix(h, r->occupancy());
+    }
+    for (unsigned r = 0; r < config_.rpu_count; ++r) {
+        fnv_mix(h, lb_->free_slots(uint8_t(r)));
+    }
+    return h;
 }
 
 }  // namespace rosebud

@@ -26,6 +26,7 @@
 #include "dist/traffic.h"
 #include "host/host.h"
 #include "lb/load_balancer.h"
+#include "lint/netlist.h"
 #include "msg/broadcast.h"
 #include "rpu/rpu.h"
 #include "sim/kernel.h"
@@ -33,6 +34,13 @@
 #include "sim/stats.h"
 
 namespace rosebud {
+
+/// Policy for the elaboration-time netlist lint that runs before cycle 0.
+enum class LintMode {
+    kEnforce,  ///< violations are fatal before the first tick (default)
+    kWarn,     ///< violations are logged, simulation proceeds
+    kOff,      ///< no automatic lint (explicit lint_check() still works)
+};
 
 struct SystemConfig {
     unsigned rpu_count = 16;
@@ -48,6 +56,8 @@ struct SystemConfig {
     /// Static firmware-verifier gate policy applied to every host firmware
     /// load (kEnforce rejects provably bad images before they run).
     host::FirmwareCheck firmware_check = host::FirmwareCheck::kEnforce;
+    /// Elaboration-time netlist lint policy (see LintMode).
+    LintMode lint = LintMode::kEnforce;
 };
 
 /// PR region capacities of the pre-laid-out floorplans (paper Figures 5-6;
@@ -118,6 +128,20 @@ class System {
 
     /// The rows of Tables 1-2 for this configuration.
     std::vector<ResourceRow> resource_report() const;
+
+    /// Run the full static lint over the elaborated netlist: structural
+    /// checks, the paper's bus-width table, and the resource-model
+    /// consistency checks (component sum vs "Complete design", fit on the
+    /// VU9P). Returns every violation found (empty = clean). This is what
+    /// the automatic pre-cycle-0 gate runs under LintMode::kEnforce/kWarn.
+    std::vector<lint::Violation> lint_check() const;
+
+    /// Order-insensitive digest of the architecturally visible state:
+    /// every stats counter, sink frame/byte/latency records, per-RPU
+    /// debug registers and slot occupancy, and the LB free-slot lists.
+    /// Two runs of the same workload must produce the same fingerprint
+    /// regardless of component tick order (kernel().shuffle_tick_order).
+    uint64_t state_fingerprint() const;
 
  private:
     SystemConfig config_;

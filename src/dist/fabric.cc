@@ -23,8 +23,67 @@ Fabric::Fabric(sim::Kernel& kernel, sim::Stats& stats, const FabricConfig& confi
       rpus_per_cluster_((config.rpu_count + config.clusters - 1) / config.clusters),
       voqs_(config.rpu_count * kSourceCount),
       rpu_rr_(config.rpu_count, 0),
-      egress_queues_(config.rpu_count) {
+      egress_queues_(config.rpu_count),
+      egress_staged_(config.rpu_count),
+      egress_committed_(config.rpu_count, 0) {
     if (rpus_.size() != config.rpu_count) sim::fatal("Fabric: rpu vector size mismatch");
+    declare_netlist(kernel);
+}
+
+void
+Fabric::declare_netlist(sim::Kernel& kernel) {
+    using sim::NetRecord;
+    using sim::PortRecord;
+    const unsigned kSw = 512;  // stage-1 switch datapath (64 B/cycle)
+
+    // MAC-side FIFOs: depth in 512-bit words. The wire side is external.
+    for (unsigned p = 0; p < 2; ++p) {
+        std::string rx = "fabric.mac_rx.p" + std::to_string(p);
+        kernel.declare_net({rx, NetRecord::kFifo, kSw, config_.mac_rx_fifo_bytes / 64,
+                            sim::kNetExternalSource});
+        kernel.declare_port({name(), rx, PortRecord::kRead, kSw, 0});
+        std::string tx = "fabric.mac_tx.p" + std::to_string(p);
+        kernel.declare_net({tx, NetRecord::kFifo, kSw, config_.mac_tx_fifo_bytes / 64,
+                            sim::kNetExternalSink});
+        kernel.declare_port({name(), tx, PortRecord::kWrite, kSw,
+                             config_.mac_tx_fifo_bytes / 64});
+    }
+
+    // Host (PCIe virtual Ethernet) and loopback share the ingress plane.
+    kernel.declare_net({"fabric.host_q", NetRecord::kFifo, kSw, config_.host_queue_packets,
+                        sim::kNetExternalSource});
+    kernel.declare_port({name(), "fabric.host_q", PortRecord::kRead, kSw, 0});
+    kernel.declare_net({"fabric.host_out", NetRecord::kFifo, kSw, config_.pcie_tags,
+                        sim::kNetExternalSink});
+    kernel.declare_port(
+        {name(), "fabric.host_out", PortRecord::kWrite, kSw, config_.pcie_tags});
+    kernel.declare_net(
+        {"fabric.loopback_q", NetRecord::kFifo, kSw, config_.loopback_queue_packets, 0});
+    kernel.declare_port({name(), "fabric.loopback_q", PortRecord::kWrite, kSw,
+                         config_.loopback_queue_packets});
+    kernel.declare_port({name(), "fabric.loopback_q", PortRecord::kRead, kSw, 0});
+
+    for (unsigned r = 0; r < config_.rpu_count; ++r) {
+        std::string rn = std::to_string(r);
+        // Per-(RPU, source) virtual output queues inside the RX switches.
+        for (unsigned s = 0; s < kSourceCount; ++s) {
+            std::string v = "fabric.voq.r" + rn + ".s" + std::to_string(s);
+            kernel.declare_net({v, NetRecord::kFifo, kSw, config_.voq_depth, 0});
+            kernel.declare_port({name(), v, PortRecord::kWrite, kSw, config_.voq_depth});
+            kernel.declare_port({name(), v, PortRecord::kRead, kSw, 0});
+        }
+        // Per-RPU egress queues: the RPU's TX engine writes, we arbitrate.
+        std::string e = "fabric.egress.r" + rn;
+        kernel.declare_net({e, NetRecord::kFifo, 128, config_.egress_queue_depth, 0});
+        kernel.declare_port(
+            {rpus_[r]->name(), e, PortRecord::kWrite, 128, config_.egress_queue_depth});
+        kernel.declare_port({name(), e, PortRecord::kRead, 128, 0});
+        // We drive the 128-bit per-RPU ingress link the Rpu declared.
+        kernel.declare_port({name(), rpus_[r]->name() + ".link_in", PortRecord::kWrite, 0, 0});
+    }
+
+    // The LB assignment interface (declared by LoadBalancer::attach).
+    kernel.declare_port({name(), "lb.assign", PortRecord::kWrite, 64, 1});
 }
 
 bool
@@ -39,17 +98,26 @@ Fabric::mac_rx(unsigned port, net::PacketPtr pkt) {
     std::vector<net::PacketPtr> released = lb_.reassemble(std::move(pkt));
 
     IngressSource& src = sources_[port];
+    bool in_tick = kernel().in_tick();
     bool all_ok = true;
     for (auto& p : released) {
-        if (src.queue_bytes + p->size() > config_.mac_rx_fifo_bytes) {
+        uint64_t occupied = in_tick ? src.admit_bytes + src.staged_bytes : src.queue_bytes;
+        if (occupied + p->size() > config_.mac_rx_fifo_bytes) {
             stats_.counter("port" + std::to_string(port) + ".rx_fifo_drops").add();
             trace("mac_rx_fifo_drop", *p);
             all_ok = false;
             continue;
         }
         trace("mac_rx", *p);
-        src.queue_bytes += p->size();
-        src.queue.push_back(std::move(p));
+        if (in_tick) {
+            src.staged_bytes += p->size();
+            src.staged.push_back(std::move(p));
+        } else {
+            src.queue_bytes += p->size();
+            src.queue.push_back(std::move(p));
+            src.admit_bytes = src.queue_bytes;
+            src.admit_count = src.queue.size();
+        }
     }
     return all_ok;
 }
@@ -57,21 +125,59 @@ Fabric::mac_rx(unsigned port, net::PacketPtr pkt) {
 bool
 Fabric::host_inject(net::PacketPtr pkt) {
     IngressSource& src = sources_[kSrcHost];
-    if (src.queue.size() >= config_.host_queue_packets) return false;
+    bool in_tick = kernel().in_tick();
+    size_t occupied = in_tick ? src.admit_count + src.staged.size() : src.queue.size();
+    if (occupied >= config_.host_queue_packets) return false;
     pkt->in_iface = net::Iface::kHost;
-    src.queue_bytes += pkt->size();
-    src.queue.push_back(std::move(pkt));
+    if (in_tick) {
+        src.staged_bytes += pkt->size();
+        src.staged.push_back(std::move(pkt));
+    } else {
+        src.queue_bytes += pkt->size();
+        src.queue.push_back(std::move(pkt));
+        src.admit_bytes = src.queue_bytes;
+        src.admit_count = src.queue.size();
+    }
     stats_.counter("host.tx_frames").add();
     return true;
 }
 
 bool
 Fabric::rpu_egress(uint8_t rpu, net::PacketPtr pkt) {
+    if (kernel().in_tick()) {
+        if (egress_committed_[rpu] + egress_staged_[rpu].size() >= config_.egress_queue_depth) {
+            return false;
+        }
+        trace("rpu_egress", *pkt);
+        egress_staged_[rpu].push_back({std::move(pkt), now() + 1});
+        return true;
+    }
     auto& q = egress_queues_[rpu];
     if (q.size() >= config_.egress_queue_depth) return false;
     trace("rpu_egress", *pkt);
     q.push_back({std::move(pkt), now() + 1});
+    egress_committed_[rpu] = q.size();
     return true;
+}
+
+void
+Fabric::commit() {
+    for (unsigned s = 0; s < kSourceCount; ++s) {
+        IngressSource& src = sources_[s];
+        for (auto& p : src.staged) {
+            src.queue_bytes += p->size();
+            src.queue.push_back(std::move(p));
+        }
+        src.staged.clear();
+        src.staged_bytes = 0;
+        src.admit_bytes = src.queue_bytes;
+        src.admit_count = src.queue.size();
+    }
+    for (unsigned r = 0; r < config_.rpu_count; ++r) {
+        for (auto& tp : egress_staged_[r]) egress_queues_[r].push_back(std::move(tp));
+        egress_staged_[r].clear();
+        egress_committed_[r] = egress_queues_[r].size();
+    }
 }
 
 void

@@ -77,14 +77,19 @@ class Fabric : public sim::Component {
            lb::LoadBalancer& lb, std::vector<rpu::Rpu*> rpus);
 
     /// A frame finished arriving on `port`'s wire. Returns false when the
-    /// MAC RX FIFO overflowed (frame dropped and counted).
+    /// MAC RX FIFO overflowed (frame dropped and counted). Calls arriving
+    /// during another component's tick are staged and integrated at the
+    /// clock edge; admission then uses registered credit (the queue's
+    /// end-of-previous-cycle occupancy plus what was staged this cycle),
+    /// so the outcome is independent of component tick order.
     bool mac_rx(unsigned port, net::PacketPtr pkt);
 
     /// Host-originated packet (virtual Ethernet over PCIe).
     bool host_inject(net::PacketPtr pkt);
 
     /// Egress from RPU `rpu` (wired as the Rpu's egress handler).
-    /// Returns false to backpressure the RPU's TX engine.
+    /// Returns false to backpressure the RPU's TX engine. Tick-phase
+    /// calls are staged like mac_rx (see above).
     bool rpu_egress(uint8_t rpu, net::PacketPtr pkt);
 
     /// Frames leaving on a physical port arrive here (tester side).
@@ -94,6 +99,11 @@ class Fabric : public sim::Component {
     void set_host_sink(SinkFn fn);
 
     void tick() override;
+
+    /// Clock edge: integrate tick-phase arrivals (mac_rx / host_inject /
+    /// rpu_egress staged by other components) into the ingress and egress
+    /// queues and refresh the registered admission credit.
+    void commit() override;
 
     /// Optional per-packet observation hook for the debugging tooling
     /// (core/tracer.h): fired at every stage boundary a packet crosses.
@@ -123,6 +133,14 @@ class Fabric : public sim::Component {
         uint32_t cycles_left = 0;
         // Completed transfer waiting for VOQ space.
         net::PacketPtr stalled;
+        // Registered-credit admission: occupancy snapshot taken at the last
+        // clock edge plus packets staged during the current tick. Tick-phase
+        // producers admit against these, never against the live queue, so
+        // admission cannot observe same-cycle pops (order independence).
+        uint64_t admit_bytes = 0;
+        size_t admit_count = 0;
+        std::vector<net::PacketPtr> staged;
+        uint64_t staged_bytes = 0;
     };
 
     struct EgressDest {
@@ -151,6 +169,7 @@ class Fabric : public sim::Component {
     bool try_egress_handoff(unsigned d, const net::PacketPtr& p);
     void tick_mac_tx();
     void tick_loopback();
+    void declare_netlist(sim::Kernel& kernel);
 
     FabricConfig config_;
     sim::Stats& stats_;
@@ -164,6 +183,9 @@ class Fabric : public sim::Component {
 
     std::vector<std::deque<TimedPkt>> egress_queues_;  ///< per RPU
     EgressDest egress_[kSourceCount];                  ///< per destination
+    /// Registered egress credit, mirroring IngressSource's admission state.
+    std::vector<std::vector<TimedPkt>> egress_staged_;  ///< per RPU
+    std::vector<size_t> egress_committed_;              ///< per RPU
 
     MacTx mac_tx_[2];
     std::deque<TimedPkt> host_out_;

@@ -10,7 +10,11 @@ TrafficSource::TrafficSource(sim::Kernel& kernel, sim::Stats& stats, const Confi
       fabric_(fabric),
       gen_(std::move(gen)),
       bytes_per_cycle_(config.line_gbps * 1e9 / 8.0 / sim::kClockHz * config.load),
-      pps_per_cycle_(config.max_pps > 0 ? config.max_pps / sim::kClockHz : 0.0) {}
+      pps_per_cycle_(config.max_pps > 0 ? config.max_pps / sim::kClockHz : 0.0) {
+    // We are the wire side of this port's MAC RX FIFO.
+    kernel.declare_port({name(), "fabric.mac_rx.p" + std::to_string(config.port),
+                         sim::PortRecord::kWrite, 512, 0});
+}
 
 void
 TrafficSource::tick() {

@@ -18,8 +18,36 @@ LoadBalancer::LoadBalancer(sim::Stats& stats, const Config& config)
 }
 
 void
+LoadBalancer::attach(sim::Kernel& kernel) {
+    kernel_ = &kernel;
+    adapter_ = std::make_unique<CommitAdapter>(*this);
+    kernel.add_clocked(adapter_.get());
+
+    // Elaborate the LB's control channels: a 64-bit request lane per RPU
+    // (slot frees / configs / remote-slot requests), a response lane back,
+    // and the assignment interface the fabric queries.
+    using sim::NetRecord;
+    using sim::PortRecord;
+    for (unsigned r = 0; r < config_.rpu_count; ++r) {
+        std::string rpu = "rpu" + std::to_string(r);
+        std::string ctrl = "lb.ctrl.r" + std::to_string(r);
+        std::string resp = "lb.resp.r" + std::to_string(r);
+        kernel.declare_net({ctrl, NetRecord::kLink, 64, 1, 0});
+        kernel.declare_port({"lb", ctrl, PortRecord::kRead, 64, 1});
+        kernel.declare_net({resp, NetRecord::kLink, 64, 1, 0});
+        kernel.declare_port({"lb", resp, PortRecord::kWrite, 64, 1});
+    }
+    kernel.declare_net({"lb.assign", NetRecord::kLink, 64, 1, 0});
+    kernel.declare_port({"lb", "lb.assign", PortRecord::kRead, 64, 1});
+}
+
+void
 LoadBalancer::on_slot_config(uint8_t rpu, const rpu::SlotConfig& cfg) {
     if (rpu >= config_.rpu_count) return;
+    if (staging()) {
+        staged_configs_.emplace_back(rpu, cfg);
+        return;
+    }
     free_slots_[rpu].clear();
     for (uint32_t s = 1; s <= cfg.count; ++s) free_slots_[rpu].push_back(uint8_t(s));
 }
@@ -27,6 +55,10 @@ LoadBalancer::on_slot_config(uint8_t rpu, const rpu::SlotConfig& cfg) {
 void
 LoadBalancer::on_slot_free(uint8_t rpu, uint8_t slot) {
     if (rpu >= config_.rpu_count) return;
+    if (staging()) {
+        staged_frees_.emplace_back(rpu, slot);
+        return;
+    }
     free_slots_[rpu].push_back(slot);
 }
 
@@ -36,6 +68,37 @@ LoadBalancer::request_slot(uint8_t dst_rpu) {
     uint8_t s = free_slots_[dst_rpu].front();
     free_slots_[dst_rpu].pop_front();
     return s;
+}
+
+void
+LoadBalancer::request_slot_routed(uint8_t requester, uint8_t dst_rpu) {
+    if (staging()) {
+        staged_requests_.emplace_back(requester, dst_rpu);
+        return;
+    }
+    if (slot_response_) slot_response_(requester, dst_rpu, request_slot(dst_rpu));
+}
+
+void
+LoadBalancer::commit_staged() {
+    if (staged_configs_.empty() && staged_frees_.empty() && staged_requests_.empty()) {
+        return;
+    }
+    // Deterministic application order regardless of which component ticked
+    // first: slot configs, then frees, then requests by requester id.
+    for (const auto& [rpu, cfg] : staged_configs_) {
+        free_slots_[rpu].clear();
+        for (uint32_t s = 1; s <= cfg.count; ++s) free_slots_[rpu].push_back(uint8_t(s));
+    }
+    staged_configs_.clear();
+    for (const auto& [rpu, slot] : staged_frees_) free_slots_[rpu].push_back(slot);
+    staged_frees_.clear();
+    std::stable_sort(staged_requests_.begin(), staged_requests_.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [requester, dst] : staged_requests_) {
+        if (slot_response_) slot_response_(requester, dst, request_slot(dst));
+    }
+    staged_requests_.clear();
 }
 
 uint8_t

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -83,6 +84,15 @@ class LoadBalancer {
 
     LoadBalancer(sim::Stats& stats, const Config& config);
 
+    /// Clock the LB's control channels: RPU-side slot frees, slot configs
+    /// and remote-slot requests arriving during a tick are staged and
+    /// applied at the clock edge in a deterministic order (configs, then
+    /// frees, then requests sorted by requester), so the free-slot state
+    /// does not depend on component tick order. Unattached (standalone
+    /// tests), every call applies immediately. Also declares the LB's
+    /// control nets in the elaboration netlist.
+    void attach(sim::Kernel& kernel);
+
     // --- data-plane interface (called by the distribution fabric) -----------
 
     /// Try to label `pkt` with a destination RPU and slot. Returns false
@@ -102,7 +112,17 @@ class LoadBalancer {
     void on_slot_free(uint8_t rpu, uint8_t slot);
 
     /// Loopback support: an RPU asks for a slot in a specific other RPU.
+    /// Immediate form, used standalone and by the host tooling.
     std::optional<uint8_t> request_slot(uint8_t dst_rpu);
+
+    /// Routed form used by the System wiring: the answer is delivered via
+    /// the slot-response handler (at this LB's commit when attached).
+    void request_slot_routed(uint8_t requester, uint8_t dst_rpu);
+
+    /// Response channel back to the requesting RPU.
+    using SlotResponseFn =
+        std::function<void(uint8_t requester, uint8_t dst_rpu, std::optional<uint8_t> slot)>;
+    void set_slot_response_handler(SlotResponseFn fn) { slot_response_ = std::move(fn); }
 
     // --- host configuration channel ------------------------------------------
 
@@ -122,9 +142,26 @@ class LoadBalancer {
  private:
     uint8_t pick_rr(uint32_t eligible);
     std::optional<uint8_t> pick_for(const net::PacketPtr& pkt, uint32_t hash);
+    bool staging() const { return kernel_ && kernel_->in_tick(); }
+    void commit_staged();
+
+    /// Clock-edge adapter registering the LB with the kernel on attach().
+    struct CommitAdapter : sim::Clocked {
+        explicit CommitAdapter(LoadBalancer& lb) : lb(lb) {}
+        void commit() override { lb.commit_staged(); }
+        LoadBalancer& lb;
+    };
 
     sim::Stats& stats_;
     Config config_;
+    sim::Kernel* kernel_ = nullptr;
+    std::unique_ptr<CommitAdapter> adapter_;
+    SlotResponseFn slot_response_;
+
+    // Control-channel traffic staged during the tick phase.
+    std::vector<std::pair<uint8_t, rpu::SlotConfig>> staged_configs_;
+    std::vector<std::pair<uint8_t, uint8_t>> staged_frees_;     ///< (rpu, slot)
+    std::vector<std::pair<uint8_t, uint8_t>> staged_requests_;  ///< (requester, dst)
     std::vector<std::deque<uint8_t>> free_slots_;
     uint32_t recv_mask_;
     uint32_t enable_mask_;

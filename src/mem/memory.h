@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/kernel.h"
 #include "sim/log.h"
 #include "sim/resources.h"
 
@@ -95,6 +96,16 @@ class Memory {
     void fill(uint8_t v) { std::fill(bytes_.begin(), bytes_.end(), v); }
 
     const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+    /// Record this memory in the elaboration netlist as a `width`-bit port
+    /// owned (read+written) by `component` — memories are component-local,
+    /// so both endpoints belong to the owner.
+    void declare_ports(sim::Kernel& kernel, const std::string& component,
+                       unsigned width_bits = 32) const {
+        kernel.declare_net({name_, sim::NetRecord::kLink, width_bits, 1, 0});
+        kernel.declare_port({component, name_, sim::PortRecord::kWrite, width_bits, 1});
+        kernel.declare_port({component, name_, sim::PortRecord::kRead, width_bits, 1});
+    }
 
  private:
     void check(uint32_t addr, uint32_t len) const {

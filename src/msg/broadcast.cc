@@ -7,8 +7,16 @@ BroadcastNetwork::BroadcastNetwork(sim::Kernel& kernel, sim::Stats& stats,
     : sim::Component(kernel, "broadcast"),
       config_(config),
       stats_(stats),
-      tx_fifos_(config.rpu_count),
-      sinks_(config.rpu_count) {}
+      sinks_(config.rpu_count) {
+    tx_fifos_.reserve(config.rpu_count);
+    for (unsigned i = 0; i < config.rpu_count; ++i) {
+        std::string net = "broadcast.tx" + std::to_string(i);
+        tx_fifos_.push_back(std::make_unique<sim::Fifo<Msg>>(
+            kernel, net, config.tx_fifo_depth, 64u, 0u,
+            sim::CreditPolicy::kRegistered));
+        kernel.declare_port({name(), net, sim::PortRecord::kRead, 64, 0});
+    }
+}
 
 void
 BroadcastNetwork::set_deliver(unsigned rpu, DeliverFn fn) {
@@ -18,12 +26,10 @@ BroadcastNetwork::set_deliver(unsigned rpu, DeliverFn fn) {
 bool
 BroadcastNetwork::try_send(uint8_t rpu, uint32_t offset, uint32_t value) {
     if (rpu >= tx_fifos_.size()) return false;
-    auto& fifo = tx_fifos_[rpu];
-    if (fifo.size() >= config_.tx_fifo_depth) {
+    if (!tx_fifos_[rpu]->push({offset, value})) {
         stats_.counter("broadcast.tx_blocked").add();
         return false;
     }
-    fifo.push_back({offset, value});
     return true;
 }
 
@@ -38,9 +44,8 @@ BroadcastNetwork::tick() {
     if (grant_credit_ >= config_.grant_interval_tenths) {
         for (unsigned i = 0; i < config_.rpu_count; ++i) {
             unsigned cand = (rr_ + i) % config_.rpu_count;
-            if (tx_fifos_[cand].empty()) continue;
-            Msg m = tx_fifos_[cand].front();
-            tx_fifos_[cand].pop_front();
+            if (tx_fifos_[cand]->empty()) continue;
+            Msg m = tx_fifos_[cand]->pop();
             // Deterministic path-length spread across the distribution pipe.
             sim::Cycle delay =
                 config_.pipeline_min_cycles +

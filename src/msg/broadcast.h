@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "sim/fifo.h"
 #include "sim/kernel.h"
 #include "sim/resources.h"
 #include "sim/stats.h"
@@ -74,7 +76,9 @@ class BroadcastNetwork : public sim::Component {
 
     Config config_;
     sim::Stats& stats_;
-    std::vector<std::deque<Msg>> tx_fifos_;
+    /// Per-sender registered TX FIFOs: the sending RPU pushes while this
+    /// component pops, so they use registered (order-independent) credit.
+    std::vector<std::unique_ptr<sim::Fifo<Msg>>> tx_fifos_;
     std::vector<DeliverFn> sinks_;
     std::deque<InFlight> in_flight_;
     unsigned rr_ = 0;

@@ -115,6 +115,12 @@ run_differential(const RunSpec& spec) {
     src.max_packets = spec.max_packets;
     sys.add_source(src, [gen] { return gen->next(); });
 
+    // Elaboration lint: running it across the sweep doubles as coverage
+    // that every pipeline/policy/rpu-count combination builds a clean
+    // netlist (the in-System pre-cycle-0 gate would also catch this, but
+    // here the findings land in the differential report).
+    auto lint_violations = sys.lint_check();
+
     if (spec.mid_run) {
         sys.run_cycles(spec.run_cycles / 2);
         spec.mid_run(sys);
@@ -129,7 +135,12 @@ run_differential(const RunSpec& spec) {
     RunResult res;
     res.counts = scoreboard.finish();
     res.report = scoreboard.report();
-    res.ok = res.counts.divergences == 0 && res.counts.offered > 0;
+    res.ok = res.counts.divergences == 0 && res.counts.offered > 0 &&
+             lint_violations.empty();
+    if (!lint_violations.empty()) {
+        res.report = "netlist lint violations:\n" + lint::report(lint_violations) +
+                     res.report;
+    }
     return res;
 }
 

@@ -83,6 +83,10 @@ inline constexpr uint32_t kIrqTimer = 1u << 6;  ///< internal watchdog timer
 
 // --- descriptor ------------------------------------------------------------
 
+/// Descriptors and broadcast messages are exchanged as two 32-bit words,
+/// i.e. a 64-bit channel (used by the netlist width checks).
+inline constexpr unsigned kDescWidthBits = 64;
+
 /// Decoded descriptor. See the packing notes in the file comment.
 struct Desc {
     uint16_t len = 0;

@@ -32,10 +32,46 @@ Rpu::Rpu(sim::Kernel& kernel, sim::Stats& stats, const Config& config)
       bus_(*this),
       core_("rpu" + std::to_string(config.id) + ".core", bus_),
       slot_pkts_(256),
-      rx_fifo_(kernel, name() + ".rx_fifo", config.rx_fifo_depth),
-      tx_fifo_(kernel, name() + ".tx_fifo", config.tx_cmd_depth),
+      rx_fifo_(kernel, name() + ".rx_fifo", config.rx_fifo_depth, kDescWidthBits),
+      tx_fifo_(kernel, name() + ".tx_fifo", config.tx_cmd_depth, kDescWidthBits),
       bcast_mem_(kBcastSize, 0),
-      bcast_notify_(kernel, name() + ".bcast_notify", config.bcast_notify_depth) {}
+      // Registered credit: the broadcast network pushes while this RPU's
+      // core pops, so the full/empty answer must not depend on tick order.
+      bcast_notify_(kernel, name() + ".bcast_notify", config.bcast_notify_depth,
+                    kDescWidthBits, 0, sim::CreditPolicy::kRegistered) {
+    declare_netlist(kernel);
+}
+
+void
+Rpu::declare_netlist(sim::Kernel& kernel) {
+    using sim::NetRecord;
+    using sim::PortRecord;
+    const unsigned link_bits = config_.link_bytes_per_cycle * 8;
+
+    // The ingress link from the distribution fabric (written by Fabric).
+    kernel.declare_net({name() + ".link_in", NetRecord::kLink, link_bits, 1, 0});
+    kernel.declare_port({name(), name() + ".link_in", PortRecord::kRead, link_bits, 1});
+
+    // Broadcast delivery lane (written by the messaging network).
+    kernel.declare_net({name() + ".bcast_in", NetRecord::kLink, kDescWidthBits, 1, 0});
+    kernel.declare_port({name(), name() + ".bcast_in", PortRecord::kRead, kDescWidthBits, 1});
+
+    // Endpoints of the self-declared FIFOs (rx/tx descriptors are produced
+    // and consumed inside the RPU; bcast_notify is written by broadcast).
+    kernel.declare_port({name(), name() + ".rx_fifo", PortRecord::kWrite,
+                         kDescWidthBits, config_.rx_fifo_depth});
+    kernel.declare_port({name(), name() + ".rx_fifo", PortRecord::kRead, kDescWidthBits, 0});
+    kernel.declare_port({name(), name() + ".tx_fifo", PortRecord::kWrite,
+                         kDescWidthBits, config_.tx_cmd_depth});
+    kernel.declare_port({name(), name() + ".tx_fifo", PortRecord::kRead, kDescWidthBits, 0});
+    kernel.declare_port({name(), name() + ".bcast_notify", PortRecord::kRead,
+                         kDescWidthBits, 0});
+
+    // Memory subsystem (Figure 3).
+    dmem_.declare_ports(kernel, name());
+    pmem_.declare_ports(kernel, name());
+    amem_.declare_ports(kernel, name());
+}
 
 std::string
 Rpu::stat(const char* suffix) const {
@@ -53,7 +89,17 @@ Rpu::load_firmware(const std::vector<uint32_t>& image, uint32_t entry) {
 void
 Rpu::attach_accelerator(std::unique_ptr<Accelerator> accel) {
     accel_ = std::move(accel);
-    if (accel_) accel_->reset();
+    if (accel_) {
+        accel_->reset();
+        // Re-elaborate the accelerator socket: declare_net is idempotent
+        // by name, so a reconfiguration swap simply refreshes the record.
+        kernel().declare_net(
+            {name() + ".accel_link", sim::NetRecord::kLink, 32, 1, 0});
+        kernel().declare_port({name(), name() + ".accel_link",
+                               sim::PortRecord::kWrite, 32, 1});
+        kernel().declare_port({name(), name() + ".accel_link",
+                               sim::PortRecord::kRead, 32, 1});
+    }
 }
 
 void
@@ -68,6 +114,10 @@ Rpu::boot() {
     rx_pkt_.reset();
     rx_remaining_ = 0;
     rx_gap_ = 0;
+    rx_next_remaining_ = 0;
+    rx_next_gap_ = 0;
+    rx_pending_.reset();
+    bcast_pending_.clear();
     tx_cur_.reset();
     tx_out_.reset();
     tx_remaining_ = 0;
@@ -84,9 +134,35 @@ Rpu::halt() {
     core_.stop();
 }
 
+bool
+Rpu::rx_ready() const {
+    if (!kernel().in_tick()) return rx_remaining_ == 0 && rx_gap_ == 0;
+    if (rx_pending_) return false;
+    // Post-tick lookahead: replay this cycle's RX-engine transition on the
+    // committed state, so the answer is the same whether or not this RPU
+    // has already ticked.
+    uint32_t rem = rx_remaining_;
+    uint32_t gap = rx_gap_;
+    if (rem > 0) {
+        if (--rem == 0) gap = config_.ingress_gap_cycles;
+    } else if (gap > 0) {
+        --gap;
+    }
+    return rem == 0 && gap == 0;
+}
+
 void
 Rpu::begin_rx(net::PacketPtr pkt) {
     if (!rx_ready()) sim::panic(name() + ": begin_rx while busy");
+    if (kernel().in_tick()) {
+        rx_pending_ = std::move(pkt);  // transfer starts at this commit
+        return;
+    }
+    apply_begin_rx(std::move(pkt));
+}
+
+void
+Rpu::apply_begin_rx(net::PacketPtr pkt) {
     uint32_t bytes = pkt->size() + (pkt->hash_prepended ? 4 : 0);
     rx_pkt_ = std::move(pkt);
     rx_remaining_ = div_ceil(bytes == 0 ? 1 : bytes, config_.link_bytes_per_cycle);
@@ -156,17 +232,32 @@ Rpu::tick() {
         accel_->tick(ctx);
     }
 
-    // RX engine: one packet in flight, 16 B/cycle, then a setup gap.
-    if (rx_remaining_ > 0) {
-        if (--rx_remaining_ == 0) {
+    // RX engine: one packet in flight, 16 B/cycle, then a setup gap. The
+    // transition is staged (committed state stays observable to the fabric
+    // through rx_ready's lookahead) and applied in commit().
+    rx_next_remaining_ = rx_remaining_;
+    rx_next_gap_ = rx_gap_;
+    if (rx_next_remaining_ > 0) {
+        if (--rx_next_remaining_ == 0) {
             finish_rx();
-            rx_gap_ = config_.ingress_gap_cycles;
+            rx_next_gap_ = config_.ingress_gap_cycles;
         }
-    } else if (rx_gap_ > 0) {
-        --rx_gap_;
+    } else if (rx_next_gap_ > 0) {
+        --rx_next_gap_;
     }
 
     tick_tx();
+}
+
+void
+Rpu::commit() {
+    rx_remaining_ = rx_next_remaining_;
+    rx_gap_ = rx_next_gap_;
+    if (rx_pending_) apply_begin_rx(std::move(rx_pending_));
+    for (const auto& [offset, value] : bcast_pending_) {
+        std::memcpy(&bcast_mem_[offset], &value, 4);
+    }
+    bcast_pending_.clear();
 }
 
 void
@@ -243,7 +334,13 @@ Rpu::tick_tx() {
 void
 Rpu::broadcast_deliver(uint32_t offset, uint32_t value) {
     if (offset + 4 > kBcastSize) return;
-    std::memcpy(&bcast_mem_[offset], &value, 4);
+    if (kernel().in_tick()) {
+        // Delivered from the broadcast network's tick: the semi-coherent
+        // copy updates at commit so the core never sees a half-cycle value.
+        bcast_pending_.emplace_back(offset, value);
+    } else {
+        std::memcpy(&bcast_mem_[offset], &value, 4);
+    }
     if (!bcast_notify_.push({offset, value})) ++bcast_notify_drops_;
 }
 
@@ -309,9 +406,10 @@ Rpu::io_write(uint32_t offset, uint32_t value) {
         break;
     case kRegLbSlotReq:
         if (slot_req_) {
-            auto granted = slot_req_(uint8_t(value));
-            slot_resp_ = granted ? (uint32_t(value + 1) << 16 | *granted) : 1u;
-            // Control-channel round trip to the LB (paper Figure 4b).
+            // The LB answers via slot_response() at its commit; the reply
+            // register only unlocks after the control-channel round trip
+            // (paper Figure 4b), long after the answer has landed.
+            slot_req_(config_.id, uint8_t(value));
             slot_resp_ready_cycle_ = uint32_t(now()) + 8;
         }
         break;

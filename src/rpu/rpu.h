@@ -102,11 +102,17 @@ class Rpu : public sim::Component {
 
     // --- distribution-subsystem interface -----------------------------------
 
-    /// True if the ingress link can accept a new packet this cycle.
-    bool rx_ready() const { return rx_remaining_ == 0 && rx_gap_ == 0; }
+    /// True if the ingress link can accept a new packet this cycle. During
+    /// the tick phase this is a post-tick lookahead of the committed RX
+    /// engine state, so the answer does not depend on whether this RPU has
+    /// ticked yet (tick-order independence); outside the tick phase it
+    /// reports the committed state directly.
+    bool rx_ready() const;
 
     /// Begin streaming `pkt` into packet memory (dest_slot must be set).
-    /// Precondition: rx_ready().
+    /// Precondition: rx_ready(). During the tick phase the transfer is
+    /// staged and starts at this cycle's commit; host/test callers outside
+    /// the tick phase start it immediately.
     void begin_rx(net::PacketPtr pkt);
 
     /// Number of packets currently buffered in this RPU (in flight +
@@ -136,11 +142,16 @@ class Rpu : public sim::Component {
     using BroadcastSender = std::function<bool(uint8_t rpu, uint32_t offset, uint32_t value)>;
     void set_broadcast_sender(BroadcastSender h) { bcast_send_ = std::move(h); }
 
-    /// Remote-slot allocation for loopback sends; returns nullopt when no
-    /// slot is free (firmware keeps polling).
-    using SlotRequestHandler =
-        std::function<std::optional<uint8_t>(uint8_t dst_rpu)>;
+    /// Remote-slot allocation for loopback sends: the request is routed to
+    /// the LB, which answers (at its commit) via slot_response(). Firmware
+    /// polls kRegLbSlotResp for the answer.
+    using SlotRequestHandler = std::function<void(uint8_t requester, uint8_t dst_rpu)>;
     void set_slot_request_handler(SlotRequestHandler h) { slot_req_ = std::move(h); }
+
+    /// LB answer to a routed slot request: `slot` empty = denied.
+    void slot_response(uint8_t dst_rpu, std::optional<uint8_t> slot) {
+        slot_resp_ = slot ? (uint32_t(dst_rpu + 1) << 16 | *slot) : 1u;
+    }
 
     /// Broadcast delivery from the messaging network (simultaneous on all
     /// RPUs): updates the local semi-coherent copy + notify FIFO.
@@ -161,6 +172,10 @@ class Rpu : public sim::Component {
     // --- simulation ----------------------------------------------------------
 
     void tick() override;
+
+    /// Applies the RX-engine state transition staged by tick() plus any
+    /// begin_rx/broadcast delivery staged by other components this cycle.
+    void commit() override;
 
     /// Footprint of the base RPU (core + memory subsystem + accelerator
     /// manager), excluding the attached accelerator.
@@ -188,8 +203,10 @@ class Rpu : public sim::Component {
 
     uint32_t io_read(uint32_t offset);
     void io_write(uint32_t offset, uint32_t value);
+    void apply_begin_rx(net::PacketPtr pkt);
     void finish_rx();
     void tick_tx();
+    void declare_netlist(sim::Kernel& kernel);
     std::string stat(const char* suffix) const;
 
     Config config_;
@@ -212,11 +229,17 @@ class Rpu : public sim::Component {
     SlotConfig staged_slots_;  ///< being written by firmware, pre-commit
     std::vector<net::PacketPtr> slot_pkts_;
 
-    // RX engine.
+    // RX engine. `rx_remaining_`/`rx_gap_` are the committed state other
+    // components may observe (through rx_ready's lookahead); tick() stages
+    // the next values and commit() applies them, so the engine advances
+    // identically under any component tick order.
     sim::Fifo<Desc> rx_fifo_;
     net::PacketPtr rx_pkt_;
     uint32_t rx_remaining_ = 0;  ///< cycles left in the current transfer
     uint32_t rx_gap_ = 0;        ///< post-transfer setup gap
+    uint32_t rx_next_remaining_ = 0;  ///< staged by tick()
+    uint32_t rx_next_gap_ = 0;        ///< staged by tick()
+    net::PacketPtr rx_pending_;       ///< begin_rx staged during a tick
     uint32_t occupancy_ = 0;
 
     // TX engine.
@@ -238,8 +261,10 @@ class Rpu : public sim::Component {
     uint32_t irq_mask_ = 0;
     uint32_t irq_status_ = 0;
 
-    // Broadcast endpoint.
+    // Broadcast endpoint. Deliveries arriving during a tick are staged in
+    // `bcast_pending_` and land in the semi-coherent copy at commit.
     std::vector<uint8_t> bcast_mem_;
+    std::vector<std::pair<uint32_t, uint32_t>> bcast_pending_;
     sim::Fifo<std::pair<uint32_t, uint32_t>> bcast_notify_;
     uint64_t bcast_notify_drops_ = 0;
 

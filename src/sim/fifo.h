@@ -4,9 +4,22 @@
 /// These are the only legal communication channels between Components: a
 /// value pushed (or written) during cycle N becomes visible to consumers at
 /// cycle N+1, after the kernel's commit phase — exactly like a clocked FIFO
-/// or flop in the Verilog original. Capacity checks (`can_push`) observe
-/// committed occupancy minus committed pops plus staged pushes, so a
-/// producer can never overfill a FIFO within a cycle.
+/// or flop in the Verilog original.
+///
+/// Two credit policies govern what a producer sees as free space:
+///  * kSkidBuffer — `can_push` observes committed occupancy minus committed
+///    pops plus staged pushes; a same-cycle pop frees the slot (combinational
+///    ready, like a skid buffer). Only safe when pusher and popper are the
+///    same component — otherwise the answer depends on tick order.
+///  * kRegistered — `can_push` ignores same-cycle pops (registered ready, one
+///    cycle of credit-return latency). Safe across components.
+///
+/// Both primitives participate in the dynamic race detector: every stage
+/// and pop records the acting component and cycle, and a same-cycle access
+/// from a *different* component that could observe tick-order-dependent
+/// state faults via sim::fatal (catchable in tests). They also self-declare
+/// into the kernel's elaboration netlist so the static linter in src/lint/
+/// can check widths, depths and port discipline before cycle 0.
 
 #ifndef ROSEBUD_SIM_FIFO_H
 #define ROSEBUD_SIM_FIFO_H
@@ -18,73 +31,101 @@
 #include <vector>
 
 #include "sim/kernel.h"
+#include "sim/log.h"
 
 namespace rosebud::sim {
 
+/// How a FIFO reports free space to producers (see file comment).
+enum class CreditPolicy : uint8_t { kSkidBuffer, kRegistered };
+
 /// A clocked FIFO with bounded capacity.
-///
-/// Push/pop in the same cycle on a 1-deep FIFO behaves like a skid buffer:
-/// the pop frees the slot for the commit of the push (pops commit before
-/// pushes within this element's commit).
 template <typename T>
 class Fifo : public Clocked {
  public:
-    /// \param kernel   Clock domain to register with.
-    /// \param name     Instance name (for debugging/stats).
-    /// \param capacity Maximum committed occupancy, must be >= 1.
-    Fifo(Kernel& kernel, std::string name, size_t capacity)
-        : name_(std::move(name)), capacity_(capacity) {
+    /// \param kernel     Clock domain to register with.
+    /// \param name       Instance name; becomes the netlist net name.
+    /// \param capacity   Maximum committed occupancy, must be >= 1.
+    /// \param width_bits Datapath width recorded in the netlist (0 = unspecified).
+    /// \param net_flags  NetFlag bits recorded in the netlist.
+    /// \param credit     Free-space policy (see file comment).
+    Fifo(Kernel& kernel, std::string name, size_t capacity,
+         unsigned width_bits = 0, unsigned net_flags = 0,
+         CreditPolicy credit = CreditPolicy::kSkidBuffer)
+        : kernel_(kernel), name_(std::move(name)), capacity_(capacity),
+          credit_(credit) {
         assert(capacity >= 1);
         kernel.add_clocked(this);
+        kernel.declare_net({name_, NetRecord::kFifo, width_bits, capacity_,
+                            net_flags});
     }
 
     /// True if a push this cycle will be accepted.
     bool can_push() const {
+        check_credit_read();
+        if (credit_ == CreditPolicy::kRegistered)
+            return stable_.size() + staged_.size() < capacity_;
         return stable_.size() - popped_ + staged_.size() < capacity_;
     }
 
     /// Stage a push; visible to `front`/`pop` from the next cycle.
     /// Returns false (and drops nothing — caller keeps the value) if full.
     [[nodiscard]] bool push(T v) {
+        check_stage("push");
         if (!can_push()) return false;
         staged_.push_back(std::move(v));
         return true;
     }
 
     /// True if nothing is poppable this cycle.
-    bool empty() const { return popped_ >= stable_.size(); }
+    bool empty() const {
+        check_pop_read("empty");
+        return popped_ >= stable_.size();
+    }
 
     /// Committed occupancy visible this cycle (ignores staged pushes).
-    size_t size() const { return stable_.size() - popped_; }
+    size_t size() const {
+        check_pop_read("size");
+        return stable_.size() - popped_;
+    }
 
     size_t capacity() const { return capacity_; }
 
+    CreditPolicy credit_policy() const { return credit_; }
+
     /// Free slots as seen by a producer this cycle.
     size_t free_slots() const {
+        check_credit_read();
+        if (credit_ == CreditPolicy::kRegistered)
+            return capacity_ - (stable_.size() + staged_.size());
         return capacity_ - (stable_.size() - popped_ + staged_.size());
     }
 
     /// Oldest committed element. Precondition: !empty().
     const T& front() const {
-        assert(!empty());
+        check_pop_read("front");
+        assert(popped_ < stable_.size());
         return stable_[popped_];
     }
 
     /// Pop the oldest committed element.
     T pop() {
-        assert(!empty());
+        check_pop_write();
+        assert(popped_ < stable_.size());
         return std::move(stable_[popped_++]);
     }
 
     void commit() override {
-        stable_.erase(stable_.begin(), stable_.begin() + popped_);
+        stable_.erase(stable_.begin(), stable_.begin() + long(popped_));
         popped_ = 0;
         for (auto& v : staged_) stable_.push_back(std::move(v));
         staged_.clear();
     }
 
     /// Drop all contents immediately (used on RPU reset/reconfiguration).
+    /// Counts as both a stage and a pop for the race detector.
     void clear() {
+        check_stage("clear");
+        check_pop_write();
         stable_.clear();
         staged_.clear();
         popped_ = 0;
@@ -93,26 +134,124 @@ class Fifo : public Clocked {
     const std::string& name() const { return name_; }
 
  private:
+    // --- dynamic two-phase race detector -------------------------------------
+    //
+    // Each check compares the acting component against the component that
+    // already touched this FIFO in the same cycle. Accesses from outside
+    // the tick phase (host/test code, commit handlers) are exempt: they
+    // run at a well-defined point relative to the clock.
+
+    const Component* actor() const {
+        if (!kernel_.race_check() || !kernel_.in_tick()) return nullptr;
+        return kernel_.active_component();
+    }
+
+    void race(const std::string& what) const {
+        fatal("race on fifo '" + name_ + "': " + what + " @cycle " +
+              std::to_string(kernel_.now()));
+    }
+
+    /// Staging (push/clear): two different components staging into the same
+    /// FIFO in one cycle makes the queue order depend on tick order.
+    void check_stage(const char* op) {
+        const Component* a = actor();
+        if (!a) return;
+        if (stage_cycle_ == kernel_.now() && stager_ && stager_ != a) {
+            race(std::string(op) + " by '" + a->name() +
+                 "' after same-cycle stage by '" + stager_->name() + "'");
+        }
+        stager_ = a;
+        stage_cycle_ = kernel_.now();
+    }
+
+    /// Popping (pop/clear): two different components consuming in one cycle.
+    void check_pop_write() {
+        const Component* a = actor();
+        // Host-phase pops happen before every tick of the cycle — all
+        // in-tick readers see them uniformly, so they are not recorded.
+        if (!a) return;
+        if (pop_cycle_ == kernel_.now() && popper_ && popper_ != a) {
+            race("pop by '" + a->name() + "' after same-cycle pop by '" +
+                 popper_->name() + "'");
+        }
+        popper_ = a;
+        pop_cycle_ = kernel_.now();
+    }
+
+    /// Reads that observe `popped_` (empty/size/front): order-dependent if
+    /// a *different* component already popped this cycle.
+    void check_pop_read(const char* op) const {
+        const Component* a = actor();
+        if (!a) return;
+        if (pop_cycle_ == kernel_.now() && popper_ && popper_ != a) {
+            race(std::string(op) + " by '" + a->name() +
+                 "' after same-cycle pop by '" + popper_->name() + "'");
+        }
+    }
+
+    /// Credit reads (can_push/free_slots): under kSkidBuffer these observe
+    /// `popped_` too; under kRegistered they are pop-independent and safe.
+    void check_credit_read() const {
+        if (credit_ == CreditPolicy::kRegistered) return;
+        check_pop_read("credit check");
+    }
+
+    Kernel& kernel_;
     std::string name_;
     size_t capacity_;
+    CreditPolicy credit_;
     std::deque<T> stable_;
     std::vector<T> staged_;
     size_t popped_ = 0;
+
+    const Component* stager_ = nullptr;
+    const Component* popper_ = nullptr;
+    Cycle stage_cycle_ = ~Cycle(0);
+    Cycle pop_cycle_ = ~Cycle(0);
 };
 
 /// A single clocked register: writes become visible next cycle.
 template <typename T>
 class Reg : public Clocked {
  public:
-    Reg(Kernel& kernel, T reset = T{}) : value_(std::move(reset)) {
+    /// Anonymous register (not recorded in the netlist).
+    explicit Reg(Kernel& kernel, T reset = T{})
+        : kernel_(kernel), value_(std::move(reset)) {
         kernel.add_clocked(this);
     }
 
-    /// Committed value as of this cycle.
-    const T& get() const { return value_; }
+    /// Named register, recorded in the elaboration netlist.
+    Reg(Kernel& kernel, std::string name, T reset, unsigned width_bits,
+        unsigned net_flags = 0)
+        : kernel_(kernel), name_(std::move(name)), value_(std::move(reset)) {
+        kernel.add_clocked(this);
+        kernel.declare_net({name_, NetRecord::kReg, width_bits, 1, net_flags});
+    }
 
-    /// Stage a new value; last write in a cycle wins.
+    /// Committed value as of this cycle. Faults if a *different* component
+    /// staged a write earlier in the same cycle: the reader would see
+    /// this-cycle or last-cycle data depending on tick order. (The staged
+    /// value is not returned either way; the fault flags the dependence.)
+    const T& get() const {
+        const Component* a = actor();
+        if (a && set_cycle_ == kernel_.now() && setter_ && setter_ != a) {
+            race("get by '" + a->name() + "' after same-cycle set by '" +
+                 setter_->name() + "'");
+        }
+        return value_;
+    }
+
+    /// Stage a new value; last write in a cycle wins — which is only
+    /// deterministic for a single writer, so cross-component double-sets
+    /// fault.
     void set(T v) {
+        const Component* a = actor();
+        if (a && set_cycle_ == kernel_.now() && setter_ && setter_ != a) {
+            race("set by '" + a->name() + "' after same-cycle set by '" +
+                 setter_->name() + "'");
+        }
+        setter_ = a;
+        set_cycle_ = kernel_.now();
         staged_ = std::move(v);
         dirty_ = true;
     }
@@ -124,10 +263,27 @@ class Reg : public Clocked {
         }
     }
 
+    const std::string& name() const { return name_; }
+
  private:
+    const Component* actor() const {
+        if (!kernel_.race_check() || !kernel_.in_tick()) return nullptr;
+        return kernel_.active_component();
+    }
+
+    void race(const std::string& what) const {
+        fatal("race on reg '" + (name_.empty() ? "<anon>" : name_) + "': " +
+              what + " @cycle " + std::to_string(kernel_.now()));
+    }
+
+    Kernel& kernel_;
+    std::string name_;
     T value_;
     T staged_{};
     bool dirty_ = false;
+
+    const Component* setter_ = nullptr;
+    Cycle set_cycle_ = ~Cycle(0);
 };
 
 }  // namespace rosebud::sim

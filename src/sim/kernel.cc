@@ -1,5 +1,7 @@
 #include "sim/kernel.h"
 
+#include <algorithm>
+
 namespace rosebud::sim {
 
 Component::Component(Kernel& kernel, std::string name)
@@ -9,15 +11,84 @@ Component::Component(Kernel& kernel, std::string name)
 
 void
 Kernel::step() {
-    for (Component* c : components_) c->tick();
-    for (Component* c : components_) c->commit();
+    if (!prestep_done_) {
+        prestep_done_ = true;
+        if (prestep_hook_) prestep_hook_(*this);
+    }
+    phase_ = Phase::kTick;
+    for (Component* c : components_) {
+        active_ = c;
+        c->tick();
+    }
+    phase_ = Phase::kCommit;
+    for (Component* c : components_) {
+        active_ = c;
+        c->commit();
+    }
+    active_ = nullptr;
     for (Clocked* c : clocked_) c->commit();
+    phase_ = Phase::kIdle;
     ++now_;
 }
 
 void
 Kernel::run(Cycle cycles) {
     for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+namespace {
+
+// splitmix64: small, well-mixed PRNG for the deterministic shuffle.
+uint64_t
+mix64(uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void
+Kernel::shuffle_tick_order(uint64_t seed) {
+    uint64_t state = seed;
+    // Fisher-Yates over the current registration order.
+    for (size_t i = components_.size(); i > 1; --i) {
+        size_t j = size_t(mix64(state) % i);
+        std::swap(components_[i - 1], components_[j]);
+    }
+}
+
+std::vector<std::string>
+Kernel::tick_order() const {
+    std::vector<std::string> names;
+    names.reserve(components_.size());
+    for (const Component* c : components_) names.push_back(c->name());
+    return names;
+}
+
+void
+Kernel::declare_net(NetRecord net) {
+    for (NetRecord& n : nets_) {
+        if (n.name == net.name) {
+            n = std::move(net);
+            return;
+        }
+    }
+    nets_.push_back(std::move(net));
+}
+
+void
+Kernel::declare_port(PortRecord port) {
+    for (const PortRecord& p : ports_) {
+        if (p.component == port.component && p.net == port.net &&
+            p.dir == port.dir && p.width_bits == port.width_bits &&
+            p.depth == port.depth) {
+            return;
+        }
+    }
+    ports_.push_back(std::move(port));
 }
 
 }  // namespace rosebud::sim

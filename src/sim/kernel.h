@@ -8,11 +8,23 @@
 /// (`commit`). Inter-component communication happens exclusively through
 /// registered primitives (sim::Fifo, sim::Reg), which makes results
 /// independent of component iteration order.
+///
+/// That independence is machine-checked rather than assumed:
+///  * the kernel tracks which component is ticking and whether the clock is
+///    in the tick or commit phase, so the primitives can fault when two
+///    components stage into the same element in one cycle (the dynamic
+///    race detector, see sim/fifo.h);
+///  * `shuffle_tick_order` permutes the component iteration order under a
+///    seed, so a test can assert bit-identical runs across orders;
+///  * every primitive and abstract inter-component link is recorded in a
+///    netlist (nets + directed ports) that the static checker in
+///    src/lint/ validates before cycle 0.
 
 #ifndef ROSEBUD_SIM_KERNEL_H
 #define ROSEBUD_SIM_KERNEL_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,6 +59,52 @@ class Clocked {
 };
 
 class Kernel;
+
+// --- elaboration netlist -----------------------------------------------------
+
+/// Behaviour flags on a net (see lint::check_netlist for how each check
+/// consumes them).
+enum NetFlag : unsigned {
+    /// Written by the outside world (e.g. the MAC RX wire): a missing
+    /// writer port is not a violation.
+    kNetExternalSource = 1u << 0,
+    /// Drained by the outside world (the wire, the host): a missing reader
+    /// port is not a violation.
+    kNetExternalSink = 1u << 1,
+    /// Fan-in with declared arbitration is allowed (> 1 writer component).
+    kNetMultiWriter = 1u << 2,
+    /// Fan-out is allowed (> 1 reader component, e.g. broadcast delivery).
+    kNetMultiReader = 1u << 3,
+};
+
+/// One registered communication element: a Fifo/Reg primitive or an
+/// abstract credit-based link (a callback boundary that behaves like a
+/// 1-deep registered channel). Primitives self-declare at construction;
+/// abstract links are declared by the component or wiring code that owns
+/// them.
+struct NetRecord {
+    enum Kind : uint8_t { kFifo, kReg, kLink };
+
+    std::string name;        ///< unique instance name, e.g. "rpu3.rx_fifo"
+    Kind kind = kFifo;
+    unsigned width_bits = 0; ///< datapath width (0 = unspecified)
+    size_t depth = 0;        ///< entries (fifo capacity; 1 for reg/link)
+    unsigned flags = 0;      ///< NetFlag bits
+};
+
+/// A directed endpoint: `component` writes to / reads from `net`.
+/// `width_bits`/`depth` are the producer/consumer-side expectations; when
+/// nonzero they must match the net (credit counters sized against a
+/// different FIFO depth are exactly the class of RTL bug this catches).
+struct PortRecord {
+    enum Dir : uint8_t { kWrite, kRead };
+
+    std::string component;
+    std::string net;
+    Dir dir = kWrite;
+    unsigned width_bits = 0;  ///< 0 = unspecified (inherits the net's)
+    size_t depth = 0;         ///< 0 = unspecified
+};
 
 /// A hardware block with per-cycle behaviour.
 ///
@@ -87,6 +145,9 @@ class Component : public Clocked {
 /// simulated time. Not thread safe; one kernel per simulated system.
 class Kernel {
  public:
+    /// Where the clock currently stands within Kernel::step().
+    enum class Phase : uint8_t { kIdle, kTick, kCommit };
+
     Kernel() = default;
     Kernel(const Kernel&) = delete;
     Kernel& operator=(const Kernel&) = delete;
@@ -123,10 +184,69 @@ class Kernel {
     /// Number of registered components.
     size_t component_count() const { return components_.size(); }
 
+    // --- phase/actor tracking (race detector substrate) ---------------------
+
+    /// Where the clock stands right now.
+    Phase phase() const { return phase_; }
+
+    /// True while some component's tick() is on the stack.
+    bool in_tick() const { return phase_ == Phase::kTick; }
+
+    /// The component whose tick()/commit() is currently running (null
+    /// between steps, i.e. for host/test code).
+    const Component* active_component() const { return active_; }
+
+    /// Enable/disable the dynamic same-cycle race checks in Fifo/Reg.
+    /// On by default: the checks are a handful of integer compares.
+    void set_race_check(bool on) { race_check_ = on; }
+    bool race_check() const { return race_check_; }
+
+    // --- tick-order shuffling -------------------------------------------------
+
+    /// Deterministically permute the component tick order under `seed`.
+    /// Because all inter-component state flows through registered
+    /// primitives, any permutation must produce a bit-identical run; the
+    /// determinism tests assert exactly that. Components registered after
+    /// the shuffle are appended in registration order. Commit order is
+    /// left untouched (commits are mutually independent by construction).
+    void shuffle_tick_order(uint64_t seed);
+
+    /// Current tick order, for diagnostics.
+    std::vector<std::string> tick_order() const;
+
+    // --- elaboration netlist ---------------------------------------------------
+
+    /// Record a net. Re-declaring the same name replaces the record (a
+    /// reconfigured accelerator re-elaborates its nets).
+    void declare_net(NetRecord net);
+
+    /// Record a directed port. Exact duplicates are dropped.
+    void declare_port(PortRecord port);
+
+    const std::vector<NetRecord>& nets() const { return nets_; }
+    const std::vector<PortRecord>& ports() const { return ports_; }
+
+    /// Hook run once, immediately before the first step(). System installs
+    /// the static lint pass here so that everything constructed up front —
+    /// including traffic sources added after the System — is elaborated
+    /// and checked before cycle 0.
+    void set_prestep_hook(std::function<void(Kernel&)> fn) {
+        prestep_hook_ = std::move(fn);
+    }
+
  private:
     std::vector<Component*> components_;
     std::vector<Clocked*> clocked_;
     Cycle now_ = 0;
+
+    Phase phase_ = Phase::kIdle;
+    const Component* active_ = nullptr;
+    bool race_check_ = true;
+
+    std::vector<NetRecord> nets_;
+    std::vector<PortRecord> ports_;
+    std::function<void(Kernel&)> prestep_hook_;
+    bool prestep_done_ = false;
 };
 
 inline Cycle Component::now() const { return kernel_.now(); }

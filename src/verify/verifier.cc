@@ -185,6 +185,13 @@ is_terminator(const Insn& d) {
 /// transfer functions produce without overflowing int64.
 constexpr int64_t kClamp = int64_t(1) << 40;
 constexpr int64_t kWordMax = (int64_t(1) << 32) - 1;
+constexpr int64_t kI32Min = -(int64_t(1) << 31);
+constexpr int64_t kI32Max = (int64_t(1) << 31) - 1;
+
+int64_t
+mag64(int64_t v) {
+    return v < 0 ? -v : v;
+}
 
 /// Abstract register: a signed interval plus a must-initialized bit.
 struct AbsVal {
@@ -308,7 +315,19 @@ eval_alu(const Insn& d, const AbsVal& a, const AbsVal& b, uint32_t pc) {
         if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
         return {init, 0, 1};
     case 4:  // xor/xori (div)
-        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) {
+            // div. RISC-V M: x/0 = -1 and INT_MIN/-1 = INT_MIN, so both
+            // special cases stay within [-max|a|, max|a|] for |b| >= 0.
+            // An unknown dividend is still a 32-bit word: [i32min, i32max].
+            if (b.lo < kI32Min || b.hi > kI32Max) return top();
+            const bool aw = a.lo >= kI32Min && a.hi <= kI32Max;
+            const int64_t alo = aw ? a.lo : kI32Min;
+            const int64_t ahi = aw ? a.hi : kI32Max;
+            if (blo == 0 && bhi == 0) return {init, -1, -1};
+            if (blo >= 1 && alo >= 0) return {init, alo / bhi, ahi / blo};
+            const int64_t m = std::max({mag64(alo), mag64(ahi), int64_t(1)});
+            return {init, -m, m};
+        }
         if (a.is_const() && blo == bhi) {
             return {init, int64_t(uint32_t(a.lo) ^ uint32_t(blo)),
                     int64_t(uint32_t(a.lo) ^ uint32_t(blo))};
@@ -318,7 +337,17 @@ eval_alu(const Insn& d, const AbsVal& a, const AbsVal& b, uint32_t pc) {
         }
         return top();
     case 5:  // srl/sra/srli/srai (divu)
-        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) {
+            // divu. RISC-V M: x/0 = 2^32-1; otherwise the quotient shrinks
+            // monotonically with the divisor, so the corners are exact.
+            // An unknown dividend is still a 32-bit word: [0, 2^32-1].
+            if (b.lo < 0 || b.hi > kWordMax) return top();
+            const bool aw = a.lo >= 0 && a.hi <= kWordMax;
+            const int64_t alo = aw ? a.lo : 0;
+            const int64_t ahi = aw ? a.hi : kWordMax;
+            if (bhi == 0) return {init, kWordMax, kWordMax};
+            return {init, alo / bhi, blo >= 1 ? ahi / blo : kWordMax};
+        }
         if (blo == bhi) {
             const int64_t s = blo & 0x1f;
             const bool arith = d.funct7 == 0x20 || (imm_form && (d.imm & 0x400));
@@ -329,7 +358,18 @@ eval_alu(const Insn& d, const AbsVal& a, const AbsVal& b, uint32_t pc) {
         }
         return top();
     case 6:  // or/ori (rem)
-        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) {
+            // rem. RISC-V M: x%0 = x and INT_MIN%-1 = 0; otherwise
+            // |r| < |b|, |r| <= |a|, and r takes the dividend's sign.
+            // An unknown dividend is still a 32-bit word: [i32min, i32max].
+            if (b.lo < kI32Min || b.hi > kI32Max) return top();
+            const bool aw = a.lo >= kI32Min && a.hi <= kI32Max;
+            const int64_t alo = aw ? a.lo : kI32Min;
+            const int64_t ahi = aw ? a.hi : kI32Max;
+            if (blo >= 1 && alo >= 0) return {init, 0, std::min(bhi - 1, ahi)};
+            const int64_t m = std::max(mag64(alo), mag64(ahi));
+            return {init, alo >= 0 ? 0 : -m, ahi <= 0 ? 0 : m};
+        }
         if (a.is_const() && blo == bhi) {
             return AbsVal::constant(int64_t(uint32_t(a.lo) | uint32_t(blo)));
         }
@@ -338,7 +378,17 @@ eval_alu(const Insn& d, const AbsVal& a, const AbsVal& b, uint32_t pc) {
         }
         return top();
     case 7:  // and/andi (remu)
-        if (d.op == Op::kAluReg && d.funct7 == 0x01) return top();
+        if (d.op == Op::kAluReg && d.funct7 == 0x01) {
+            // remu. RISC-V M: x%0 = x; otherwise r < b and r <= a.
+            // An unknown dividend is still a 32-bit word: [0, 2^32-1].
+            if (b.lo < 0 || b.hi > kWordMax) return top();
+            const bool aw = a.lo >= 0 && a.hi <= kWordMax;
+            const int64_t alo = aw ? a.lo : 0;
+            const int64_t ahi = aw ? a.hi : kWordMax;
+            if (bhi == 0) return {init, alo, ahi};
+            if (blo >= 1) return {init, 0, std::min(bhi - 1, ahi)};
+            return {init, 0, std::max(ahi, bhi - 1)};
+        }
         if (a.is_const() && blo == bhi) {
             return AbsVal::constant(int64_t(uint32_t(a.lo) & uint32_t(blo)));
         }

@@ -267,6 +267,110 @@ TEST(Verifier, InterruptHandlerDiscoveredThroughMtvecIsAnalyzed) {
     EXPECT_EQ(r.roots.size(), 2u);
 }
 
+// --- M-extension interval transfer functions --------------------------------
+
+TEST(Verifier, RemuBoundsAnUnknownValueForAddressing) {
+    // The `hash % N` steering idiom: an unknown word modulo a constant is
+    // a valid table index. Without the remu transfer function the result
+    // is top and the DMEM store below is flagged out of bounds.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);  // unknown but initialized word
+    a.li(t1, 16);
+    a.remu(t2, t0, t1);  // [0, 15]
+    a.slli(t2, t2, 2);   // [0, 60]
+    a.li(t3, rpu::kDmemBase);
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);  // provably inside DMEM
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, DivuBoundsTheQuotientByTheDivisor) {
+    // An unknown word divided by 2^26 is at most 63: scaled by 4 it stays
+    // inside DMEM. Exercises the divu corner arithmetic.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);
+    a.li(t1, 1 << 26);
+    a.divu(t2, t0, t1);  // [0, 63]
+    a.slli(t2, t2, 2);   // [0, 252]
+    a.li(t3, rpu::kDmemBase);
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, DivByPositiveConstantKeepsNonNegativeRangeExact) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);
+    a.andi(t0, t0, 0x7ff);  // [0, 2047]
+    a.li(t1, 8);
+    a.div(t2, t0, t1);  // [0, 255]
+    a.slli(t2, t2, 2);  // [0, 1020]
+    a.li(t3, rpu::kDmemBase);
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, RemKeepsNonNegativeDividendSign) {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);
+    a.andi(t0, t0, 0x7ff);  // non-negative dividend [0, 2047]
+    a.li(t1, 32);
+    a.rem(t2, t0, t1);  // [0, 31]
+    a.slli(t2, t2, 2);  // [0, 124]
+    a.li(t3, rpu::kDmemBase);
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, RemuRangePlacedOutsideEveryRegionIsRejected) {
+    // Negative control that only fires *because of* the remu transfer
+    // function: the bounded range [0x03000000, 0x0300000f] is provably
+    // outside every mapped region. With remu going to top, the address
+    // would be unknown and the verifier could not prove the violation.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);
+    a.li(t1, 16);
+    a.remu(t2, t0, t1);    // [0, 15]
+    a.li(t3, 0x03000000);  // past the broadcast region
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kMemory)) << r.summary();
+}
+
+TEST(Verifier, DivRangePlacedOutsideEveryRegionIsRejected) {
+    // Same shape for signed div: [0, 2047]/2 = [0, 1023], provably out of
+    // bounds once rebased past the mapped regions.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);
+    a.andi(t0, t0, 0x7ff);
+    a.li(t1, 2);
+    a.div(t2, t0, t1);     // [0, 1023]
+    a.li(t3, 0x03000000);
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kMemory)) << r.summary();
+}
+
 // --- host load gate --------------------------------------------------------
 
 SystemConfig
