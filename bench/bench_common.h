@@ -7,12 +7,83 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/system.h"
+#include "obs/json.h"
 #include "oracle/harness.h"
 #include "sim/resources.h"
 
 namespace rosebud::bench {
+
+/// Machine-readable bench output. When the ROSEBUD_BENCH_JSON environment
+/// variable names a directory, each bench binary that uses this collector
+/// writes `<dir>/<bench-name>.json` with one object per recorded data
+/// point, so plotting/regression tooling doesn't have to scrape stdout.
+/// With the variable unset, recording is a no-op.
+class JsonResults {
+ public:
+    explicit JsonResults(std::string bench_name) : name_(std::move(bench_name)) {
+        const char* dir = std::getenv("ROSEBUD_BENCH_JSON");
+        if (dir && *dir) path_ = std::string(dir) + "/" + name_ + ".json";
+    }
+    ~JsonResults() { save(); }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /// Record one data point: alternating key, numeric-or-string value
+    /// pairs, e.g. row({{"size","64"},{"gbps","93.1"}}). Values parseable
+    /// as numbers are emitted as numbers.
+    void row(std::vector<std::pair<std::string, std::string>> kv) {
+        if (enabled()) rows_.push_back(std::move(kv));
+    }
+
+    void save() {
+        if (!enabled() || saved_) return;
+        saved_ = true;
+        obs::JsonWriter w;
+        w.begin_object();
+        w.key("bench").value(name_);
+        w.key("rows").begin_array();
+        for (const auto& r : rows_) {
+            w.begin_object();
+            for (const auto& [k, v] : r) {
+                w.key(k);
+                char* end = nullptr;
+                double num = std::strtod(v.c_str(), &end);
+                if (end && *end == '\0' && end != v.c_str()) {
+                    w.value(num);
+                } else {
+                    w.value(v);
+                }
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        if (FILE* f = std::fopen(path_.c_str(), "w")) {
+            std::string s = w.str();
+            std::fwrite(s.data(), 1, s.size(), f);
+            std::fclose(f);
+            std::printf("[json] results written to %s\n", path_.c_str());
+        } else {
+            std::fprintf(stderr, "[json] cannot write %s\n", path_.c_str());
+        }
+    }
+
+ private:
+    std::string name_;
+    std::string path_;
+    std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+    bool saved_ = false;
+};
+
+inline std::string
+num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+}
 
 inline void
 heading(const std::string& title) {

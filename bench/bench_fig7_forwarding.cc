@@ -14,7 +14,7 @@ using namespace rosebud;
 namespace {
 
 void
-sweep(unsigned rpus, unsigned ports) {
+sweep(unsigned rpus, unsigned ports, bench::JsonResults& json) {
     std::printf("\n--- %u RPUs, %u x 100 Gbps ---\n", rpus, ports);
     std::printf("%8s %14s %14s %12s %12s %8s\n", "size(B)", "achieved(Gbps)",
                 "line(Gbps)", "rate(Mpps)", "max(Mpps)", "frac");
@@ -27,6 +27,12 @@ sweep(unsigned rpus, unsigned ports) {
         std::printf("%8u %14.2f %14.2f %12.2f %12.2f %7.1f%%\n", size, r.achieved_gbps,
                     r.line_gbps, r.achieved_mpps, r.line_mpps,
                     100.0 * r.achieved_gbps / r.line_gbps);
+        json.row({{"rpus", std::to_string(rpus)},
+                  {"ports", std::to_string(ports)},
+                  {"size", std::to_string(size)},
+                  {"achieved_gbps", bench::num(r.achieved_gbps)},
+                  {"line_gbps", bench::num(r.line_gbps)},
+                  {"achieved_mpps", bench::num(r.achieved_mpps)}});
     }
 }
 
@@ -36,11 +42,12 @@ int
 main() {
     bench::check_with_oracle(oracle::Pipeline::kForwarder, 16);
     bench::check_with_oracle(oracle::Pipeline::kForwarder, 8);
+    bench::JsonResults json("fig7_forwarding");
     bench::heading("Figure 7a: forwarding throughput, 16 RPUs");
-    sweep(16, 2);
-    sweep(16, 1);
+    sweep(16, 2, json);
+    sweep(16, 1, json);
     bench::heading("Figure 7b: forwarding throughput, 8 RPUs");
-    sweep(8, 2);
-    sweep(8, 1);
+    sweep(8, 2, json);
+    sweep(8, 1, json);
     return 0;
 }

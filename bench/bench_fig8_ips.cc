@@ -23,6 +23,7 @@ main() {
     auto rules = net::IdsRuleSet::synthesize(64, rng);
     baseline::SnortModel snort(rules);
 
+    bench::JsonResults json("fig8_ips");
     bench::heading("Figure 8a/8b: IPS bandwidth and packet rate (1% attack, 0.3% reorder)");
     std::printf("%8s | %13s %13s | %13s %13s | %13s %13s | %10s\n", "size(B)",
                 "HW(Gbps)", "HW(Mpps)", "SW(Gbps)", "SW(Mpps)", "Snort(Gbps)",
@@ -45,6 +46,11 @@ main() {
         std::printf("%8u | %13.1f %13.2f | %13.1f %13.2f | %13.1f %13.2f | %10.1f\n",
                     size, hw.achieved_gbps, hw.achieved_mpps, sw.achieved_gbps,
                     sw.achieved_mpps, sn.gbps, sn.mpps, hw.line_gbps);
+        json.row({{"size", std::to_string(size)},
+                  {"hw_gbps", bench::num(hw.achieved_gbps)},
+                  {"sw_gbps", bench::num(sw.achieved_gbps)},
+                  {"snort_gbps", bench::num(sn.gbps)},
+                  {"line_gbps", bench::num(hw.line_gbps)}});
     }
 
     std::printf("\nDetection check (HW reorder, 1024 B): ");

@@ -45,6 +45,7 @@ main() {
                 matcher.entry_count());
 
     bench::heading("Section 7.2: firewall throughput with injected attack traffic");
+    bench::JsonResults json("table4_firewall");
     std::printf("%8s %14s %12s %8s %10s %10s\n", "size(B)", "absorbed(Gbps)",
                 "line(Gbps)", "frac", "blocked", "expected");
     for (uint32_t size : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
@@ -55,6 +56,11 @@ main() {
                     r.line_gbps, 100.0 * r.achieved_gbps / r.line_gbps,
                     (unsigned long long)r.blocked,
                     (unsigned long long)r.expected_blocked);
+        json.row({{"size", std::to_string(size)},
+                  {"absorbed_gbps", bench::num(r.achieved_gbps)},
+                  {"line_gbps", bench::num(r.line_gbps)},
+                  {"blocked", std::to_string(r.blocked)},
+                  {"expected_blocked", std::to_string(r.expected_blocked)}});
     }
     std::printf("paper: 200 Gbps for packets >= 256 B\n");
     return 0;

@@ -21,6 +21,9 @@
 #include "core/experiments.h"
 #include "firmware/programs.h"
 #include "lint/netlist.h"
+#include "obs/harness.h"
+#include "obs/profile.h"
+#include "obs/report.h"
 #include "oracle/harness.h"
 #include "verify/verifier.h"
 
@@ -70,7 +73,14 @@ usage() {
                  "             (static firmware verification; exits 1 on any error)\n"
                  "  lint       --rpus N (omit to sweep 4/8/16) --dot FILE\n"
                  "             (elaborate every shipped config and run the static\n"
-                 "              netlist checks; exits 1 on any violation)\n");
+                 "              netlist checks; exits 1 on any violation)\n"
+                 "  profile    --pipeline forwarder|firewall|ids-hw|ids-sw|nat\n"
+                 "             --rpus N --size N --load F --cycles N --seed N\n"
+                 "             --epoch N --top N --vcd FILE --trace FILE --json FILE\n"
+                 "             (full-stack telemetry run: stall attribution report,\n"
+                 "              GTKWave waveforms, Perfetto trace, firmware hot spots;\n"
+                 "              default outputs rosebud_profile.vcd,\n"
+                 "              rosebud_trace.json, rosebud_profile.json)\n");
     return 2;
 }
 
@@ -309,6 +319,51 @@ main(int argc, char** argv) {
             std::printf("%zu lint violation(s)\n", total);
             return 1;
         }
+    } else if (args.experiment == "profile") {
+        obs::ProfileSpec s;
+        s.pipeline = oracle::parse_pipeline(args.str("pipeline", "forwarder"));
+        std::string pol = args.str(
+            "policy", s.pipeline == oracle::Pipeline::kPigasusSwReorder ? "hash" : "rr");
+        s.policy = pol == "hash" ? lb::Policy::kHash
+                   : pol == "ll" ? lb::Policy::kLeastLoaded
+                                 : lb::Policy::kRoundRobin;
+        s.rpu_count = args.u32("rpus", 8);
+        s.seed = args.u32("seed", 1);
+        s.packet_size = args.u32("size", 256);
+        s.load = args.f64("load", 0.7);
+        s.attack_fraction = args.f64("attack", 0.1);
+        s.run_cycles = args.u32("cycles", 50'000);
+        s.epoch_cycles = args.u32("epoch", 2048);
+        auto r = obs::run_profile(s);
+
+        std::printf("pipeline=%s policy=%s rpus=%u: %llu cycles, %llu frames out "
+                    "(%llu bytes)\n\n",
+                    oracle::pipeline_name(s.pipeline), pol.c_str(), s.rpu_count,
+                    (unsigned long long)r.cycles, (unsigned long long)r.rx_frames,
+                    (unsigned long long)r.rx_bytes);
+        std::printf("%s\n", obs::format_stall_report(r.stalls, args.u32("top", 12)).c_str());
+        std::printf("%s", obs::annotate(r.firmware.image, r.aggregate).c_str());
+
+        auto write_file = [](const std::string& path, const std::string& data) {
+            if (path.empty()) return;
+            if (FILE* f = std::fopen(path.c_str(), "w")) {
+                std::fwrite(data.data(), 1, data.size(), f);
+                std::fclose(f);
+                std::printf("wrote %s (%zu bytes)\n", path.c_str(), data.size());
+            } else {
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            }
+        };
+        write_file(args.str("vcd", "rosebud_profile.vcd"), r.vcd);
+        write_file(args.str("trace", "rosebud_trace.json"), r.trace);
+        std::string json = "{\"pipeline\":\"" +
+                           std::string(oracle::pipeline_name(s.pipeline)) +
+                           "\",\"rpus\":" + std::to_string(s.rpu_count) +
+                           ",\"cycles\":" + std::to_string(r.cycles) +
+                           ",\"rx_frames\":" + std::to_string(r.rx_frames) +
+                           ",\"stalls\":" + obs::stall_report_json(r.stalls) +
+                           ",\"firmware\":" + obs::profile_json(r.aggregate) + "}";
+        write_file(args.str("json", "rosebud_profile.json"), json);
     } else if (args.experiment == "resources") {
         SystemConfig cfg;
         cfg.rpu_count = args.u32("rpus", 16);

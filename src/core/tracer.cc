@@ -21,8 +21,28 @@ PacketTracer::record(const char* stage, const net::Packet& pkt, sim::Cycle cycle
     e.stage = stage;
     e.size = pkt.size();
     e.rpu = pkt.dest_rpu;
-    events_[pkt.id].push_back(std::move(e));
+    auto [it, inserted] = events_.try_emplace(pkt.id);
+    if (inserted) {
+        order_.push_back(pkt.id);
+        if (max_packets_ != 0) evict_to(max_packets_);
+    }
+    it->second.push_back(std::move(e));
     ++event_count_;
+}
+
+void
+PacketTracer::evict_to(size_t cap) {
+    while (events_.size() > cap && !order_.empty()) {
+        events_.erase(order_.front());
+        order_.pop_front();
+        ++evicted_;
+    }
+}
+
+void
+PacketTracer::set_max_packets(size_t cap) {
+    max_packets_ = cap;
+    if (cap != 0) evict_to(cap);
 }
 
 const std::vector<PacketTracer::Event>&

@@ -10,6 +10,7 @@
 #define ROSEBUD_CORE_TRACER_H
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -18,6 +19,12 @@
 
 namespace rosebud {
 
+/// Retention policy: the tracer keeps at most `max_packets()` distinct
+/// packet timelines (default kDefaultMaxPackets). When a new packet id
+/// arrives at the cap, the *oldest* packet's whole timeline is evicted —
+/// a ring over packet ids, so unbounded million-packet runs hold a bounded
+/// window of the most recent lifecycles. Late events for an evicted id
+/// start a fresh (partial) timeline; set_max_packets(0) disables eviction.
 class PacketTracer {
  public:
     struct Event {
@@ -26,6 +33,9 @@ class PacketTracer {
         uint32_t size = 0;
         uint8_t rpu = 0;
     };
+
+    /// Default retention cap (distinct packet ids).
+    static constexpr size_t kDefaultMaxPackets = 1u << 18;
 
     /// Start recording every packet event in `sys` (registered through
     /// System::add_packet_observer, so it composes with other observers
@@ -46,19 +56,33 @@ class PacketTracer {
     /// events).
     sim::Cycle transit_cycles(uint64_t packet_id) const;
 
-    /// Total events recorded.
+    /// Total events recorded (including events of since-evicted packets).
     size_t event_count() const { return event_count_; }
+
+    /// Packets whose timelines were evicted to honor the retention cap.
+    size_t evicted_packets() const { return evicted_; }
+
+    /// Change the retention cap (0 = unbounded). Takes effect on the next
+    /// record; existing timelines are trimmed oldest-first if over the cap.
+    void set_max_packets(size_t cap);
+    size_t max_packets() const { return max_packets_; }
 
     void clear() {
         events_.clear();
+        order_.clear();
         event_count_ = 0;
+        evicted_ = 0;
     }
 
  private:
     void record(const char* stage, const net::Packet& pkt, sim::Cycle cycle);
+    void evict_to(size_t cap);
 
     std::map<uint64_t, std::vector<Event>> events_;
+    std::deque<uint64_t> order_;  ///< packet ids in first-seen order
+    size_t max_packets_ = kDefaultMaxPackets;
     size_t event_count_ = 0;
+    size_t evicted_ = 0;
     static const std::vector<Event> kEmpty;
 };
 

@@ -105,10 +105,12 @@ Fabric::mac_rx(unsigned port, net::PacketPtr pkt) {
         if (occupied + p->size() > config_.mac_rx_fifo_bytes) {
             stats_.counter("port" + std::to_string(port) + ".rx_fifo_drops").add();
             trace("mac_rx_fifo_drop", *p);
+            tel(source_net(port), sim::TelemetrySink::NetEvent::kPushBlocked);
             all_ok = false;
             continue;
         }
         trace("mac_rx", *p);
+        tel(source_net(port), sim::TelemetrySink::NetEvent::kPushOk);
         if (in_tick) {
             src.staged_bytes += p->size();
             src.staged.push_back(std::move(p));
@@ -127,7 +129,11 @@ Fabric::host_inject(net::PacketPtr pkt) {
     IngressSource& src = sources_[kSrcHost];
     bool in_tick = kernel().in_tick();
     size_t occupied = in_tick ? src.admit_count + src.staged.size() : src.queue.size();
-    if (occupied >= config_.host_queue_packets) return false;
+    if (occupied >= config_.host_queue_packets) {
+        tel("fabric.host_q", sim::TelemetrySink::NetEvent::kPushBlocked);
+        return false;
+    }
+    tel("fabric.host_q", sim::TelemetrySink::NetEvent::kPushOk);
     pkt->in_iface = net::Iface::kHost;
     if (in_tick) {
         src.staged_bytes += pkt->size();
@@ -144,16 +150,27 @@ Fabric::host_inject(net::PacketPtr pkt) {
 
 bool
 Fabric::rpu_egress(uint8_t rpu, net::PacketPtr pkt) {
+    // Name construction only when a sink is attached (tel() re-checks, but
+    // the string argument would otherwise be built on every packet).
+    const std::string enet = kernel().telemetry()
+                                 ? "fabric.egress.r" + std::to_string(rpu)
+                                 : std::string();
     if (kernel().in_tick()) {
         if (egress_committed_[rpu] + egress_staged_[rpu].size() >= config_.egress_queue_depth) {
+            tel(enet, sim::TelemetrySink::NetEvent::kPushBlocked);
             return false;
         }
         trace("rpu_egress", *pkt);
+        tel(enet, sim::TelemetrySink::NetEvent::kPushOk);
         egress_staged_[rpu].push_back({std::move(pkt), now() + 1});
         return true;
     }
     auto& q = egress_queues_[rpu];
-    if (q.size() >= config_.egress_queue_depth) return false;
+    if (q.size() >= config_.egress_queue_depth) {
+        tel(enet, sim::TelemetrySink::NetEvent::kPushBlocked);
+        return false;
+    }
+    tel(enet, sim::TelemetrySink::NetEvent::kPushOk);
     trace("rpu_egress", *pkt);
     q.push_back({std::move(pkt), now() + 1});
     egress_committed_[rpu] = q.size();
@@ -178,6 +195,27 @@ Fabric::commit() {
         egress_staged_[r].clear();
         egress_committed_[r] = egress_queues_[r].size();
     }
+    if (kernel().telemetry()) report_occupancies();
+}
+
+void
+Fabric::report_occupancies() const {
+    sim::TelemetrySink* t = kernel().telemetry();
+    for (unsigned s = 0; s < kSourceCount; ++s) {
+        t->net_occupancy(source_net(s), sources_[s].queue.size(), 0);
+    }
+    for (unsigned r = 0; r < config_.rpu_count; ++r) {
+        for (unsigned s = 0; s < kSourceCount; ++s) {
+            t->net_occupancy(voq_net(uint8_t(r), s),
+                             voqs_[r * kSourceCount + s].size(), config_.voq_depth);
+        }
+        t->net_occupancy("fabric.egress.r" + std::to_string(r),
+                         egress_queues_[r].size(), config_.egress_queue_depth);
+    }
+    for (unsigned p = 0; p < 2; ++p) {
+        t->net_occupancy("fabric.mac_tx.p" + std::to_string(p), mac_tx_[p].fifo.size(), 0);
+    }
+    t->net_occupancy("fabric.host_out", pcie_tags_in_use_, config_.pcie_tags);
 }
 
 void
@@ -224,10 +262,13 @@ Fabric::tick_ingress_source(unsigned s) {
     if (src.stalled) {
         auto& q = voq(src.stalled->dest_rpu, s);
         if (q.size() < config_.voq_depth) {
+            tel(voq_net(src.stalled->dest_rpu, s), sim::TelemetrySink::NetEvent::kPushOk);
             q.push_back({src.stalled, now() + config_.ingress_pipe_cycles});
             src.stalled.reset();
         } else {
             stats_.counter("fabric.voq_stall").add();
+            tel(voq_net(src.stalled->dest_rpu, s),
+                sim::TelemetrySink::NetEvent::kPushBlocked);
         }
     }
 
@@ -250,6 +291,7 @@ Fabric::tick_ingress_source(unsigned s) {
     }
     src.queue.pop_front();
     src.queue_bytes -= head->size();
+    tel(source_net(s), sim::TelemetrySink::NetEvent::kPop);
     src.active = head;
     uint32_t bytes = head->size() + (head->hash_prepended ? 4 : 0);
     src.cycles_left = div_ceil(bytes, config_.stage1_bytes_per_cycle);
@@ -259,8 +301,10 @@ Fabric::tick_ingress_source(unsigned s) {
     // visible to the per-RPU link after the fixed distribution pipe.
     auto& q = voq(head->dest_rpu, s);
     if (q.size() < config_.voq_depth) {
+        tel(voq_net(head->dest_rpu, s), sim::TelemetrySink::NetEvent::kPushOk);
         q.push_back({head, now() + config_.ingress_pipe_cycles});
     } else {
+        tel(voq_net(head->dest_rpu, s), sim::TelemetrySink::NetEvent::kPushBlocked);
         src.stalled = head;
     }
 }
@@ -275,6 +319,10 @@ Fabric::tick_rpu_links() {
             auto& q = voq(uint8_t(r), s);
             if (q.empty() || q.front().ready > now()) continue;
             trace("rpu_link_dispatch", *q.front().pkt);
+            if (kernel().telemetry()) {
+                tel(voq_net(uint8_t(r), s), sim::TelemetrySink::NetEvent::kPop);
+                tel(rpu->name() + ".link_in", sim::TelemetrySink::NetEvent::kPushOk);
+            }
             rpu->begin_rx(q.front().pkt);
             q.pop_front();
             rpu_rr_[r] = (s + 1) % kSourceCount;
@@ -309,6 +357,10 @@ Fabric::tick_egress() {
             dest.active = q.front().pkt;
             dest.cycles_left = div_ceil(dest.active->size(), config_.stage1_bytes_per_cycle);
             q.pop_front();
+            if (kernel().telemetry()) {
+                tel("fabric.egress.r" + std::to_string(r),
+                    sim::TelemetrySink::NetEvent::kPop);
+            }
             dest.rr = (r + 1) % config_.rpu_count;
             if (!try_egress_handoff(d, dest.active)) dest.done = dest.active;
             break;
@@ -320,7 +372,13 @@ bool
 Fabric::try_egress_handoff(unsigned d, const net::PacketPtr& p) {
     if (d <= 1) {
         MacTx& mac = mac_tx_[d];
-        if (mac.fifo_bytes + p->size() > config_.mac_tx_fifo_bytes) return false;
+        const std::string mnet =
+            kernel().telemetry() ? "fabric.mac_tx.p" + std::to_string(d) : std::string();
+        if (mac.fifo_bytes + p->size() > config_.mac_tx_fifo_bytes) {
+            tel(mnet, sim::TelemetrySink::NetEvent::kPushBlocked);
+            return false;
+        }
+        tel(mnet, sim::TelemetrySink::NetEvent::kPushOk);
         mac.fifo_bytes += p->size();
         mac.fifo.push_back({p, now() + config_.egress_pipe_cycles});
         return true;
@@ -329,15 +387,21 @@ Fabric::try_egress_handoff(unsigned d, const net::PacketPtr& p) {
         // DMA-tag admission: each in-flight host transfer holds a tag.
         if (pcie_tags_in_use_ >= config_.pcie_tags) {
             stats_.counter("host.tag_stall").add();
+            tel("fabric.host_out", sim::TelemetrySink::NetEvent::kPushBlocked);
             return false;
         }
+        tel("fabric.host_out", sim::TelemetrySink::NetEvent::kPushOk);
         ++pcie_tags_in_use_;
         host_out_.push_back({p, now() + config_.pcie_latency_cycles});
         return true;
     }
     // Loopback: the single 100G channel with a per-packet routing header.
     IngressSource& lp = sources_[kSrcLoopback];
-    if (loopback_.active || lp.queue.size() >= config_.loopback_queue_packets) return false;
+    if (loopback_.active || lp.queue.size() >= config_.loopback_queue_packets) {
+        tel("fabric.loopback_q", sim::TelemetrySink::NetEvent::kPushBlocked);
+        return false;
+    }
+    tel("fabric.loopback_q", sim::TelemetrySink::NetEvent::kPushOk);
     loopback_.active = p;
     uint32_t wire = p->size() + config_.loopback_header_bytes;
     uint32_t need = wire > loopback_.line_credit ? wire - loopback_.line_credit : 0;
@@ -384,6 +448,10 @@ Fabric::tick_mac_tx() {
             mac.active = mac.fifo.front().pkt;
             mac.fifo_bytes -= mac.active->size();
             mac.fifo.pop_front();
+            if (kernel().telemetry()) {
+                tel("fabric.mac_tx.p" + std::to_string(port),
+                    sim::TelemetrySink::NetEvent::kPop);
+            }
             // Bit-serial line: carry the fractional-cycle remainder so the
             // long-run rate is exactly line_bytes_per_cycle.
             uint32_t wire = mac.active->wire_size();

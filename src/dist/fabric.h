@@ -163,6 +163,20 @@ class Fabric : public sim::Component {
     std::deque<TimedPkt>& voq(uint8_t rpu, unsigned source) {
         return voqs_[rpu * kSourceCount + source];
     }
+    // Telemetry taps on the abstract (non-sim::Fifo) links; one pointer
+    // compare when no sink is attached.
+    void tel(const std::string& net, sim::TelemetrySink::NetEvent ev) const {
+        if (sim::TelemetrySink* t = kernel().telemetry()) t->net_event(net, ev);
+    }
+    static std::string voq_net(uint8_t rpu, unsigned source) {
+        return "fabric.voq.r" + std::to_string(rpu) + ".s" + std::to_string(source);
+    }
+    static std::string source_net(unsigned s) {
+        if (s == kSrcHost) return "fabric.host_q";
+        if (s == kSrcLoopback) return "fabric.loopback_q";
+        return "fabric.mac_rx.p" + std::to_string(s);
+    }
+    void report_occupancies() const;
     void tick_ingress_source(unsigned s);
     void tick_rpu_links();
     void tick_egress();

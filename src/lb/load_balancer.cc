@@ -167,7 +167,17 @@ LoadBalancer::try_assign(const net::PacketPtr& pkt) {
     auto rpu = pick_for(pkt, hash);
     if (!rpu) {
         stats_.counter("lb.assign_stall").add();
+        if (kernel_) {
+            if (sim::TelemetrySink* t = kernel_->telemetry()) {
+                t->net_event("lb.assign", sim::TelemetrySink::NetEvent::kPushBlocked);
+            }
+        }
         return false;
+    }
+    if (kernel_) {
+        if (sim::TelemetrySink* t = kernel_->telemetry()) {
+            t->net_event("lb.assign", sim::TelemetrySink::NetEvent::kPushOk);
+        }
     }
 
     uint8_t slot = free_slots_[*rpu].front();

@@ -212,6 +212,20 @@ check_resource_fit(const std::string& name, const sim::ResourceFootprint& total,
              "'" + name + "' exceeds device capacity:" + over.str()}};
 }
 
+const sim::NetRecord*
+find_net(const sim::Kernel& kernel, const std::string& name) {
+    for (const auto& n : kernel.nets()) {
+        if (n.name == name) return &n;
+    }
+    return nullptr;
+}
+
+std::string
+component_of(const std::string& net_name) {
+    size_t dot = net_name.find('.');
+    return dot == std::string::npos ? net_name : net_name.substr(0, dot);
+}
+
 std::string
 to_dot(const sim::Kernel& kernel) {
     std::ostringstream os;

@@ -1,0 +1,114 @@
+#include "obs/harness.h"
+
+#include <memory>
+
+#include "accel/firewall.h"
+#include "accel/nat.h"
+#include "accel/pigasus.h"
+#include "core/tracer.h"
+#include "net/tracegen.h"
+#include "obs/perfetto.h"
+#include "obs/telemetry.h"
+
+namespace rosebud::obs {
+
+ProfileResult
+run_profile(const ProfileSpec& spec) {
+    SystemConfig scfg;
+    scfg.rpu_count = spec.rpu_count;
+    scfg.lb_policy = spec.policy;
+    // The HW-reorder IDS firmware expects the inline reassembler in the LB.
+    scfg.hw_reassembler = spec.pipeline == oracle::Pipeline::kPigasusHwReorder;
+    System sys(scfg);
+
+    sim::Rng rng(spec.seed);
+    net::IdsRuleSet rules;
+    net::Blacklist blacklist;
+    accel::NatEngine::Params nat_params{};
+    const net::IdsRuleSet* gen_rules = nullptr;
+    const net::Blacklist* gen_blacklist = nullptr;
+
+    fwlib::Program fw;
+    switch (spec.pipeline) {
+    case oracle::Pipeline::kForwarder:
+        fw = fwlib::forwarder();
+        break;
+    case oracle::Pipeline::kFirewall:
+        blacklist = net::Blacklist::synthesize(spec.blacklist_count, rng);
+        sys.attach_accelerators(
+            [&] { return std::make_unique<accel::FirewallMatcher>(blacklist); });
+        fw = fwlib::firewall();
+        gen_blacklist = &blacklist;
+        break;
+    case oracle::Pipeline::kPigasusHwReorder:
+    case oracle::Pipeline::kPigasusSwReorder:
+        rules = net::IdsRuleSet::synthesize(spec.rule_count, rng);
+        sys.attach_accelerators(
+            [&] { return std::make_unique<accel::PigasusMatcher>(rules); });
+        fw = spec.pipeline == oracle::Pipeline::kPigasusHwReorder
+                 ? fwlib::pigasus_hw_reorder()
+                 : fwlib::pigasus_sw_reorder();
+        gen_rules = &rules;
+        break;
+    case oracle::Pipeline::kNat:
+        blacklist = net::Blacklist::synthesize(spec.blacklist_count, rng);
+        sys.attach_accelerators(
+            [&] { return std::make_unique<accel::NatEngine>(nat_params); });
+        fw = fwlib::nat(fwlib::SlotParams{16, 16 * 1024},
+                        spec.policy == lb::Policy::kHash);
+        gen_blacklist = &blacklist;
+        break;
+    }
+
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+
+    // The full observability stack, attached before the first cycle so the
+    // per-net cycle classification covers the entire run.
+    Telemetry::Config tcfg;
+    tcfg.epoch_cycles = spec.epoch_cycles;
+    tcfg.capture_vcd = spec.capture_vcd;
+    tcfg.watch_counters = {"lb.assign_stall", "fabric.voq_stall"};
+    Telemetry telem(tcfg);
+    telem.attach(sys);
+
+    PacketTracer tracer;
+    tracer.set_max_packets(spec.trace_max_packets);
+    tracer.attach(sys);
+
+    for (unsigned i = 0; i < sys.rpu_count(); ++i) sys.rpu(i).core().set_profile(true);
+
+    net::TrafficSpec tspec;
+    tspec.packet_size = spec.packet_size;
+    tspec.attack_fraction = spec.attack_fraction;
+    tspec.flow_count = spec.flow_count;
+    tspec.udp_fraction = spec.udp_fraction;
+    tspec.seed = spec.seed * 2654435761u + 1;
+    auto gen = std::make_shared<net::TraceGenerator>(tspec, gen_rules, gen_blacklist);
+
+    dist::TrafficSource::Config src;
+    src.port = 0;
+    src.load = spec.load;
+    src.max_packets = spec.max_packets;
+    sys.add_source(src, [gen] { return gen->next(); });
+
+    sys.run_cycles(spec.run_cycles);
+
+    ProfileResult res;
+    res.cycles = telem.cycles_observed();
+    res.stalls = build_stall_report(telem);
+    res.cores = collect_profiles(sys);
+    res.aggregate = aggregate_profiles(res.cores);
+    res.firmware = fw;
+    res.trace = trace_json(tracer, &telem, spec.trace_max_packets);
+    if (spec.capture_vcd) res.vcd = telem.vcd().str();
+    for (unsigned p = 0; p < 2; ++p) {
+        res.rx_frames += sys.sink(p).frames();
+        res.rx_bytes += sys.sink(p).bytes();
+    }
+    res.stats_csv = sys.stats().to_csv();
+    telem.detach();
+    return res;
+}
+
+}  // namespace rosebud::obs

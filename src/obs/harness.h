@@ -1,0 +1,64 @@
+/// \file
+/// One-call profiling harness: build a full System for a named pipeline
+/// (same setup path as the oracle differential harness), attach the whole
+/// observability stack — telemetry/stall attribution, packet tracing,
+/// firmware PC sampling, optional VCD capture — run seeded traffic, and
+/// return every artifact. This is the engine behind `rosebud_cli profile`.
+
+#ifndef ROSEBUD_OBS_HARNESS_H
+#define ROSEBUD_OBS_HARNESS_H
+
+#include <string>
+#include <vector>
+
+#include "firmware/programs.h"
+#include "oracle/harness.h"
+#include "obs/profile.h"
+#include "obs/report.h"
+
+namespace rosebud::obs {
+
+struct ProfileSpec {
+    oracle::Pipeline pipeline = oracle::Pipeline::kForwarder;
+    unsigned rpu_count = 8;
+    lb::Policy policy = lb::Policy::kRoundRobin;
+    uint64_t seed = 1;
+
+    // Traffic shape (unlimited by default: profiling wants steady state).
+    uint32_t packet_size = 256;
+    double load = 0.7;
+    uint64_t max_packets = 0;  ///< 0 = unlimited
+    double attack_fraction = 0.1;
+    double udp_fraction = 0.2;
+    size_t flow_count = 64;
+    size_t rule_count = 24;
+    size_t blacklist_count = 48;
+
+    sim::Cycle run_cycles = 50'000;
+
+    // Observability knobs.
+    uint64_t epoch_cycles = 2048;
+    bool capture_vcd = true;
+    size_t trace_max_packets = 4096;
+};
+
+struct ProfileResult {
+    StallReport stalls;
+    std::vector<CoreProfile> cores;  ///< one per RPU
+    CoreProfile aggregate;           ///< summed across RPUs
+    fwlib::Program firmware;         ///< the image the annotation refers to
+    std::string vcd;                 ///< "" unless ProfileSpec::capture_vcd
+    std::string trace;               ///< Perfetto/Chrome trace JSON
+    uint64_t cycles = 0;
+    uint64_t rx_frames = 0;  ///< frames delivered to the tester sinks
+    uint64_t rx_bytes = 0;
+    std::string stats_csv;   ///< full sim::Stats dump (counters + samplers)
+};
+
+/// Build, instrument, run, collect. Fatals on unknown configurations
+/// (same rules as oracle::run_differential).
+ProfileResult run_profile(const ProfileSpec& spec);
+
+}  // namespace rosebud::obs
+
+#endif  // ROSEBUD_OBS_HARNESS_H

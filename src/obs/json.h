@@ -1,0 +1,129 @@
+/// \file
+/// Minimal JSON emitter shared by the observability exporters (Perfetto
+/// traces, stall reports, bench result files). Not a parser — the
+/// simulator only ever *produces* JSON for external tooling.
+
+#ifndef ROSEBUD_OBS_JSON_H
+#define ROSEBUD_OBS_JSON_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rosebud::obs {
+
+/// Escape a string for inclusion inside JSON double quotes.
+inline std::string
+json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/// Streaming writer with automatic comma placement. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("cycles").value(uint64_t(100));
+///   w.key("links").begin_array();
+///   ... w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+class JsonWriter {
+ public:
+    JsonWriter& begin_object() {
+        sep();
+        os_ << '{';
+        first_.push_back(true);
+        return *this;
+    }
+    JsonWriter& end_object() {
+        os_ << '}';
+        first_.pop_back();
+        return *this;
+    }
+    JsonWriter& begin_array() {
+        sep();
+        os_ << '[';
+        first_.push_back(true);
+        return *this;
+    }
+    JsonWriter& end_array() {
+        os_ << ']';
+        first_.pop_back();
+        return *this;
+    }
+    JsonWriter& key(const std::string& k) {
+        sep();
+        os_ << '"' << json_escape(k) << "\":";
+        pending_value_ = true;
+        return *this;
+    }
+    JsonWriter& value(const std::string& v) {
+        sep();
+        os_ << '"' << json_escape(v) << '"';
+        return *this;
+    }
+    JsonWriter& value(const char* v) { return value(std::string(v)); }
+    JsonWriter& value(uint64_t v) {
+        sep();
+        os_ << v;
+        return *this;
+    }
+    JsonWriter& value(int v) { return value(uint64_t(v)); }
+    JsonWriter& value(double v) {
+        sep();
+        // Fixed notation keeps Perfetto timestamps exact and parseable.
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6f", v);
+        os_ << buf;
+        return *this;
+    }
+    JsonWriter& value(bool v) {
+        sep();
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    std::string str() const { return os_.str(); }
+
+ private:
+    // Emit "," before any element that is not the first in its container;
+    // a value directly after key() never takes a comma.
+    void sep() {
+        if (pending_value_) {
+            pending_value_ = false;
+            return;
+        }
+        if (!first_.empty()) {
+            if (!first_.back()) os_ << ',';
+            first_.back() = false;
+        }
+    }
+
+    std::ostringstream os_;
+    std::vector<bool> first_;
+    bool pending_value_ = false;
+};
+
+}  // namespace rosebud::obs
+
+#endif  // ROSEBUD_OBS_JSON_H

@@ -1,0 +1,106 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "core/system.h"
+#include "obs/json.h"
+#include "rv/core.h"
+#include "rv/disasm.h"
+
+namespace rosebud::obs {
+
+CoreProfile
+collect_profile(const rv::Core& core) {
+    CoreProfile p;
+    p.name = core.name();
+    p.cycles = core.profiled_cycles();
+    p.pc_cycles = core.pc_histogram();
+    return p;
+}
+
+std::vector<CoreProfile>
+collect_profiles(System& sys) {
+    std::vector<CoreProfile> out;
+    for (unsigned i = 0; i < sys.rpu_count(); ++i) {
+        out.push_back(collect_profile(sys.rpu(i).core()));
+    }
+    return out;
+}
+
+CoreProfile
+aggregate_profiles(const std::vector<CoreProfile>& profiles, const std::string& name) {
+    CoreProfile agg;
+    agg.name = name;
+    for (const auto& p : profiles) {
+        agg.cycles += p.cycles;
+        for (const auto& [pc, cy] : p.pc_cycles) agg.pc_cycles[pc] += cy;
+    }
+    return agg;
+}
+
+std::vector<HotSpot>
+hot_spots(const CoreProfile& profile, size_t top_n) {
+    std::vector<HotSpot> spots;
+    spots.reserve(profile.pc_cycles.size());
+    for (const auto& [pc, cy] : profile.pc_cycles) {
+        spots.push_back(HotSpot{pc, cy,
+                                profile.cycles ? double(cy) / double(profile.cycles) : 0.0});
+    }
+    std::stable_sort(spots.begin(), spots.end(),
+                     [](const HotSpot& a, const HotSpot& b) { return a.cycles > b.cycles; });
+    if (spots.size() > top_n) spots.resize(top_n);
+    return spots;
+}
+
+std::string
+annotate(const std::vector<uint32_t>& image, const CoreProfile& profile, uint32_t base,
+         double hot_frac) {
+    std::ostringstream os;
+    char buf[192];
+    const double total = profile.cycles ? double(profile.cycles) : 1.0;
+    os << "firmware profile: " << profile.name << ", " << profile.cycles
+       << " cycles attributed\n";
+    for (size_t i = 0; i < image.size(); ++i) {
+        const uint32_t pc = base + uint32_t(i) * 4;
+        auto it = profile.pc_cycles.find(pc);
+        const uint64_t cy = it == profile.pc_cycles.end() ? 0 : it->second;
+        const double frac = double(cy) / total;
+        std::snprintf(buf, sizeof(buf), "%c %6.2f%% %12llu  %08x:  %s\n",
+                      frac >= hot_frac ? '*' : ' ', 100.0 * frac,
+                      (unsigned long long)cy, pc,
+                      rv::disassemble(image[i], pc).c_str());
+        os << buf;
+    }
+    // Cycles attributed outside the image (trap handlers, bad jumps).
+    for (const auto& [pc, cy] : profile.pc_cycles) {
+        if (pc >= base && pc < base + uint32_t(image.size()) * 4) continue;
+        const double frac = double(cy) / total;
+        std::snprintf(buf, sizeof(buf), "%c %6.2f%% %12llu  %08x:  <outside image>\n",
+                      frac >= hot_frac ? '*' : ' ', 100.0 * frac,
+                      (unsigned long long)cy, pc);
+        os << buf;
+    }
+    return os.str();
+}
+
+std::string
+profile_json(const CoreProfile& profile) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("name").value(profile.name);
+    w.key("cycles").value(profile.cycles);
+    w.key("pcs").begin_array();
+    for (const auto& [pc, cy] : profile.pc_cycles) {
+        w.begin_object();
+        w.key("pc").value(uint64_t(pc));
+        w.key("cycles").value(cy);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
+}  // namespace rosebud::obs

@@ -1,0 +1,131 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "lint/netlist.h"
+#include "obs/json.h"
+
+namespace rosebud::obs {
+
+StallReport
+build_stall_report(const Telemetry& telem) {
+    StallReport rep;
+    rep.cycles = telem.cycles_observed();
+    std::map<std::string, ComponentStall> comps;
+    for (const auto& [name, ns] : telem.nets()) {
+        LinkStall l;
+        l.net = name;
+        l.busy = ns.busy;
+        l.stalled = ns.stalled;
+        l.starved = ns.starved;
+        l.idle = ns.idle;
+        l.cycles = ns.cycles();
+        l.pushes = ns.pushes;
+        l.pops = ns.pops;
+        l.blocked = ns.blocked;
+        l.peak_occ = ns.peak_occ;
+        l.capacity = ns.capacity;
+        rep.links.push_back(std::move(l));
+
+        ComponentStall& c = comps[lint::component_of(name)];
+        c.component = lint::component_of(name);
+        c.net_count += 1;
+        c.busy += ns.busy;
+        c.stalled += ns.stalled;
+        c.starved += ns.starved;
+        c.idle += ns.idle;
+    }
+    std::stable_sort(rep.links.begin(), rep.links.end(),
+                     [](const LinkStall& a, const LinkStall& b) {
+                         if (a.stalled != b.stalled) return a.stalled > b.stalled;
+                         return a.busy > b.busy;
+                     });
+    for (auto& [_, c] : comps) rep.components.push_back(std::move(c));
+    std::stable_sort(rep.components.begin(), rep.components.end(),
+                     [](const ComponentStall& a, const ComponentStall& b) {
+                         return a.stalled > b.stalled;
+                     });
+    return rep;
+}
+
+std::string
+format_stall_report(const StallReport& report, size_t top_n) {
+    std::ostringstream os;
+    char buf[256];
+    os << "stall attribution over " << report.cycles << " cycles ("
+       << report.links.size() << " nets)\n\n";
+    os << "  top links by backpressure:\n";
+    std::snprintf(buf, sizeof(buf), "    %-28s %8s %8s %8s %8s %9s %7s\n", "net",
+                  "stall%", "busy%", "starve%", "idle%", "blocked", "peak");
+    os << buf;
+    size_t shown = 0;
+    for (const auto& l : report.links) {
+        if (shown++ >= top_n) break;
+        const double cy = l.cycles ? double(l.cycles) : 1.0;
+        std::snprintf(buf, sizeof(buf),
+                      "    %-28s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %9llu %4zu/%zu\n",
+                      l.net.c_str(), 100.0 * double(l.stalled) / cy,
+                      100.0 * double(l.busy) / cy, 100.0 * double(l.starved) / cy,
+                      100.0 * double(l.idle) / cy, (unsigned long long)l.blocked,
+                      l.peak_occ, l.capacity);
+        os << buf;
+    }
+    os << "\n  component rollup:\n";
+    std::snprintf(buf, sizeof(buf), "    %-12s %6s %8s %8s %8s %8s\n", "component",
+                  "nets", "stall%", "busy%", "starve%", "idle%");
+    os << buf;
+    for (const auto& c : report.components) {
+        const double total = double(c.busy + c.stalled + c.starved + c.idle);
+        const double cy = total > 0 ? total : 1.0;
+        std::snprintf(buf, sizeof(buf),
+                      "    %-12s %6zu %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+                      c.component.c_str(), c.net_count, 100.0 * double(c.stalled) / cy,
+                      100.0 * double(c.busy) / cy, 100.0 * double(c.starved) / cy,
+                      100.0 * double(c.idle) / cy);
+        os << buf;
+    }
+    return os.str();
+}
+
+std::string
+stall_report_json(const StallReport& report) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("cycles").value(report.cycles);
+    w.key("links").begin_array();
+    for (const auto& l : report.links) {
+        w.begin_object();
+        w.key("net").value(l.net);
+        w.key("busy").value(l.busy);
+        w.key("stalled").value(l.stalled);
+        w.key("starved").value(l.starved);
+        w.key("idle").value(l.idle);
+        w.key("cycles").value(l.cycles);
+        w.key("pushes").value(l.pushes);
+        w.key("pops").value(l.pops);
+        w.key("blocked").value(l.blocked);
+        w.key("peak_occ").value(uint64_t(l.peak_occ));
+        w.key("capacity").value(uint64_t(l.capacity));
+        w.end_object();
+    }
+    w.end_array();
+    w.key("components").begin_array();
+    for (const auto& c : report.components) {
+        w.begin_object();
+        w.key("component").value(c.component);
+        w.key("nets").value(uint64_t(c.net_count));
+        w.key("busy").value(c.busy);
+        w.key("stalled").value(c.stalled);
+        w.key("starved").value(c.starved);
+        w.key("idle").value(c.idle);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+}
+
+}  // namespace rosebud::obs

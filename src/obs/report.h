@@ -1,0 +1,65 @@
+/// \file
+/// Bottleneck attribution report — turns the Telemetry aggregator's per-net
+/// cycle classification into a ranked answer to "where is the pipeline
+/// losing throughput?". Links are ranked by stalled (backpressure) cycles;
+/// component rollups show which subsystem — LB, fabric, RPUs, MACs,
+/// broadcast — dominates. Renders as a fixed-width table for terminals and
+/// as JSON for tooling.
+
+#ifndef ROSEBUD_OBS_REPORT_H
+#define ROSEBUD_OBS_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace rosebud::obs {
+
+/// One link's lifetime classification. busy+stalled+starved+idle == cycles.
+struct LinkStall {
+    std::string net;
+    uint64_t busy = 0;
+    uint64_t stalled = 0;
+    uint64_t starved = 0;
+    uint64_t idle = 0;
+    uint64_t cycles = 0;
+    uint64_t pushes = 0;
+    uint64_t pops = 0;
+    uint64_t blocked = 0;
+    size_t peak_occ = 0;
+    size_t capacity = 0;
+    double stall_frac() const { return cycles ? double(stalled) / double(cycles) : 0.0; }
+    double busy_frac() const { return cycles ? double(busy) / double(cycles) : 0.0; }
+};
+
+/// Per-component rollup (sums over the component's nets).
+struct ComponentStall {
+    std::string component;
+    size_t net_count = 0;
+    uint64_t busy = 0;
+    uint64_t stalled = 0;
+    uint64_t starved = 0;
+    uint64_t idle = 0;
+};
+
+struct StallReport {
+    uint64_t cycles = 0;  ///< cycles observed by the telemetry
+    std::vector<LinkStall> links;            ///< ranked: stalled desc, then busy desc
+    std::vector<ComponentStall> components;  ///< ranked: stalled desc
+};
+
+/// Build the ranked report from a (still attached or detached) Telemetry.
+StallReport build_stall_report(const Telemetry& telem);
+
+/// Fixed-width human-readable rendering of the top `top_n` links plus the
+/// component rollup.
+std::string format_stall_report(const StallReport& report, size_t top_n = 12);
+
+/// JSON rendering (full link list) for machine consumption.
+std::string stall_report_json(const StallReport& report);
+
+}  // namespace rosebud::obs
+
+#endif  // ROSEBUD_OBS_REPORT_H

@@ -1,0 +1,171 @@
+#include "obs/telemetry.h"
+
+#include "core/system.h"
+#include "lint/netlist.h"
+#include "sim/kernel.h"
+#include "sim/stats.h"
+
+namespace rosebud::obs {
+
+namespace {
+
+unsigned
+bits_for(size_t max_value) {
+    unsigned bits = 1;
+    while ((uint64_t(1) << bits) <= max_value && bits < 32) ++bits;
+    return bits;
+}
+
+}  // namespace
+
+Telemetry::Telemetry() : Telemetry(Config{}) {}
+
+Telemetry::Telemetry(Config cfg) : cfg_(std::move(cfg)) {}
+
+Telemetry::~Telemetry() { detach(); }
+
+void
+Telemetry::attach(System& sys) {
+    kernel_ = &sys.kernel();
+    stats_ = &sys.stats();
+    // Pre-seed every declared net so fully idle nets still show up with an
+    // exact idle count (and so waveform widths come from declared depths).
+    for (const auto& rec : kernel_->nets()) {
+        NetStats& ns = nets_[rec.name];
+        ns.capacity = std::max(ns.capacity, rec.depth);
+    }
+    for (const auto& name : cfg_.watch_counters) counter_prev_[name] = stats_->get(name);
+    kernel_->set_telemetry(this);
+}
+
+void
+Telemetry::detach() {
+    if (kernel_ && kernel_->telemetry() == this) kernel_->set_telemetry(nullptr);
+    kernel_ = nullptr;
+    stats_ = nullptr;
+}
+
+Telemetry::NetStats&
+Telemetry::net(const std::string& name) {
+    auto it = nets_.find(name);
+    if (it != nets_.end()) return it->second;
+    // First sighting mid-run (a net created after attach, e.g. by a
+    // reconfigured RPU): backfill the cycles it was not observed as idle so
+    // its four buckets still sum to cycles_observed().
+    NetStats& ns = nets_[name];
+    ns.idle = cycles_observed_;
+    if (kernel_) {
+        if (const sim::NetRecord* rec = lint::find_net(*kernel_, name)) {
+            ns.capacity = rec->depth;
+        }
+    }
+    return ns;
+}
+
+void
+Telemetry::net_event(const std::string& name, NetEvent ev) {
+    NetStats& ns = net(name);
+    switch (ev) {
+    case NetEvent::kPushOk:
+        ++ns.pushes;
+        ns.f_moved = true;
+        break;
+    case NetEvent::kPushBlocked:
+        ++ns.blocked;
+        ns.f_blocked = true;
+        break;
+    case NetEvent::kPop:
+        ++ns.pops;
+        ns.f_moved = true;
+        break;
+    case NetEvent::kPollEmpty:
+        ++ns.polls_empty;
+        ns.f_polled = true;
+        break;
+    }
+}
+
+void
+Telemetry::net_occupancy(const std::string& name, size_t occupancy, size_t capacity) {
+    NetStats& ns = net(name);
+    ns.occ = occupancy;
+    ns.peak_occ = std::max(ns.peak_occ, occupancy);
+    if (capacity) ns.capacity = capacity;
+}
+
+void
+Telemetry::capture_net(const std::string& name, NetStats& ns, NetState state,
+                       uint64_t completed_cycle) {
+    const uint64_t t = uint64_t(sim::cycles_to_ns(completed_cycle));
+    if (ns.sig_state < 0) {
+        ns.sig_state = vcd_.add_signal(name + ".state", 2);
+        // Eventless links never report occupancy; give them no occ trace.
+        ns.sig_occ = vcd_.add_signal(name + ".occ",
+                                     bits_for(std::max(ns.capacity, ns.peak_occ)));
+    }
+    if (unsigned(state) != ns.last_state) {
+        vcd_.change(t, ns.sig_state, uint64_t(state));
+        ns.last_state = unsigned(state);
+    }
+    if (uint64_t(ns.occ) != ns.last_occ) {
+        vcd_.change(t, ns.sig_occ, uint64_t(ns.occ));
+        ns.last_occ = uint64_t(ns.occ);
+    }
+}
+
+void
+Telemetry::end_cycle(uint64_t completed) {
+    for (auto& [name, ns] : nets_) {
+        NetState state;
+        if (ns.f_blocked) {
+            state = NetState::kStalled;
+            ++ns.stalled;
+            ++ns.e_stalled;
+        } else if (ns.f_moved) {
+            state = NetState::kBusy;
+            ++ns.busy;
+            ++ns.e_busy;
+        } else if (ns.f_polled) {
+            state = NetState::kStarved;
+            ++ns.starved;
+        } else {
+            state = NetState::kIdle;
+            ++ns.idle;
+        }
+        ns.f_moved = ns.f_blocked = ns.f_polled = false;
+        if (cfg_.capture_vcd) capture_net(name, ns, state, completed);
+    }
+    ++cycles_observed_;
+    if (cfg_.epoch_cycles && cycles_observed_ % cfg_.epoch_cycles == 0) close_epoch();
+}
+
+void
+Telemetry::close_epoch() {
+    Epoch ep;
+    ep.end_cycle = cycles_observed_;
+    // Per-component busy/stall fractions: average over the component's
+    // instrumented nets (each net contributes epoch_cycles observations).
+    std::map<std::string, uint64_t> comp_busy, comp_stalled, comp_nets;
+    for (auto& [name, ns] : nets_) {
+        const std::string comp = lint::component_of(name);
+        comp_busy[comp] += ns.e_busy;
+        comp_stalled[comp] += ns.e_stalled;
+        comp_nets[comp] += 1;
+        ns.e_busy = ns.e_stalled = 0;
+    }
+    for (const auto& [comp, n] : comp_nets) {
+        const double denom = double(n) * double(cfg_.epoch_cycles);
+        ep.busy_frac[comp] = double(comp_busy[comp]) / denom;
+        ep.stall_frac[comp] = double(comp_stalled[comp]) / denom;
+    }
+    if (stats_) {
+        for (const auto& name : cfg_.watch_counters) {
+            const uint64_t now = stats_->get(name);
+            ep.counter_delta[name] = now - counter_prev_[name];
+            counter_prev_[name] = now;
+        }
+    }
+    epochs_.push_back(std::move(ep));
+}
+
+}  // namespace rosebud::obs

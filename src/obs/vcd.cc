@@ -1,0 +1,146 @@
+#include "obs/vcd.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace rosebud::obs {
+
+namespace {
+
+// VCD identifier codes: base-94 strings over the printable ASCII range
+// '!' (33) .. '~' (126), shortest-first ("!", "\"", ... "!!", "!\"" ...).
+std::string
+id_code(size_t index) {
+    std::string id;
+    do {
+        id += char('!' + index % 94);
+        index /= 94;
+    } while (index-- > 0);
+    return id;
+}
+
+std::vector<std::string>
+split_dots(const std::string& s) {
+    std::vector<std::string> parts;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == '.') {
+            parts.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return parts;
+}
+
+// Nested scope node: child scopes by name plus the vars declared directly
+// inside this scope.
+struct ScopeNode {
+    std::map<std::string, ScopeNode> children;
+    std::vector<size_t> vars;  ///< indices into signals_
+};
+
+void
+emit_scope(std::ostringstream& os, const ScopeNode& node,
+           const std::vector<std::pair<std::string, unsigned>>& vars,
+           const std::vector<std::string>& ids, int depth) {
+    std::string ind(size_t(depth) * 2, ' ');
+    for (size_t v : node.vars) {
+        os << ind << "$var wire " << vars[v].second << " " << ids[v] << " "
+           << vars[v].first;
+        if (vars[v].second > 1) os << " [" << (vars[v].second - 1) << ":0]";
+        os << " $end\n";
+    }
+    for (const auto& [name, child] : node.children) {
+        os << ind << "$scope module " << name << " $end\n";
+        emit_scope(os, child, vars, ids, depth + 1);
+        os << ind << "$upscope $end\n";
+    }
+}
+
+void
+emit_value(std::ostringstream& os, unsigned width, uint64_t value,
+           const std::string& id) {
+    if (width == 1) {
+        os << (value ? '1' : '0') << id << "\n";
+        return;
+    }
+    std::string bits;
+    for (unsigned b = width; b-- > 0;) bits += char('0' + ((value >> b) & 1));
+    os << 'b' << bits << ' ' << id << "\n";
+}
+
+}  // namespace
+
+int
+VcdWriter::add_signal(const std::string& hier_name, unsigned width_bits) {
+    Signal s;
+    s.path = hier_name;
+    s.width = width_bits == 0 ? 1 : width_bits;
+    s.id = id_code(signals_.size());
+    signals_.push_back(std::move(s));
+    return int(signals_.size()) - 1;
+}
+
+void
+VcdWriter::change(uint64_t time_ns, int sig, uint64_t value) {
+    if (sig < 0 || size_t(sig) >= signals_.size()) return;
+    changes_.push_back(Change{time_ns, sig, value});
+}
+
+std::string
+VcdWriter::str() const {
+    std::ostringstream os;
+    os << "$date\n  rosebud simulation\n$end\n";
+    os << "$version\n  rosebud telemetry vcd writer\n$end\n";
+    os << "$timescale 1 ns $end\n";
+
+    // Scope tree: "a.b.sig" => module a / module b / var sig.
+    ScopeNode root;
+    std::vector<std::pair<std::string, unsigned>> vars;  // leaf name, width
+    std::vector<std::string> ids;
+    for (size_t i = 0; i < signals_.size(); ++i) {
+        auto parts = split_dots(signals_[i].path);
+        ScopeNode* node = &root;
+        for (size_t p = 0; p + 1 < parts.size(); ++p) node = &node->children[parts[p]];
+        node->vars.push_back(i);
+        vars.emplace_back(parts.back(), signals_[i].width);
+        ids.push_back(signals_[i].id);
+    }
+    emit_scope(os, root, vars, ids, 0);
+    os << "$enddefinitions $end\n";
+
+    // Every signal starts undefined until its first recorded change.
+    os << "$dumpvars\n";
+    for (const auto& s : signals_) {
+        if (s.width == 1) {
+            os << "x" << s.id << "\n";
+        } else {
+            os << "bx " << s.id << "\n";
+        }
+    }
+    os << "$end\n";
+
+    std::vector<Change> sorted = changes_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Change& a, const Change& b) { return a.t < b.t; });
+
+    std::vector<uint64_t> last(signals_.size());
+    std::vector<bool> seen(signals_.size(), false);
+    uint64_t cur_t = 0;
+    bool have_t = false;
+    for (const auto& c : sorted) {
+        if (seen[size_t(c.sig)] && last[size_t(c.sig)] == c.value) continue;
+        if (!have_t || c.t != cur_t) {
+            os << "#" << c.t << "\n";
+            cur_t = c.t;
+            have_t = true;
+        }
+        emit_value(os, signals_[size_t(c.sig)].width, c.value, signals_[size_t(c.sig)].id);
+        seen[size_t(c.sig)] = true;
+        last[size_t(c.sig)] = c.value;
+    }
+    return os.str();
+}
+
+}  // namespace rosebud::obs

@@ -238,6 +238,10 @@ Rpu::tick() {
     rx_next_remaining_ = rx_remaining_;
     rx_next_gap_ = rx_gap_;
     if (rx_next_remaining_ > 0) {
+        // A flit moves on the 128-bit ingress link this cycle.
+        if (sim::TelemetrySink* t = kernel().telemetry()) {
+            t->net_event(name() + ".link_in", sim::TelemetrySink::NetEvent::kPop);
+        }
         if (--rx_next_remaining_ == 0) {
             finish_rx();
             rx_next_gap_ = config_.ingress_gap_cycles;

@@ -25,9 +25,18 @@ Core::tick() {
     ++cycles_;
     if (halted_) return;
     if (stall_ > 0) {
+        if (profile_) {
+            ++profiled_cycles_;
+            ++pc_hist_[issue_pc_];
+        }
         --stall_;
         return;
     }
+    if (profile_) {
+        ++profiled_cycles_;
+        ++pc_hist_[pc_];
+    }
+    issue_pc_ = pc_;
     execute();
 }
 

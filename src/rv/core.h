@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "rv/isa.h"
@@ -116,6 +117,31 @@ class Core {
     /// Instructions retired since reset.
     uint64_t instret() const { return instret_; }
 
+    // --- PC-sampling profiler ------------------------------------------------
+    //
+    // When enabled, every non-halted cycle is attributed to the PC of the
+    // instruction consuming it: the issue cycle to the fetched PC, stall
+    // cycles (multi-cycle ALU/div, memory latency) to the PC that issued
+    // them, and bus-retry cycles (a store blocked on a full FIFO) to the
+    // retrying PC — so a firmware spin on the broadcast region shows up as
+    // cycles on the store, exactly like `perf annotate`. Off by default;
+    // the only cost when off is one branch per tick.
+
+    /// Enable/disable cycle attribution (state is kept across reset()).
+    void set_profile(bool on) { profile_ = on; }
+    bool profile() const { return profile_; }
+
+    /// Per-PC cycle histogram; the values sum to profiled_cycles().
+    const std::map<uint32_t, uint64_t>& pc_histogram() const { return pc_hist_; }
+
+    /// Non-halted cycles observed while profiling was enabled.
+    uint64_t profiled_cycles() const { return profiled_cycles_; }
+
+    void clear_profile() {
+        pc_hist_.clear();
+        profiled_cycles_ = 0;
+    }
+
     const std::string& name() const { return name_; }
 
  private:
@@ -134,6 +160,11 @@ class Core {
     bool faulted_ = false;
     bool irq_line_ = false;
     TrapCsrs csrs_;
+
+    bool profile_ = false;
+    uint32_t issue_pc_ = 0;  ///< PC that issued the in-flight instruction
+    uint64_t profiled_cycles_ = 0;
+    std::map<uint32_t, uint64_t> pc_hist_;
 };
 
 }  // namespace rosebud::rv

@@ -59,12 +59,15 @@ class Fifo : public Clocked {
                             net_flags});
     }
 
-    /// True if a push this cycle will be accepted.
+    /// True if a push this cycle will be accepted. A false answer counts
+    /// as a stalled-on-credit observation for the telemetry sink.
     bool can_push() const {
         check_credit_read();
-        if (credit_ == CreditPolicy::kRegistered)
-            return stable_.size() + staged_.size() < capacity_;
-        return stable_.size() - popped_ + staged_.size() < capacity_;
+        bool ok = credit_ == CreditPolicy::kRegistered
+                      ? stable_.size() + staged_.size() < capacity_
+                      : stable_.size() - popped_ + staged_.size() < capacity_;
+        if (!ok) telemetry(TelemetrySink::NetEvent::kPushBlocked);
+        return ok;
     }
 
     /// Stage a push; visible to `front`/`pop` from the next cycle.
@@ -73,13 +76,17 @@ class Fifo : public Clocked {
         check_stage("push");
         if (!can_push()) return false;
         staged_.push_back(std::move(v));
+        telemetry(TelemetrySink::NetEvent::kPushOk);
         return true;
     }
 
-    /// True if nothing is poppable this cycle.
+    /// True if nothing is poppable this cycle. An empty answer counts as a
+    /// starvation observation (a consumer polled and found nothing).
     bool empty() const {
         check_pop_read("empty");
-        return popped_ >= stable_.size();
+        bool e = popped_ >= stable_.size();
+        if (e) telemetry(TelemetrySink::NetEvent::kPollEmpty);
+        return e;
     }
 
     /// Committed occupancy visible this cycle (ignores staged pushes).
@@ -111,6 +118,7 @@ class Fifo : public Clocked {
     T pop() {
         check_pop_write();
         assert(popped_ < stable_.size());
+        telemetry(TelemetrySink::NetEvent::kPop);
         return std::move(stable_[popped_++]);
     }
 
@@ -119,6 +127,8 @@ class Fifo : public Clocked {
         popped_ = 0;
         for (auto& v : staged_) stable_.push_back(std::move(v));
         staged_.clear();
+        if (TelemetrySink* t = kernel_.telemetry())
+            t->net_occupancy(name_, stable_.size(), capacity_);
     }
 
     /// Drop all contents immediately (used on RPU reset/reconfiguration).
@@ -149,6 +159,10 @@ class Fifo : public Clocked {
     void race(const std::string& what) const {
         fatal("race on fifo '" + name_ + "': " + what + " @cycle " +
               std::to_string(kernel_.now()));
+    }
+
+    void telemetry(TelemetrySink::NetEvent ev) const {
+        if (TelemetrySink* t = kernel_.telemetry()) t->net_event(name_, ev);
     }
 
     /// Staging (push/clear): two different components staging into the same

@@ -28,6 +28,7 @@ Kernel::step() {
     active_ = nullptr;
     for (Clocked* c : clocked_) c->commit();
     phase_ = Phase::kIdle;
+    if (telemetry_) telemetry_->end_cycle(now_);
     ++now_;
 }
 

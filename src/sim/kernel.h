@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/telemetry.h"
+
 namespace rosebud::sim {
 
 /// Simulation time in clock cycles.
@@ -201,6 +203,16 @@ class Kernel {
     void set_race_check(bool on) { race_check_ = on; }
     bool race_check() const { return race_check_; }
 
+    // --- telemetry ------------------------------------------------------------
+
+    /// Attach/detach the observability sink (obs::Telemetry). Null (the
+    /// default) disables all event emission; the caller owns the sink and
+    /// must detach (or outlive the kernel) before it dies. Events flow from
+    /// the registered primitives and instrumented components; end_cycle
+    /// fires once per step after all commits.
+    void set_telemetry(TelemetrySink* sink) { telemetry_ = sink; }
+    TelemetrySink* telemetry() const { return telemetry_; }
+
     // --- tick-order shuffling -------------------------------------------------
 
     /// Deterministically permute the component tick order under `seed`.
@@ -242,6 +254,7 @@ class Kernel {
     Phase phase_ = Phase::kIdle;
     const Component* active_ = nullptr;
     bool race_check_ = true;
+    TelemetrySink* telemetry_ = nullptr;
 
     std::vector<NetRecord> nets_;
     std::vector<PortRecord> ports_;

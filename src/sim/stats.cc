@@ -6,30 +6,82 @@
 
 namespace rosebud::sim {
 
+namespace {
+
+// splitmix64 step for the deterministic reservoir PRNG.
+uint64_t
+mix64(uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void
+Sampler::add(double v) {
+    if (seen_ == 0) {
+        exact_min_ = exact_max_ = v;
+    } else {
+        exact_min_ = std::min(exact_min_, v);
+        exact_max_ = std::max(exact_max_, v);
+    }
+    sum_ += v;
+    ++seen_;
+    if (reservoir_cap_ == 0 || samples_.size() < reservoir_cap_) {
+        samples_.push_back(v);
+        return;
+    }
+    // Algorithm R: keep the new sample with probability cap/seen.
+    uint64_t j = mix64(rng_state_) % seen_;
+    if (j < reservoir_cap_) samples_[size_t(j)] = v;
+}
+
+void
+Sampler::set_reservoir(size_t cap) {
+    reservoir_cap_ = cap;
+    if (cap != 0 && samples_.size() > cap) {
+        samples_.resize(cap);
+        samples_.shrink_to_fit();
+    }
+}
+
+void
+Sampler::reset() {
+    samples_.clear();
+    seen_ = 0;
+    sum_ = 0;
+    exact_min_ = exact_max_ = 0;
+}
+
 double
 Sampler::min() const {
-    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+    return seen_ == 0 ? 0.0 : exact_min_;
 }
 
 double
 Sampler::max() const {
-    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+    return seen_ == 0 ? 0.0 : exact_max_;
 }
 
 double
 Sampler::mean() const {
-    if (samples_.empty()) return 0.0;
-    return std::accumulate(samples_.begin(), samples_.end(), 0.0) / double(samples_.size());
+    if (seen_ == 0) return 0.0;
+    return sum_ / double(seen_);
 }
 
 double
 Sampler::percentile(double p) const {
     if (samples_.empty()) return 0.0;
+    if (!(p > 0.0)) p = 0.0;  // negative and NaN clamp to the minimum
+    if (p > 1.0) p = 1.0;
     std::vector<double> s = samples_;
     std::sort(s.begin(), s.end());
     double idx = p * double(s.size() - 1);
     size_t lo = size_t(std::floor(idx));
-    size_t hi = size_t(std::ceil(idx));
+    size_t hi = std::min(size_t(std::ceil(idx)), s.size() - 1);
     double frac = idx - double(lo);
     return s[lo] * (1.0 - frac) + s[hi] * frac;
 }
@@ -57,16 +109,36 @@ Stats::to_string() const {
     return os.str();
 }
 
+namespace {
+
+// RFC 4180 field quoting: names containing commas, quotes or newlines are
+// wrapped in double quotes with embedded quotes doubled, so a dotted name
+// like `lb.assigned,total` survives a round-trip through a CSV parser.
+std::string
+csv_field(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
 std::string
 Stats::to_csv() const {
     std::ostringstream os;
-    os << "name,kind,count,mean,min,max\n";
+    os << "name,kind,count,mean,min,max,p50,p99\n";
     for (const auto& [name, c] : counters_) {
-        os << name << ",counter," << c.get() << ",,,\n";
+        os << csv_field(name) << ",counter," << c.get() << ",,,,,\n";
     }
     for (const auto& [name, s] : samplers_) {
-        os << name << ",sampler," << s.count() << "," << s.mean() << "," << s.min()
-           << "," << s.max() << "\n";
+        os << csv_field(name) << ",sampler," << s.count() << "," << s.mean() << ","
+           << s.min() << "," << s.max() << "," << s.percentile(0.5) << ","
+           << s.percentile(0.99) << "\n";
     }
     return os.str();
 }

@@ -30,26 +30,47 @@ class Counter {
 };
 
 /// Accumulates a distribution of samples (e.g. per-packet latency in ns).
+///
+/// Unbounded by default (every sample is retained). For million-packet
+/// runs call set_reservoir(cap): retention switches to Vitter's algorithm R
+/// with a deterministic PRNG, so memory is bounded at `cap` samples while
+/// min/max/mean stay exact (they are tracked over *all* samples) and
+/// percentiles become reservoir estimates. Note the retained subset depends
+/// on sample arrival order, so reservoir mode is not suitable for runs that
+/// must produce tick-order-independent state fingerprints; the default
+/// (retain everything) remains order-independent.
 class Sampler {
  public:
-    void add(double v) { samples_.push_back(v); }
+    void add(double v);
 
+    /// Retained sample count (== seen() unless a reservoir cap is active).
     size_t count() const { return samples_.size(); }
+    /// Total samples ever added (survives reservoir eviction, not reset()).
+    uint64_t seen() const { return seen_; }
     bool empty() const { return samples_.empty(); }
 
     double min() const;
     double max() const;
     double mean() const;
 
-    /// p in [0,1]; e.g. 0.5 for median, 0.99 for p99.
+    /// p is clamped to [0,1] (NaN maps to 0); e.g. 0.5 for median.
     double percentile(double p) const;
 
-    void reset() { samples_.clear(); }
+    /// Bound retention to `cap` samples via reservoir sampling (0 restores
+    /// unbounded retention). Samples already held beyond `cap` are truncated.
+    void set_reservoir(size_t cap);
+    size_t reservoir() const { return reservoir_cap_; }
+
+    void reset();
 
     const std::vector<double>& samples() const { return samples_; }
 
  private:
     std::vector<double> samples_;
+    size_t reservoir_cap_ = 0;  ///< 0 = retain everything
+    uint64_t seen_ = 0;
+    uint64_t rng_state_ = 0x243f6a8885a308d3ull;  ///< deterministic reservoir PRNG
+    double exact_min_ = 0, exact_max_ = 0, sum_ = 0;  ///< over all seen samples
 };
 
 /// Named registry of counters and samplers. One per simulated system.

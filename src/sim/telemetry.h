@@ -1,0 +1,60 @@
+/// \file
+/// Telemetry sink interface — the substrate of the observability layer.
+///
+/// The paper's host control plane exposes "status counters ... transferred
+/// bytes, frames, drops, or stalled cycles" (Section 4.3); this interface is
+/// how the simulator grows that into full stall *attribution*. A TelemetrySink
+/// registered with the Kernel receives a low-level event stream from every
+/// registered primitive (sim::Fifo) and from components that own abstract
+/// links (the fabric's VOQs, the LB assignment interface, the per-RPU ingress
+/// links): push accepted, push blocked on credit, pop, consumer-poll-found-
+/// empty, and end-of-cycle occupancy. The obs:: layer turns that stream into
+/// per-cycle idle/busy/stalled/starved classification, VCD waveforms and
+/// Perfetto traces.
+///
+/// The hooks cost one pointer compare per operation when no sink is attached
+/// (the default), so production sweeps pay nothing; no sim::Stats counters
+/// are created either way, which keeps System::state_fingerprint bit-identical
+/// with telemetry on or off.
+
+#ifndef ROSEBUD_SIM_TELEMETRY_H
+#define ROSEBUD_SIM_TELEMETRY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rosebud::sim {
+
+/// Receives the raw per-cycle event stream. Implementations classify and
+/// aggregate; emitters never interpret.
+class TelemetrySink {
+ public:
+    /// One micro-event on a net (a Fifo primitive or an abstract link).
+    enum class NetEvent : uint8_t {
+        kPushOk,       ///< a value was accepted this cycle (data moved in)
+        kPushBlocked,  ///< a producer saw no credit (stalled-on-credit)
+        kPop,          ///< a value was consumed this cycle (data moved out)
+        kPollEmpty,    ///< a consumer polled and found nothing (starved)
+    };
+
+    virtual ~TelemetrySink() = default;
+
+    /// An event on net `net` during the current cycle. Multiple events per
+    /// net per cycle are expected; sinks classify on booleans, so emitters
+    /// need not dedupe.
+    virtual void net_event(const std::string& net, NetEvent ev) = 0;
+
+    /// Committed occupancy of `net` after this cycle's clock edge.
+    /// `capacity` is in the same unit as `occupancy` (entries or bytes).
+    virtual void net_occupancy(const std::string& net, size_t occupancy,
+                               size_t capacity) = 0;
+
+    /// The clock edge: cycle `completed` has fully committed. Sinks close
+    /// the per-cycle classification window here.
+    virtual void end_cycle(uint64_t completed) = 0;
+};
+
+}  // namespace rosebud::sim
+
+#endif  // ROSEBUD_SIM_TELEMETRY_H

@@ -1,0 +1,373 @@
+/// Observability-stack tests: sampler hardening (percentile clamp,
+/// reservoir bounding), CSV escaping, the VCD writer's header/format, the
+/// Perfetto exporter's structure, the telemetry cycle-classification
+/// invariant (busy+stalled+starved+idle == observed cycles on every net),
+/// the firmware PC profiler's conservation property, tracer retention, and
+/// the guarantee that attaching telemetry leaves the architectural state
+/// fingerprint untouched.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/system.h"
+#include "core/tracer.h"
+#include "firmware/programs.h"
+#include "net/headers.h"
+#include "obs/harness.h"
+#include "obs/json.h"
+#include "obs/perfetto.h"
+#include "obs/profile.h"
+#include "obs/report.h"
+#include "obs/telemetry.h"
+#include "obs/vcd.h"
+#include "sim/stats.h"
+
+namespace rosebud {
+namespace {
+
+// ---------------------------------------------------------------- sampler
+
+TEST(Sampler, EmptyPercentileIsZero) {
+    sim::Sampler s;
+    EXPECT_EQ(s.percentile(0.5), 0.0);
+    EXPECT_EQ(s.percentile(-1.0), 0.0);
+    EXPECT_EQ(s.percentile(2.0), 0.0);
+}
+
+TEST(Sampler, PercentileClampsOutOfRange) {
+    sim::Sampler s;
+    for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+    // Out-of-range p must clamp, not index out of bounds.
+    EXPECT_EQ(s.percentile(-0.5), 1.0);
+    EXPECT_EQ(s.percentile(1.5), 4.0);
+    EXPECT_EQ(s.percentile(17.0), 4.0);
+    EXPECT_EQ(s.percentile(std::nan("")), 1.0);
+    EXPECT_EQ(s.percentile(0.0), 1.0);
+    EXPECT_EQ(s.percentile(1.0), 4.0);
+    EXPECT_NEAR(s.percentile(0.5), 2.5, 1e-12);
+}
+
+TEST(Sampler, ReservoirBoundsRetentionKeepsExactAggregates) {
+    sim::Sampler s;
+    s.set_reservoir(64);
+    for (int i = 1; i <= 10000; ++i) s.add(double(i));
+    EXPECT_EQ(s.count(), 64u);          // bounded retention
+    EXPECT_EQ(s.seen(), 10000u);        // all samples accounted
+    EXPECT_EQ(s.min(), 1.0);            // aggregates exact over all samples
+    EXPECT_EQ(s.max(), 10000.0);
+    EXPECT_NEAR(s.mean(), 5000.5, 1e-9);
+    // Percentile is an estimate but must come from retained samples.
+    double p50 = s.percentile(0.5);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p50, 10000.0);
+}
+
+TEST(Sampler, ReservoirTruncatesExistingSamples) {
+    sim::Sampler s;
+    for (int i = 0; i < 100; ++i) s.add(double(i));
+    s.set_reservoir(10);
+    EXPECT_EQ(s.count(), 10u);
+    EXPECT_EQ(s.seen(), 100u);
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(StatsCsv, QuotesNamesAndEmitsPercentiles) {
+    sim::Stats st;
+    st.counter("plain").add(5);
+    st.counter("weird,name").add(7);
+    st.counter("has\"quote").add(1);
+    auto& s = st.sampler("lat");
+    for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+
+    std::string csv = st.to_csv();
+    EXPECT_NE(csv.find("name,kind,count,mean,min,max,p50,p99"), std::string::npos);
+    EXPECT_NE(csv.find("\"weird,name\",counter,7"), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\",counter,1"), std::string::npos);
+    EXPECT_NE(csv.find("plain,counter,5"), std::string::npos);
+    // Sampler row: count, mean, min, max, p50, p99.
+    EXPECT_NE(csv.find("lat,sampler,4,2.5,1,4,2.5,"), std::string::npos);
+
+    // Round-trip: a minimal RFC 4180 parse of the quoted field recovers
+    // the original name.
+    size_t pos = csv.find("\"weird,name\"");
+    ASSERT_NE(pos, std::string::npos);
+    std::string field;
+    size_t i = pos + 1;
+    while (i < csv.size()) {
+        if (csv[i] == '"') {
+            if (i + 1 < csv.size() && csv[i + 1] == '"') {
+                field += '"';
+                i += 2;
+                continue;
+            }
+            break;
+        }
+        field += csv[i++];
+    }
+    EXPECT_EQ(field, "weird,name");
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(JsonWriter, EscapesAndNests) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("s").value("a\"b\\c\nd");
+    w.key("arr").begin_array().value(uint64_t(1)).value(uint64_t(2)).end_array();
+    w.key("t").value(true);
+    w.end_object();
+    EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\",\"arr\":[1,2],\"t\":true}");
+}
+
+// -------------------------------------------------------------------- vcd
+
+TEST(Vcd, HeaderTimescaleAndChangeStream) {
+    obs::VcdWriter v;
+    int a = v.add_signal("top.u0.valid", 1);
+    int b = v.add_signal("top.u0.occ", 4);
+    v.change(0, a, 0);
+    v.change(0, b, 3);
+    v.change(8, a, 1);
+    v.change(8, a, 1);   // duplicate: must be dropped
+    v.change(12, b, 5);
+
+    std::string out = v.str();
+    // Golden structural skeleton (GTKWave requirements).
+    EXPECT_NE(out.find("$timescale 1 ns $end"), std::string::npos);
+    EXPECT_NE(out.find("$scope module top $end"), std::string::npos);
+    EXPECT_NE(out.find("$scope module u0 $end"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 1 ! valid $end"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 4 \" occ [3:0] $end"), std::string::npos);
+    EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+    EXPECT_NE(out.find("$dumpvars"), std::string::npos);
+    EXPECT_NE(out.find("#0\n"), std::string::npos);
+    EXPECT_NE(out.find("#8\n"), std::string::npos);
+    EXPECT_NE(out.find("#12\n"), std::string::npos);
+    EXPECT_NE(out.find("b0011 \""), std::string::npos);
+    EXPECT_NE(out.find("b0101 \""), std::string::npos);
+    // The duplicate a=1 at t=8 collapses to a single change.
+    size_t first = out.find("1!");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(out.find("1!", first + 1), std::string::npos);
+    // Header before definitions before dump.
+    EXPECT_LT(out.find("$timescale"), out.find("$enddefinitions"));
+    EXPECT_LT(out.find("$enddefinitions"), out.find("$dumpvars"));
+}
+
+// ------------------------------------------- telemetry classification law
+
+net::PacketPtr
+make_packet(uint32_t size, uint64_t id) {
+    net::PacketBuilder b;
+    b.ipv4(0x0a000001, 0x0a000002).udp(1000, 2000).frame_size(size);
+    auto p = b.build();
+    p->id = id;
+    return p;
+}
+
+TEST(Telemetry, EveryNetSumsExactlyToObservedCycles) {
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+
+    obs::Telemetry telem;
+    telem.attach(sys);
+
+    sys.run_cycles(300);
+    for (int i = 0; i < 20; ++i) sys.fabric().mac_rx(0, make_packet(256, 100 + i));
+    sys.run_cycles(3000);
+
+    EXPECT_EQ(telem.cycles_observed(), 3300u);
+    ASSERT_FALSE(telem.nets().empty());
+    uint64_t total_busy = 0;
+    for (const auto& [name, ns] : telem.nets()) {
+        EXPECT_EQ(ns.busy + ns.stalled + ns.starved + ns.idle, telem.cycles_observed())
+            << "net " << name;
+        total_busy += ns.busy;
+    }
+    EXPECT_GT(total_busy, 0u);  // the run did move data
+    telem.detach();
+}
+
+TEST(Telemetry, StallReportRanksAndPreservesSums) {
+    obs::ProfileSpec s;
+    s.pipeline = oracle::Pipeline::kFirewall;
+    s.rpu_count = 4;
+    s.run_cycles = 8000;
+    s.capture_vcd = false;
+    auto r = obs::run_profile(s);
+    ASSERT_FALSE(r.stalls.links.empty());
+    for (const auto& l : r.stalls.links) {
+        EXPECT_EQ(l.busy + l.stalled + l.starved + l.idle, r.stalls.cycles)
+            << "net " << l.net;
+    }
+    // Ranking: non-increasing stalled counts.
+    for (size_t i = 1; i < r.stalls.links.size(); ++i) {
+        EXPECT_GE(r.stalls.links[i - 1].stalled, r.stalls.links[i].stalled);
+    }
+    std::string text = obs::format_stall_report(r.stalls, 5);
+    EXPECT_NE(text.find("component rollup"), std::string::npos);
+}
+
+// ------------------------------------------------------------ pc profiler
+
+TEST(PcProfiler, HistogramSumsToProfiledCycles) {
+    obs::ProfileSpec s;
+    s.pipeline = oracle::Pipeline::kForwarder;
+    s.rpu_count = 4;
+    s.run_cycles = 5000;
+    s.capture_vcd = false;
+    auto r = obs::run_profile(s);
+    ASSERT_EQ(r.cores.size(), 4u);
+    uint64_t agg = 0;
+    for (const auto& c : r.cores) {
+        uint64_t sum = 0;
+        for (const auto& [pc, cy] : c.pc_cycles) sum += cy;
+        EXPECT_EQ(sum, c.cycles) << c.name;
+        EXPECT_GT(c.cycles, 0u) << c.name;
+        agg += sum;
+    }
+    uint64_t agg_sum = 0;
+    for (const auto& [pc, cy] : r.aggregate.pc_cycles) agg_sum += cy;
+    EXPECT_EQ(agg_sum, r.aggregate.cycles);
+    EXPECT_EQ(agg_sum, agg);
+
+    // The annotated listing mentions the firmware's poll loop.
+    std::string ann = obs::annotate(r.firmware.image, r.aggregate);
+    EXPECT_NE(ann.find("cycles attributed"), std::string::npos);
+    auto spots = obs::hot_spots(r.aggregate, 3);
+    ASSERT_FALSE(spots.empty());
+    EXPECT_GT(spots[0].frac, 0.0);
+}
+
+// --------------------------------------------------------------- perfetto
+
+TEST(Perfetto, EmitsStructurallyValidTrace) {
+    obs::ProfileSpec s;
+    s.pipeline = oracle::Pipeline::kForwarder;
+    s.rpu_count = 4;
+    s.run_cycles = 5000;
+    s.capture_vcd = false;
+    auto r = obs::run_profile(s);
+    const std::string& t = r.trace;
+    ASSERT_FALSE(t.empty());
+    EXPECT_EQ(t.front(), '{');
+    EXPECT_EQ(t.back(), '}');
+    EXPECT_NE(t.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(t.find("\"ph\":\"b\""), std::string::npos);  // async span begin
+    EXPECT_NE(t.find("\"ph\":\"e\""), std::string::npos);  // async span end
+    EXPECT_NE(t.find("\"ph\":\"M\""), std::string::npos);  // process metadata
+    EXPECT_NE(t.find("\"ph\":\"C\""), std::string::npos);  // counter track
+    EXPECT_NE(t.find("process_name"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check; quotes in the
+    // payload are escaped so raw counting is sound).
+    long braces = 0, brackets = 0;
+    for (char c : t) {
+        if (c == '{') ++braces;
+        if (c == '}') --braces;
+        if (c == '[') ++brackets;
+        if (c == ']') --brackets;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+// ----------------------------------------------------------- vcd capture
+
+TEST(Telemetry, VcdCaptureContainsSystemNets) {
+    obs::ProfileSpec s;
+    s.pipeline = oracle::Pipeline::kForwarder;
+    s.rpu_count = 4;
+    s.run_cycles = 3000;
+    s.capture_vcd = true;
+    auto r = obs::run_profile(s);
+    ASSERT_FALSE(r.vcd.empty());
+    EXPECT_NE(r.vcd.find("$timescale 1 ns $end"), std::string::npos);
+    EXPECT_NE(r.vcd.find("$scope module fabric $end"), std::string::npos);
+    EXPECT_NE(r.vcd.find("$scope module rpu0 $end"), std::string::npos);
+    EXPECT_NE(r.vcd.find("$enddefinitions $end"), std::string::npos);
+    EXPECT_NE(r.vcd.find("$dumpvars"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- tracer
+
+TEST(PacketTracer, RetentionCapEvictsOldest) {
+    SystemConfig cfg;
+    cfg.rpu_count = 4;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.run_cycles(300);
+
+    PacketTracer tracer;
+    tracer.set_max_packets(8);
+    tracer.attach(sys);
+    for (int i = 0; i < 32; ++i) {
+        sys.fabric().mac_rx(0, make_packet(128, uint64_t(1000 + i)));
+        sys.run_cycles(400);
+    }
+    EXPECT_LE(tracer.packet_ids().size(), 8u);
+    EXPECT_GT(tracer.evicted_packets(), 0u);
+    // The newest ids survive, the oldest were evicted.
+    EXPECT_TRUE(tracer.timeline(1000).empty());
+    EXPECT_FALSE(tracer.timeline(1031).empty());
+}
+
+// -------------------------------------- zero-overhead / determinism guard
+
+TEST(Telemetry, AttachingDoesNotChangeStateFingerprint) {
+    auto run = [](bool with_telemetry) {
+        SystemConfig cfg;
+        cfg.rpu_count = 4;
+        System sys(cfg);
+        auto fw = fwlib::forwarder();
+        sys.host().load_firmware_all(fw.image, fw.entry);
+        sys.host().boot_all();
+        obs::Telemetry telem;
+        if (with_telemetry) telem.attach(sys);
+        sys.run_cycles(300);
+        for (int i = 0; i < 16; ++i) sys.fabric().mac_rx(0, make_packet(200, 50 + i));
+        sys.run_cycles(4000);
+        uint64_t fp = sys.state_fingerprint();
+        if (with_telemetry) telem.detach();
+        return fp;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Telemetry, ShuffleDeterminismHoldsWithTelemetryAttached) {
+    auto run = [](uint64_t shuffle_seed) {
+        SystemConfig cfg;
+        cfg.rpu_count = 4;
+        System sys(cfg);
+        if (shuffle_seed) sys.kernel().shuffle_tick_order(shuffle_seed);
+        auto fw = fwlib::forwarder();
+        sys.host().load_firmware_all(fw.image, fw.entry);
+        sys.host().boot_all();
+        obs::Telemetry telem;
+        telem.attach(sys);
+        sys.run_cycles(300);
+        for (int i = 0; i < 16; ++i) sys.fabric().mac_rx(0, make_packet(200, 50 + i));
+        sys.run_cycles(4000);
+        uint64_t fp = sys.state_fingerprint();
+        // The telemetry's own classification must also be order-independent.
+        uint64_t busy = 0, stalled = 0;
+        for (const auto& [_, ns] : telem.nets()) {
+            busy += ns.busy;
+            stalled += ns.stalled;
+        }
+        telem.detach();
+        return std::tuple<uint64_t, uint64_t, uint64_t>(fp, busy, stalled);
+    };
+    EXPECT_EQ(run(0), run(0xdeadbeef));
+}
+
+}  // namespace
+}  // namespace rosebud
