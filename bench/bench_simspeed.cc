@@ -1,0 +1,231 @@
+/// Simulation-speed benchmark (host time, not simulated time).
+///
+/// Three execution modes of the same workloads:
+///  * reference — predecode off, idle skipping off, serial ticking: the
+///    plain interpret-everything two-phase kernel;
+///  * tuned     — predecoded RV32 dispatch + quiescence skipping (the
+///    defaults every experiment harness runs with);
+///  * parallel  — tuned plus the thread-pool tick executor.
+///
+/// All three must produce bit-identical architectural state: every run is
+/// fingerprinted (System::state_fingerprint) and any divergence aborts the
+/// benchmark — speed from a wrong simulation is meaningless. The headline
+/// number is the tuned-vs-reference host-time speedup on the Figure 7
+/// forwarding sweep (target: >= 2x).
+///
+/// Set ROSEBUD_BENCH_JSON=<dir> to export machine-readable rows.
+
+#include <chrono>
+#include <memory>
+
+#include "accel/firewall.h"
+#include "accel/pigasus.h"
+#include "bench_common.h"
+#include "core/experiments.h"
+#include "firmware/programs.h"
+#include "net/tracegen.h"
+
+using namespace rosebud;
+
+namespace {
+
+double
+now_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct Mode {
+    const char* name;
+    exp::SimTuning tuning;
+};
+
+// "reference" is the pre-fast-path kernel regime: interpretive decode on
+// every issue, every component and clocked primitive ticked/committed every
+// cycle, no datapath scan guards (commit_compat).
+const Mode kModes[] = {
+    {"reference",
+     {.predecode = false, .idle_skip = false, .parallel_ticks = 0,
+      .commit_compat = true}},
+    {"tuned", {.predecode = true, .idle_skip = true, .parallel_ticks = 0}},
+    {"parallel", {.predecode = true, .idle_skip = true, .parallel_ticks = 2}},
+};
+
+struct RunResult {
+    double host_s = 0;
+    uint64_t cycles = 0;
+    uint64_t packets = 0;
+    uint64_t fingerprint = 0;
+};
+
+enum class Pipeline { kForwarder, kFirewall, kPigasus };
+
+/// One fixed workload run under explicit tuning; returns host time, the
+/// simulated cycle count, delivered packets, and the state fingerprint.
+RunResult
+run_pipeline(Pipeline which, const exp::SimTuning& t) {
+    double t0 = now_s();
+
+    SystemConfig cfg;
+    cfg.rpu_count = 8;
+    net::IdsRuleSet rules;
+    net::Blacklist blacklist;
+    sim::Rng rng(11);
+    if (which == Pipeline::kPigasus) {
+        rules = net::IdsRuleSet::synthesize(64, rng);
+        cfg.lb_policy = lb::Policy::kRoundRobin;
+        cfg.hw_reassembler = true;
+    } else if (which == Pipeline::kFirewall) {
+        blacklist = net::Blacklist::synthesize(512, rng);
+    }
+    System sys(cfg);
+
+    sys.kernel().set_idle_skip(t.idle_skip);
+    sys.kernel().set_commit_compat(t.commit_compat);
+    if (t.parallel_ticks > 1) {
+        sys.kernel().set_race_check(false);
+        sys.kernel().set_parallel_ticks(t.parallel_ticks);
+    }
+    for (unsigned i = 0; i < sys.rpu_count(); ++i)
+        sys.rpu(i).core().set_predecode(t.predecode);
+
+    fwlib::Program fw;
+    if (which == Pipeline::kPigasus) {
+        sys.attach_accelerators(
+            [&] { return std::make_unique<accel::PigasusMatcher>(rules); });
+        fw = fwlib::pigasus_hw_reorder();
+    } else if (which == Pipeline::kFirewall) {
+        sys.attach_accelerators(
+            [&] { return std::make_unique<accel::FirewallMatcher>(blacklist); });
+        fw = fwlib::firewall();
+    } else {
+        fw = fwlib::forwarder();
+    }
+    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().boot_all();
+    sys.host().set_rx_handler([](net::PacketPtr) {});
+    sys.run_cycles(500);
+
+    for (unsigned port = 0; port < 2; ++port) {
+        net::TrafficSpec spec;
+        spec.packet_size = 512;
+        spec.attack_fraction = which == Pipeline::kForwarder ? 0.0 : 0.05;
+        spec.seed = 21 + port;
+        auto gen = std::make_shared<net::TraceGenerator>(
+            spec, which == Pipeline::kPigasus ? &rules : nullptr,
+            which == Pipeline::kFirewall ? &blacklist : nullptr);
+        sys.add_source({.port = port, .line_gbps = 100.0, .load = 0.7},
+                       [gen]() { return gen->next(); });
+    }
+    sys.run_cycles(60'000);
+
+    RunResult out;
+    out.cycles = sys.kernel().now();
+    out.packets = sys.sink(0).frames() + sys.sink(1).frames();
+    out.fingerprint = sys.state_fingerprint();
+    out.host_s = now_s() - t0;
+    return out;
+}
+
+const char*
+pipeline_name(Pipeline p) {
+    switch (p) {
+        case Pipeline::kForwarder: return "forwarder";
+        case Pipeline::kFirewall: return "firewall";
+        default: return "pigasus";
+    }
+}
+
+/// The Figure 7a forwarding sweep (16 RPUs, 2x100G, every packet size)
+/// under one tuning; all simulated results are returned for cross-mode
+/// equality checking.
+double
+fig7_sweep(const exp::SimTuning& t, std::vector<exp::ForwardingPoint>& points,
+           uint64_t& cycles) {
+    exp::set_sim_tuning(t);
+    points.clear();
+    cycles = 0;
+    double host = 0;
+    for (uint32_t size : exp::figure7_sizes()) {
+        exp::ForwardingParams p;
+        p.rpu_count = 16;
+        p.size = size;
+        p.ports = 2;
+        points.push_back(exp::run_forwarding(p));
+        host += exp::last_run_host_seconds();
+        cycles += 500 + p.warmup + p.window;
+    }
+    return host;
+}
+
+}  // namespace
+
+int
+main() {
+    bench::JsonResults json("simspeed");
+    int failures = 0;
+
+    bench::heading("Simulation speed: fixed workloads, 8 RPUs, 60k cycles");
+    std::printf("%-10s %-10s %10s %14s %14s %18s\n", "workload", "mode", "host(s)",
+                "Mcycles/s", "kpkts/s", "fingerprint");
+    for (Pipeline w : {Pipeline::kForwarder, Pipeline::kFirewall, Pipeline::kPigasus}) {
+        uint64_t ref_fp = 0;
+        double ref_s = 0;
+        for (const Mode& m : kModes) {
+            RunResult r = run_pipeline(w, m.tuning);
+            if (m.tuning.predecode == false) {
+                ref_fp = r.fingerprint;
+                ref_s = r.host_s;
+            }
+            bool match = r.fingerprint == ref_fp;
+            std::printf("%-10s %-10s %10.3f %14.2f %14.1f   0x%016llx%s\n",
+                        pipeline_name(w), m.name, r.host_s,
+                        double(r.cycles) / r.host_s / 1e6,
+                        double(r.packets) / r.host_s / 1e3,
+                        (unsigned long long)r.fingerprint, match ? "" : "  MISMATCH");
+            json.row({{"workload", pipeline_name(w)},
+                      {"mode", m.name},
+                      {"host_s", bench::num(r.host_s)},
+                      {"cycles", std::to_string(r.cycles)},
+                      {"packets", std::to_string(r.packets)},
+                      {"cycles_per_s", bench::num(double(r.cycles) / r.host_s)},
+                      {"packets_per_s", bench::num(double(r.packets) / r.host_s)},
+                      {"speedup", bench::num(ref_s / r.host_s)},
+                      {"fingerprint_match", match ? "yes" : "NO"}});
+            if (!match) {
+                std::fprintf(stderr,
+                             "FATAL: %s/%s fingerprint diverges from reference\n",
+                             pipeline_name(w), m.name);
+                ++failures;
+            }
+        }
+    }
+
+    bench::heading("Figure 7a forwarding sweep: reference vs tuned host time");
+    std::vector<exp::ForwardingPoint> ref_pts, tuned_pts;
+    uint64_t cycles = 0;
+    double ref_s = fig7_sweep(kModes[0].tuning, ref_pts, cycles);
+    double tuned_s = fig7_sweep(kModes[1].tuning, tuned_pts, cycles);
+    exp::set_sim_tuning({});
+    for (size_t i = 0; i < ref_pts.size(); ++i) {
+        // Exactness gate: the speedups must not change a single result.
+        if (ref_pts[i].achieved_gbps != tuned_pts[i].achieved_gbps ||
+            ref_pts[i].achieved_mpps != tuned_pts[i].achieved_mpps) {
+            std::fprintf(stderr, "FATAL: tuned sweep diverges at size %u\n",
+                         ref_pts[i].size);
+            ++failures;
+        }
+    }
+    double speedup = ref_s / tuned_s;
+    std::printf("reference: %.2f s   tuned: %.2f s   speedup: %.2fx "
+                "(target >= 2.0x)   results: %s\n",
+                ref_s, tuned_s, speedup, failures == 0 ? "identical" : "DIVERGED");
+    json.row({{"workload", "fig7_sweep"},
+              {"reference_s", bench::num(ref_s)},
+              {"tuned_s", bench::num(tuned_s)},
+              {"cycles", std::to_string(cycles)},
+              {"speedup", bench::num(speedup)}});
+
+    return failures == 0 ? 0 : 1;
+}

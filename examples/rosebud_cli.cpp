@@ -13,6 +13,7 @@
 ///   $ ./examples/rosebud_cli verify --program firewall --dot fw.dot
 ///   $ ./examples/rosebud_cli lint --rpus 16 --dot netlist.dot
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -54,6 +55,11 @@ int
 usage() {
     std::fprintf(stderr,
                  "usage: rosebud_cli <experiment> [--key value]...\n"
+                 "global simulation-speed flags (any experiment):\n"
+                 "  --parallel-ticks N   tick components on N threads (results are\n"
+                 "                       fingerprint-identical to the serial schedule)\n"
+                 "  --no-idle-skip       disable quiescence skipping\n"
+                 "  --no-predecode       disable the RV32 decoded-instruction cache\n"
                  "experiments:\n"
                  "  forward    --rpus N --size N --ports 1|2 --load F\n"
                  "  latency    --size N --load F\n"
@@ -124,10 +130,25 @@ main(int argc, char** argv) {
     if (argc < 2) return usage();
     Args args;
     args.experiment = argv[1];
-    for (int i = 2; i + 1 < argc; i += 2) {
+    for (int i = 2; i < argc; ++i) {
         if (std::strncmp(argv[i], "--", 2) != 0) return usage();
+        // Value-less boolean flags.
+        if (std::strcmp(argv[i], "--no-idle-skip") == 0 ||
+            std::strcmp(argv[i], "--no-predecode") == 0) {
+            args.kv[argv[i] + 2] = "1";
+            continue;
+        }
+        if (i + 1 >= argc) return usage();
         args.kv[argv[i] + 2] = argv[i + 1];
+        ++i;
     }
+
+    exp::SimTuning tuning;
+    tuning.idle_skip = !args.has("no-idle-skip");
+    tuning.predecode = !args.has("no-predecode");
+    tuning.parallel_ticks = args.u32("parallel-ticks", 0);
+    exp::set_sim_tuning(tuning);
+    auto host_t0 = std::chrono::steady_clock::now();
 
     if (args.experiment == "forward") {
         exp::ForwardingParams p;
@@ -374,6 +395,27 @@ main(int argc, char** argv) {
         }
     } else {
         return usage();
+    }
+
+    // Host-time summary for every experiment that ran simulated cycles
+    // (static analyses — verify, lint, resources — print nothing extra).
+    static const char* kTimed[] = {"forward",  "latency",   "ips",    "firewall",
+                                   "loopback", "broadcast", "reconfig", "oracle",
+                                   "profile"};
+    for (const char* name : kTimed) {
+        if (args.experiment != name) continue;
+        double host_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - host_t0)
+                            .count();
+        std::printf("[host] %s: %.2f s host time (predecode=%s, idle-skip=%s, "
+                    "ticks=%s)\n",
+                    args.experiment.c_str(), host_s,
+                    tuning.predecode ? "on" : "off",
+                    tuning.idle_skip ? "on" : "off",
+                    tuning.parallel_ticks > 1
+                        ? std::to_string(tuning.parallel_ticks).c_str()
+                        : "serial");
+        break;
     }
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/experiments.h"
 
+#include <chrono>
 #include <memory>
 
 #include "accel/firewall.h"
@@ -9,6 +10,49 @@
 #include "sim/log.h"
 
 namespace rosebud::exp {
+
+namespace {
+
+SimTuning g_tuning;
+double g_last_host_seconds = 0.0;
+
+/// Applies the process-wide tuning to a freshly built System. Parallel
+/// ticking requires the dynamic race detector off (the detector records a
+/// serial actor and would see cross-thread accesses as races); the shipped
+/// configurations are shuffle-clean, so this is safe.
+void
+apply_tuning(System& sys) {
+    sys.kernel().set_idle_skip(g_tuning.idle_skip);
+    sys.kernel().set_commit_compat(g_tuning.commit_compat);
+    if (g_tuning.parallel_ticks > 1) {
+        sys.kernel().set_race_check(false);
+        sys.kernel().set_parallel_ticks(g_tuning.parallel_ticks);
+    }
+    for (unsigned i = 0; i < sys.rpu_count(); ++i)
+        sys.rpu(i).core().set_predecode(g_tuning.predecode);
+}
+
+/// RAII wall-clock timer recording into last_run_host_seconds(); one per
+/// run_* harness so callers can print a host-time summary per experiment.
+struct HostTimer {
+    std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+    ~HostTimer() {
+        g_last_host_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+    }
+};
+
+}  // namespace
+
+void
+set_sim_tuning(const SimTuning& t) { g_tuning = t; }
+
+const SimTuning&
+sim_tuning() { return g_tuning; }
+
+double
+last_run_host_seconds() { return g_last_host_seconds; }
 
 namespace {
 
@@ -52,9 +96,11 @@ figure7_sizes() {
 
 ForwardingPoint
 run_forwarding(const ForwardingParams& p) {
+    HostTimer timer;
     SystemConfig cfg;
     cfg.rpu_count = p.rpu_count;
     System sys(cfg);
+    apply_tuning(sys);
     auto fw = fwlib::forwarder();
     sys.host().load_firmware_all(fw.image, fw.entry);
     sys.host().boot_all();
@@ -92,9 +138,11 @@ eq1_latency_us(uint32_t size, double fixed_us) {
 
 LatencyPoint
 run_latency(const LatencyParams& p) {
+    HostTimer timer;
     SystemConfig cfg;
     cfg.rpu_count = p.rpu_count;
     System sys(cfg);
+    apply_tuning(sys);
     auto fw = fwlib::forwarder();
     sys.host().load_firmware_all(fw.image, fw.entry);
     sys.host().boot_all();
@@ -126,9 +174,11 @@ run_latency(const LatencyParams& p) {
 
 LoopbackPoint
 run_loopback(unsigned rpu_count, uint32_t size, sim::Cycle warmup, sim::Cycle window) {
+    HostTimer timer;
     SystemConfig cfg;
     cfg.rpu_count = rpu_count;
     System sys(cfg);
+    apply_tuning(sys);
     auto fw = fwlib::two_step_forwarder(rpu_count);
     sys.host().load_firmware_all(fw.image, fw.entry);
     sys.host().boot_all();
@@ -166,6 +216,7 @@ measure_broadcast(unsigned rpu_count, sim::Cycle window, const fwlib::Program& f
     SystemConfig cfg;
     cfg.rpu_count = rpu_count;
     System sys(cfg);
+    apply_tuning(sys);
     if (all_send) {
         sys.host().load_firmware_all(fw.image, fw.entry);
     } else {
@@ -198,6 +249,7 @@ measure_broadcast(unsigned rpu_count, sim::Cycle window, const fwlib::Program& f
 
 BroadcastResult
 run_broadcast(unsigned rpu_count, sim::Cycle window) {
+    HostTimer timer;
     BroadcastResult out;
     uint64_t n_sparse = 0;
     measure_broadcast(rpu_count, window, fwlib::broadcast_sender(2000), /*all_send=*/false,
@@ -211,6 +263,7 @@ run_broadcast(unsigned rpu_count, sim::Cycle window) {
 
 IpsPoint
 run_ips(const IpsParams& p) {
+    HostTimer timer;
     sim::Rng rng(p.seed);
     net::IdsRuleSet rules = net::IdsRuleSet::synthesize(p.rule_count, rng);
 
@@ -223,6 +276,7 @@ run_ips(const IpsParams& p) {
         cfg.lb_policy = lb::Policy::kHash;
     }
     System sys(cfg);
+    apply_tuning(sys);
     sys.attach_accelerators([&] { return std::make_unique<accel::PigasusMatcher>(rules); });
 
     auto fw = p.mode == IpsMode::kHwReorder ? fwlib::pigasus_hw_reorder()
@@ -291,12 +345,14 @@ run_ips(const IpsParams& p) {
 
 FirewallPoint
 run_firewall(const FirewallParams& p) {
+    HostTimer timer;
     sim::Rng rng(p.seed);
     net::Blacklist blacklist = net::Blacklist::synthesize(p.blacklist_size, rng);
 
     SystemConfig cfg;
     cfg.rpu_count = p.rpu_count;
     System sys(cfg);
+    apply_tuning(sys);
     sys.attach_accelerators([&] { return std::make_unique<accel::FirewallMatcher>(blacklist); });
     auto fw = fwlib::firewall();
     sys.host().load_firmware_all(fw.image, fw.entry);
@@ -344,6 +400,7 @@ run_firewall(const FirewallParams& p) {
 
 double
 run_single_rpu_cycles_per_packet(const SingleRpuParams& p) {
+    HostTimer timer;
     sim::Rng rng(p.seed);
     net::IdsRuleSet rules = net::IdsRuleSet::synthesize(p.rule_count, rng);
 
@@ -356,6 +413,7 @@ run_single_rpu_cycles_per_packet(const SingleRpuParams& p) {
         cfg.lb_policy = lb::Policy::kHash;
     }
     System sys(cfg);
+    apply_tuning(sys);
     sys.attach_accelerators([&] { return std::make_unique<accel::PigasusMatcher>(rules); });
     auto fw = p.mode == IpsMode::kHwReorder ? fwlib::pigasus_hw_reorder()
                                             : fwlib::pigasus_sw_reorder();

@@ -20,6 +20,29 @@
 
 namespace rosebud::exp {
 
+// --- host-speed tuning --------------------------------------------------------
+
+/// Simulation-speed knobs applied to every run_* harness below. These change
+/// only host time, never simulated results: predecoded dispatch and idle
+/// skipping are exact, and the parallel executor is fingerprint-identical to
+/// the serial schedule (tests/test_sim_kernel.cc proves all three).
+struct SimTuning {
+    bool predecode = true;      ///< rv::Core decoded-instruction cache
+    bool idle_skip = true;      ///< kernel quiescence skipping
+    unsigned parallel_ticks = 0;  ///< >1 = thread-pool tick executor
+    /// Benchmarking only: restore the pre-fast-path per-cycle commit and
+    /// scan regime (sim::Kernel::set_commit_compat) as the A/B reference.
+    bool commit_compat = false;
+};
+
+/// Install process-wide tuning for subsequent run_* calls (the bench
+/// binaries and rosebud_cli set this once from flags before running).
+void set_sim_tuning(const SimTuning& t);
+const SimTuning& sim_tuning();
+
+/// Host wall-clock seconds consumed by the most recent run_* call.
+double last_run_host_seconds();
+
 /// Packet sizes evaluated in Figure 7 (powers of two plus the worst-case
 /// 65 B and the common MTUs).
 std::vector<uint32_t> figure7_sizes();

@@ -23,10 +23,26 @@ Fabric::Fabric(sim::Kernel& kernel, sim::Stats& stats, const FabricConfig& confi
       rpus_per_cluster_((config.rpu_count + config.clusters - 1) / config.clusters),
       voqs_(config.rpu_count * kSourceCount),
       rpu_rr_(config.rpu_count, 0),
+      voq_pkts_rpu_(config.rpu_count, 0),
       egress_queues_(config.rpu_count),
       egress_staged_(config.rpu_count),
       egress_committed_(config.rpu_count, 0) {
     if (rpus_.size() != config.rpu_count) sim::fatal("Fabric: rpu vector size mismatch");
+    for (unsigned p = 0; p < 2; ++p) {
+        std::string pn = "port" + std::to_string(p);
+        ctr_rx_frames_[p] = &stats.counter(pn + ".rx_frames");
+        ctr_rx_bytes_[p] = &stats.counter(pn + ".rx_bytes");
+        ctr_rx_drops_[p] = &stats.counter(pn + ".rx_fifo_drops");
+        ctr_tx_frames_[p] = &stats.counter(pn + ".tx_frames");
+        ctr_tx_bytes_[p] = &stats.counter(pn + ".tx_bytes");
+    }
+    ctr_voq_stall_ = &stats.counter("fabric.voq_stall");
+    ctr_host_tx_frames_ = &stats.counter("host.tx_frames");
+    ctr_host_rx_frames_ = &stats.counter("host.rx_frames");
+    ctr_host_rx_bytes_ = &stats.counter("host.rx_bytes");
+    ctr_host_tag_stall_ = &stats.counter("host.tag_stall");
+    ctr_loopback_frames_ = &stats.counter("loopback.frames");
+    ctr_loopback_bytes_ = &stats.counter("loopback.bytes");
     declare_netlist(kernel);
 }
 
@@ -89,8 +105,21 @@ Fabric::declare_netlist(sim::Kernel& kernel) {
 bool
 Fabric::mac_rx(unsigned port, net::PacketPtr pkt) {
     if (port > 1) sim::fatal("mac_rx: bad port");
-    stats_.counter("port" + std::to_string(port) + ".rx_frames").add();
-    stats_.counter("port" + std::to_string(port) + ".rx_bytes").add(pkt->size());
+    bool in_tick = kernel().in_tick();
+    // Host-phase arrivals mutate sleeper-visible queues: settle the skipped
+    // window first. (Tick-phase arrivals are staged; wake() accounts them.)
+    if (!in_tick) flush_skipped();
+    if (kernel().commit_compat()) {
+        // Seed parity: the pre-fast-path code looked these counters up by a
+        // freshly built string key on every frame (same at the other
+        // per-packet counter sites below and in Rpu/TrafficSink).
+        std::string pn = "port" + std::to_string(port);
+        stats_.counter(pn + ".rx_frames").add();
+        stats_.counter(pn + ".rx_bytes").add(pkt->size());
+    } else {
+        ctr_rx_frames_[port]->add();
+        ctr_rx_bytes_[port]->add(pkt->size());
+    }
     pkt->in_iface = net::Iface(port);
 
     // The hardware reassembler (when configured into the LB) sits before
@@ -98,19 +127,22 @@ Fabric::mac_rx(unsigned port, net::PacketPtr pkt) {
     std::vector<net::PacketPtr> released = lb_.reassemble(std::move(pkt));
 
     IngressSource& src = sources_[port];
-    bool in_tick = kernel().in_tick();
     bool all_ok = true;
+    bool admitted = false;
     for (auto& p : released) {
         uint64_t occupied = in_tick ? src.admit_bytes + src.staged_bytes : src.queue_bytes;
         if (occupied + p->size() > config_.mac_rx_fifo_bytes) {
-            stats_.counter("port" + std::to_string(port) + ".rx_fifo_drops").add();
+            ctr_rx_drops_[port]->add();
             trace("mac_rx_fifo_drop", *p);
-            tel(source_net(port), sim::TelemetrySink::NetEvent::kPushBlocked);
+            if (kernel().telemetry())
+                tel(source_net(port), sim::TelemetrySink::NetEvent::kPushBlocked);
             all_ok = false;
             continue;
         }
         trace("mac_rx", *p);
-        tel(source_net(port), sim::TelemetrySink::NetEvent::kPushOk);
+        if (kernel().telemetry())
+            tel(source_net(port), sim::TelemetrySink::NetEvent::kPushOk);
+        admitted = true;
         if (in_tick) {
             src.staged_bytes += p->size();
             src.staged.push_back(std::move(p));
@@ -121,6 +153,10 @@ Fabric::mac_rx(unsigned port, net::PacketPtr pkt) {
             src.admit_count = src.queue.size();
         }
     }
+    if (admitted) {
+        commit_dirty_.store(true, std::memory_order_relaxed);
+        wake();
+    }
     return all_ok;
 }
 
@@ -128,6 +164,7 @@ bool
 Fabric::host_inject(net::PacketPtr pkt) {
     IngressSource& src = sources_[kSrcHost];
     bool in_tick = kernel().in_tick();
+    if (!in_tick) flush_skipped();
     size_t occupied = in_tick ? src.admit_count + src.staged.size() : src.queue.size();
     if (occupied >= config_.host_queue_packets) {
         tel("fabric.host_q", sim::TelemetrySink::NetEvent::kPushBlocked);
@@ -144,7 +181,9 @@ Fabric::host_inject(net::PacketPtr pkt) {
         src.admit_bytes = src.queue_bytes;
         src.admit_count = src.queue.size();
     }
-    stats_.counter("host.tx_frames").add();
+    ctr_host_tx_frames_->add();
+    commit_dirty_.store(true, std::memory_order_relaxed);
+    wake();
     return true;
 }
 
@@ -155,6 +194,7 @@ Fabric::rpu_egress(uint8_t rpu, net::PacketPtr pkt) {
     const std::string enet = kernel().telemetry()
                                  ? "fabric.egress.r" + std::to_string(rpu)
                                  : std::string();
+    if (!kernel().in_tick()) flush_skipped();
     if (kernel().in_tick()) {
         if (egress_committed_[rpu] + egress_staged_[rpu].size() >= config_.egress_queue_depth) {
             tel(enet, sim::TelemetrySink::NetEvent::kPushBlocked);
@@ -163,6 +203,8 @@ Fabric::rpu_egress(uint8_t rpu, net::PacketPtr pkt) {
         trace("rpu_egress", *pkt);
         tel(enet, sim::TelemetrySink::NetEvent::kPushOk);
         egress_staged_[rpu].push_back({std::move(pkt), now() + 1});
+        commit_dirty_.store(true, std::memory_order_relaxed);
+        wake();
         return true;
     }
     auto& q = egress_queues_[rpu];
@@ -173,26 +215,75 @@ Fabric::rpu_egress(uint8_t rpu, net::PacketPtr pkt) {
     tel(enet, sim::TelemetrySink::NetEvent::kPushOk);
     trace("rpu_egress", *pkt);
     q.push_back({std::move(pkt), now() + 1});
+    ++egress_pkts_;
+    unsigned dd = unsigned(q.back().pkt->out_iface);
+    if (dd < kSourceCount) ++egress_pkts_dest_[dd];
     egress_committed_[rpu] = q.size();
+    commit_dirty_.store(true, std::memory_order_relaxed);
+    wake();
     return true;
+}
+
+bool
+Fabric::quiescent() const {
+    for (const IngressSource& src : sources_) {
+        if (!src.queue.empty() || !src.staged.empty() || src.active ||
+            src.stalled || src.issue_cd != 0) {
+            return false;
+        }
+    }
+    for (const auto& q : voqs_)
+        if (!q.empty()) return false;
+    for (const auto& q : egress_queues_)
+        if (!q.empty()) return false;
+    for (const auto& v : egress_staged_)
+        if (!v.empty()) return false;
+    for (const EgressDest& d : egress_)
+        if (d.active || d.done) return false;
+    for (const MacTx& m : mac_tx_)
+        if (m.active || !m.fifo.empty()) return false;
+    if (!host_out_.empty() || pcie_tags_in_use_ != 0 || loopback_.active)
+        return false;
+    // The PCIe byte credit is the only state that still evolves on an idle
+    // tick; std::min clamps it to exactly 16 KiB, after which every tick
+    // is the identity and sleeping is exact.
+    return pcie_credit_ >= 16.0 * 1024;
 }
 
 void
 Fabric::commit() {
+    // Every path that stages a packet or mutates a committed queue (pop,
+    // push, loopback re-entry) raises commit_dirty_; on untouched cycles
+    // both integration loops below are identity refreshes and are skipped.
+    if (!commit_dirty_.load(std::memory_order_relaxed) &&
+        !kernel().commit_compat()) {
+        if (kernel().telemetry()) report_occupancies();
+        return;
+    }
+    commit_dirty_.store(false, std::memory_order_relaxed);
     for (unsigned s = 0; s < kSourceCount; ++s) {
         IngressSource& src = sources_[s];
-        for (auto& p : src.staged) {
-            src.queue_bytes += p->size();
-            src.queue.push_back(std::move(p));
+        if (!src.staged.empty()) {
+            for (auto& p : src.staged) {
+                src.queue_bytes += p->size();
+                src.queue.push_back(std::move(p));
+            }
+            src.staged.clear();
+            src.staged_bytes = 0;
         }
-        src.staged.clear();
-        src.staged_bytes = 0;
         src.admit_bytes = src.queue_bytes;
         src.admit_count = src.queue.size();
     }
     for (unsigned r = 0; r < config_.rpu_count; ++r) {
-        for (auto& tp : egress_staged_[r]) egress_queues_[r].push_back(std::move(tp));
-        egress_staged_[r].clear();
+        if (!egress_staged_[r].empty()) {
+            egress_pkts_ += egress_staged_[r].size();
+            for (auto& tp : egress_staged_[r]) {
+                unsigned dd = unsigned(tp.pkt->out_iface);
+                if (dd < kSourceCount) ++egress_pkts_dest_[dd];
+                egress_queues_[r].push_back(std::move(tp));
+            }
+            egress_staged_[r].clear();
+        }
         egress_committed_[r] = egress_queues_[r].size();
     }
     if (kernel().telemetry()) report_occupancies();
@@ -230,24 +321,35 @@ Fabric::set_host_sink(SinkFn fn) {
 
 void
 Fabric::tick() {
-    for (unsigned s = 0; s < kSourceCount; ++s) tick_ingress_source(s);
+    const bool compat = kernel().commit_compat();
+    for (unsigned s = 0; s < kSourceCount; ++s) {
+        const IngressSource& src = sources_[s];
+        if (!compat && src.issue_cd == 0 && !src.active && !src.stalled &&
+            src.queue.empty()) {
+            continue;
+        }
+        tick_ingress_source(s);
+    }
     tick_rpu_links();
     tick_egress();
     tick_loopback();
     tick_mac_tx();
 
     // Host-bound packets: PCIe DMA with bounded bandwidth (byte credit
-    // accrues at the link rate) and a fixed latency per transfer.
-    pcie_credit_ = std::min(pcie_credit_ + config_.pcie_gbps * 1e9 / 8.0 / sim::kClockHz,
-                            16.0 * 1024);
+    // accrues at the link rate, saturating at 16 KiB) and a fixed latency
+    // per transfer.
+    if (pcie_credit_ < 16.0 * 1024) {
+        pcie_credit_ = std::min(
+            pcie_credit_ + config_.pcie_gbps * 1e9 / 8.0 / sim::kClockHz, 16.0 * 1024);
+    }
     while (!host_out_.empty() && host_out_.front().ready <= now() &&
            pcie_credit_ >= double(host_out_.front().pkt->size())) {
         pcie_credit_ -= double(host_out_.front().pkt->size());
         --pcie_tags_in_use_;
         trace("host_deliver", *host_out_.front().pkt);
         if (host_sink_) host_sink_(host_out_.front().pkt);
-        stats_.counter("host.rx_frames").add();
-        stats_.counter("host.rx_bytes").add(host_out_.front().pkt->size());
+        ctr_host_rx_frames_->add();
+        ctr_host_rx_bytes_->add(host_out_.front().pkt->size());
         host_out_.pop_front();
     }
 }
@@ -262,13 +364,18 @@ Fabric::tick_ingress_source(unsigned s) {
     if (src.stalled) {
         auto& q = voq(src.stalled->dest_rpu, s);
         if (q.size() < config_.voq_depth) {
-            tel(voq_net(src.stalled->dest_rpu, s), sim::TelemetrySink::NetEvent::kPushOk);
+            if (kernel().telemetry())
+                tel(voq_net(src.stalled->dest_rpu, s),
+                    sim::TelemetrySink::NetEvent::kPushOk);
             q.push_back({src.stalled, now() + config_.ingress_pipe_cycles});
+            ++voq_pkts_;
+            ++voq_pkts_rpu_[src.stalled->dest_rpu];
             src.stalled.reset();
         } else {
-            stats_.counter("fabric.voq_stall").add();
-            tel(voq_net(src.stalled->dest_rpu, s),
-                sim::TelemetrySink::NetEvent::kPushBlocked);
+            ctr_voq_stall_->add();
+            if (kernel().telemetry())
+                tel(voq_net(src.stalled->dest_rpu, s),
+                    sim::TelemetrySink::NetEvent::kPushBlocked);
         }
     }
 
@@ -291,7 +398,9 @@ Fabric::tick_ingress_source(unsigned s) {
     }
     src.queue.pop_front();
     src.queue_bytes -= head->size();
-    tel(source_net(s), sim::TelemetrySink::NetEvent::kPop);
+    commit_dirty_.store(true, std::memory_order_relaxed);
+    if (kernel().telemetry())
+        tel(source_net(s), sim::TelemetrySink::NetEvent::kPop);
     src.active = head;
     uint32_t bytes = head->size() + (head->hash_prepended ? 4 : 0);
     src.cycles_left = div_ceil(bytes, config_.stage1_bytes_per_cycle);
@@ -301,17 +410,24 @@ Fabric::tick_ingress_source(unsigned s) {
     // visible to the per-RPU link after the fixed distribution pipe.
     auto& q = voq(head->dest_rpu, s);
     if (q.size() < config_.voq_depth) {
-        tel(voq_net(head->dest_rpu, s), sim::TelemetrySink::NetEvent::kPushOk);
+        if (kernel().telemetry())
+            tel(voq_net(head->dest_rpu, s), sim::TelemetrySink::NetEvent::kPushOk);
         q.push_back({head, now() + config_.ingress_pipe_cycles});
+        ++voq_pkts_;
+        ++voq_pkts_rpu_[head->dest_rpu];
     } else {
-        tel(voq_net(head->dest_rpu, s), sim::TelemetrySink::NetEvent::kPushBlocked);
+        if (kernel().telemetry())
+            tel(voq_net(head->dest_rpu, s), sim::TelemetrySink::NetEvent::kPushBlocked);
         src.stalled = head;
     }
 }
 
 void
 Fabric::tick_rpu_links() {
+    const bool compat = kernel().commit_compat();
+    if (voq_pkts_ == 0 && !compat) return;
     for (unsigned r = 0; r < config_.rpu_count; ++r) {
+        if (voq_pkts_rpu_[r] == 0 && !compat) continue;
         rpu::Rpu* rpu = rpus_[r];
         if (!rpu->rx_ready()) continue;
         for (unsigned i = 0; i < kSourceCount; ++i) {
@@ -325,6 +441,8 @@ Fabric::tick_rpu_links() {
             }
             rpu->begin_rx(q.front().pkt);
             q.pop_front();
+            --voq_pkts_;
+            --voq_pkts_rpu_[r];
             rpu_rr_[r] = (s + 1) % kSourceCount;
             break;
         }
@@ -333,8 +451,19 @@ Fabric::tick_rpu_links() {
 
 void
 Fabric::tick_egress() {
+    const bool compat = kernel().commit_compat();
+    if (egress_pkts_ == 0 && !compat) {
+        bool busy = false;
+        for (const EgressDest& d : egress_)
+            if (d.active || d.done) { busy = true; break; }
+        if (!busy) return;
+    }
     for (unsigned d = 0; d < kSourceCount; ++d) {
         EgressDest& dest = egress_[d];
+        // Nothing queued for this destination and its serializer is idle:
+        // the per-RPU scan below cannot pick anything, skip it.
+        if (!compat && !dest.active && !dest.done && egress_pkts_dest_[d] == 0)
+            continue;
 
         // Retry a cut-through handoff that found no downstream space.
         if (dest.done && try_egress_handoff(d, dest.done)) dest.done.reset();
@@ -357,6 +486,9 @@ Fabric::tick_egress() {
             dest.active = q.front().pkt;
             dest.cycles_left = div_ceil(dest.active->size(), config_.stage1_bytes_per_cycle);
             q.pop_front();
+            --egress_pkts_;
+            --egress_pkts_dest_[d];
+            commit_dirty_.store(true, std::memory_order_relaxed);
             if (kernel().telemetry()) {
                 tel("fabric.egress.r" + std::to_string(r),
                     sim::TelemetrySink::NetEvent::kPop);
@@ -386,7 +518,7 @@ Fabric::try_egress_handoff(unsigned d, const net::PacketPtr& p) {
     if (d == kSrcHost) {
         // DMA-tag admission: each in-flight host transfer holds a tag.
         if (pcie_tags_in_use_ >= config_.pcie_tags) {
-            stats_.counter("host.tag_stall").add();
+            ctr_host_tag_stall_->add();
             tel("fabric.host_out", sim::TelemetrySink::NetEvent::kPushBlocked);
             return false;
         }
@@ -422,23 +554,31 @@ Fabric::tick_loopback() {
         IngressSource& lp = sources_[kSrcLoopback];
         lp.queue_bytes += loopback_.active->size();
         lp.queue.push_back(loopback_.active);
+        commit_dirty_.store(true, std::memory_order_relaxed);
         trace("loopback_reenter", *loopback_.active);
-        stats_.counter("loopback.frames").add();
-        stats_.counter("loopback.bytes").add(loopback_.active->size());
+        ctr_loopback_frames_->add();
+        ctr_loopback_bytes_->add(loopback_.active->size());
         loopback_.active.reset();
     }
 }
 
 void
 Fabric::tick_mac_tx() {
+    const bool compat = kernel().commit_compat();
     for (unsigned port = 0; port < 2; ++port) {
         MacTx& mac = mac_tx_[port];
+        if (!compat && !mac.active && mac.fifo.empty()) continue;
         if (mac.active) {
             if (mac.cycles_left > 0) --mac.cycles_left;
             if (mac.cycles_left > 0) continue;
-            stats_.counter("port" + std::to_string(port) + ".tx_frames").add();
-            stats_.counter("port" + std::to_string(port) + ".tx_bytes")
-                .add(mac.active->size());
+            if (compat) {
+                std::string pn = "port" + std::to_string(port);
+                stats_.counter(pn + ".tx_frames").add();
+                stats_.counter(pn + ".tx_bytes").add(mac.active->size());
+            } else {
+                ctr_tx_frames_[port]->add();
+                ctr_tx_bytes_[port]->add(mac.active->size());
+            }
             trace("mac_tx", *mac.active);
             if (mac.sink) mac.sink(mac.active);
             mac.active.reset();

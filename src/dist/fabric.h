@@ -22,6 +22,7 @@
 #ifndef ROSEBUD_DIST_FABRIC_H
 #define ROSEBUD_DIST_FABRIC_H
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -104,6 +105,12 @@ class Fabric : public sim::Component {
     /// rpu_egress staged by other components) into the ingress and egress
     /// queues and refresh the registered admission credit.
     void commit() override;
+
+    /// The fabric can sleep when every queue, serializer and staged buffer
+    /// on both planes is empty and the PCIe byte credit has saturated (the
+    /// only time-varying state left). External arrivals (mac_rx /
+    /// host_inject / rpu_egress) wake it.
+    bool quiescent() const override;
 
     /// Optional per-packet observation hook for the debugging tooling
     /// (core/tracer.h): fired at every stage boundary a packet crosses.
@@ -191,9 +198,32 @@ class Fabric : public sim::Component {
     std::vector<rpu::Rpu*> rpus_;
     unsigned rpus_per_cluster_;
 
+    // Per-packet counters resolved once at construction (Stats handles are
+    // node-stable); the tick path must not do string-keyed map lookups.
+    sim::Counter* ctr_rx_frames_[2];
+    sim::Counter* ctr_rx_bytes_[2];
+    sim::Counter* ctr_rx_drops_[2];
+    sim::Counter* ctr_tx_frames_[2];
+    sim::Counter* ctr_tx_bytes_[2];
+    sim::Counter* ctr_voq_stall_;
+    sim::Counter* ctr_host_tx_frames_;
+    sim::Counter* ctr_host_rx_frames_;
+    sim::Counter* ctr_host_rx_bytes_;
+    sim::Counter* ctr_host_tag_stall_;
+    sim::Counter* ctr_loopback_frames_;
+    sim::Counter* ctr_loopback_bytes_;
+
     IngressSource sources_[kSourceCount];
     std::vector<std::deque<TimedPkt>> voqs_;  ///< [rpu][source]
     std::vector<unsigned> rpu_rr_;            ///< per-RPU source arbitration
+    size_t voq_pkts_ = 0;     ///< total packets across all VOQs (scan guard)
+    std::vector<uint32_t> voq_pkts_rpu_;  ///< per-RPU VOQ packets (scan guard)
+    size_t egress_pkts_ = 0;  ///< total packets across egress queues
+    uint32_t egress_pkts_dest_[kSourceCount] = {0, 0, 0, 0};  ///< per destination
+    /// Set by any queue mutation whose effect commit() must integrate or
+    /// re-snapshot; atomic because producers (traffic sources, RPU TX
+    /// engines) may run on pool threads under the parallel executor.
+    std::atomic<bool> commit_dirty_{false};
 
     std::vector<std::deque<TimedPkt>> egress_queues_;  ///< per RPU
     EgressDest egress_[kSourceCount];                  ///< per destination

@@ -39,6 +39,12 @@ class TrafficSource : public sim::Component {
 
     void tick() override;
 
+    /// A capped source that has offered its last packet never acts again
+    /// (tick is a no-op), so it can sleep for the rest of the run.
+    bool quiescent() const override {
+        return config_.max_packets != 0 && offered_ >= config_.max_packets;
+    }
+
     uint64_t offered() const { return offered_; }
     uint64_t dropped_at_mac() const { return dropped_; }
 
@@ -81,6 +87,8 @@ class TrafficSink {
     sim::Kernel& kernel_;
     sim::Stats& stats_;
     std::string name_;
+    sim::Counter* ctr_frames_;
+    sim::Counter* ctr_bytes_;
     uint64_t frames_ = 0;
     uint64_t bytes_ = 0;
     uint64_t window_frames_ = 0;

@@ -15,6 +15,16 @@ LoadBalancer::LoadBalancer(sim::Stats& stats, const Config& config)
     if (config.rpu_count == 0 || config.rpu_count > 32) {
         sim::fatal("LoadBalancer: rpu_count must be in [1,32]");
     }
+    ctr_assign_stall_ = &stats.counter("lb.assign_stall");
+    ctr_assigned_ = &stats.counter("lb.assigned");
+    ctr_assigned_rpu_.reserve(config.rpu_count);
+    for (unsigned r = 0; r < config.rpu_count; ++r) {
+        ctr_assigned_rpu_.push_back(
+            &stats.counter("lb.assigned.rpu" + std::to_string(r)));
+    }
+    ctr_reasm_held_ = &stats.counter("lb.reassembler.held");
+    ctr_reasm_overflow_ = &stats.counter("lb.reassembler.overflow");
+    ctr_reasm_stale_ = &stats.counter("lb.reassembler.stale");
 }
 
 void
@@ -45,6 +55,7 @@ void
 LoadBalancer::on_slot_config(uint8_t rpu, const rpu::SlotConfig& cfg) {
     if (rpu >= config_.rpu_count) return;
     if (staging()) {
+        std::lock_guard<std::mutex> lock(mu_);
         staged_configs_.emplace_back(rpu, cfg);
         return;
     }
@@ -56,6 +67,7 @@ void
 LoadBalancer::on_slot_free(uint8_t rpu, uint8_t slot) {
     if (rpu >= config_.rpu_count) return;
     if (staging()) {
+        std::lock_guard<std::mutex> lock(mu_);
         staged_frees_.emplace_back(rpu, slot);
         return;
     }
@@ -73,6 +85,7 @@ LoadBalancer::request_slot(uint8_t dst_rpu) {
 void
 LoadBalancer::request_slot_routed(uint8_t requester, uint8_t dst_rpu) {
     if (staging()) {
+        std::lock_guard<std::mutex> lock(mu_);
         staged_requests_.emplace_back(requester, dst_rpu);
         return;
     }
@@ -81,16 +94,22 @@ LoadBalancer::request_slot_routed(uint8_t requester, uint8_t dst_rpu) {
 
 void
 LoadBalancer::commit_staged() {
+    std::lock_guard<std::mutex> lock(mu_);
     if (staged_configs_.empty() && staged_frees_.empty() && staged_requests_.empty()) {
         return;
     }
     // Deterministic application order regardless of which component ticked
-    // first: slot configs, then frees, then requests by requester id.
+    // first (or on which pool thread): configs by RPU, then frees sorted by
+    // (RPU, slot), then requests by requester id. Sorting makes the applied
+    // order a function of the staged *set*, never of arrival order.
+    std::stable_sort(staged_configs_.begin(), staged_configs_.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
     for (const auto& [rpu, cfg] : staged_configs_) {
         free_slots_[rpu].clear();
         for (uint32_t s = 1; s <= cfg.count; ++s) free_slots_[rpu].push_back(uint8_t(s));
     }
     staged_configs_.clear();
+    std::stable_sort(staged_frees_.begin(), staged_frees_.end());
     for (const auto& [rpu, slot] : staged_frees_) free_slots_[rpu].push_back(slot);
     staged_frees_.clear();
     std::stable_sort(staged_requests_.begin(), staged_requests_.end(),
@@ -166,7 +185,7 @@ LoadBalancer::try_assign(const net::PacketPtr& pkt) {
 
     auto rpu = pick_for(pkt, hash);
     if (!rpu) {
-        stats_.counter("lb.assign_stall").add();
+        ctr_assign_stall_->add();
         if (kernel_) {
             if (sim::TelemetrySink* t = kernel_->telemetry()) {
                 t->net_event("lb.assign", sim::TelemetrySink::NetEvent::kPushBlocked);
@@ -188,8 +207,8 @@ LoadBalancer::try_assign(const net::PacketPtr& pkt) {
         pkt->lb_hash = hash;
         pkt->hash_prepended = true;
     }
-    stats_.counter("lb.assigned").add();
-    stats_.counter("lb.assigned.rpu" + std::to_string(*rpu)).add();
+    ctr_assigned_->add();
+    ctr_assigned_rpu_[*rpu]->add();
     return true;
 }
 
@@ -200,6 +219,10 @@ LoadBalancer::reassemble(net::PacketPtr pkt) {
     auto parsed = net::parse_packet(*pkt);
     if (!parsed || !parsed->has_tcp) return {std::move(pkt)};
 
+    // Traffic sources on different ports may reach this from different
+    // pool threads; the flow table is shared. Per-flow behavior does not
+    // depend on cross-flow arrival order, so the lock is determinism-safe.
+    std::lock_guard<std::mutex> lock(mu_);
     net::FiveTuple key = net::extract_five_tuple(*parsed);
     FlowRecord& rec = flows_[key];
     uint64_t seq = parsed->tcp.seq;
@@ -235,12 +258,12 @@ LoadBalancer::reassemble(net::PacketPtr pkt) {
 
     if (seq > rec.next_seq) {
         if (rec.held.size() < config_.reorder_buffer) {
-            stats_.counter("lb.reassembler.held").add();
+            ctr_reasm_held_->add();
             rec.held.push_back(std::move(pkt));
             return {};
         }
         // Buffer exhausted: give up on ordering, flush everything.
-        stats_.counter("lb.reassembler.overflow").add();
+        ctr_reasm_overflow_->add();
         out = std::move(rec.held);
         rec.held.clear();
         out.push_back(std::move(pkt));
@@ -249,7 +272,7 @@ LoadBalancer::reassemble(net::PacketPtr pkt) {
     }
 
     // Old/duplicate segment: pass through unchanged.
-    stats_.counter("lb.reassembler.stale").add();
+    ctr_reasm_stale_->add();
     return {std::move(pkt)};
 }
 

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -157,6 +158,21 @@ class LoadBalancer {
     sim::Kernel* kernel_ = nullptr;
     std::unique_ptr<CommitAdapter> adapter_;
     SlotResponseFn slot_response_;
+
+    // Hot-path counters resolved once at construction.
+    sim::Counter* ctr_assign_stall_;
+    sim::Counter* ctr_assigned_;
+    std::vector<sim::Counter*> ctr_assigned_rpu_;
+    sim::Counter* ctr_reasm_held_;
+    sim::Counter* ctr_reasm_overflow_;
+    sim::Counter* ctr_reasm_stale_;
+
+    /// Serializes tick-phase staging (RPU control callbacks) and the
+    /// reassembler flow table (mac_rx runs from multiple traffic sources
+    /// under the parallel tick executor). The staged vectors are applied
+    /// in a sorted, arrival-order-independent order at the clock edge, so
+    /// the lock only guards memory, not determinism.
+    mutable std::mutex mu_;
 
     // Control-channel traffic staged during the tick phase.
     std::vector<std::pair<uint8_t, rpu::SlotConfig>> staged_configs_;

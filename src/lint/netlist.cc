@@ -25,6 +25,7 @@ check_name(Check c) {
         case Check::kCreditDepth: return "credit-depth";
         case Check::kResourceSum: return "resource-sum";
         case Check::kResourceFit: return "resource-fit";
+        case Check::kWakeEdge: return "wake-edge";
     }
     return "?";
 }
@@ -89,6 +90,12 @@ check_netlist(const sim::Kernel& kernel, const std::vector<WidthRule>& rules) {
     std::map<std::string, const NetRecord*> by_name;
     for (const NetRecord& n : nets) by_name[n.name] = &n;
 
+    // Registered component names: the kernel builds its quiescence
+    // wake-edge map by resolving each read port's component against this
+    // set, silently skipping misses (legitimate for external readers).
+    std::set<std::string> registered;
+    for (const std::string& c : kernel.tick_order()) registered.insert(c);
+
     // Group ports by net; flag references to undeclared nets.
     std::map<std::string, std::vector<const PortRecord*>> net_ports;
     for (const PortRecord& p : ports) {
@@ -129,6 +136,24 @@ check_netlist(const sim::Kernel& kernel, const std::vector<WidthRule>& rules) {
                                    std::to_string(p->depth) + " on net '" +
                                    n.name + "' (depth " +
                                    std::to_string(n.depth) + ")"});
+            }
+            // Wake-edge validity: a FIFO net's reader must be a registered
+            // component, or pushes cannot wake it from quiescence (the
+            // kernel drops unresolvable read ports when building the wake
+            // map). Scoped to kFifo nets — only Fifo::push routes wakes
+            // through the map; kLink nets are callback boundaries whose
+            // producers wake consumers by direct wake() calls, and Reg
+            // readers poll. External drains are exempt via the same flag
+            // that exempts them from never-read.
+            if (n.kind == NetRecord::kFifo && !registered.empty() &&
+                p->dir == PortRecord::kRead &&
+                !(n.flags & sim::kNetExternalSink) &&
+                !registered.count(p->component)) {
+                out.push_back({Check::kWakeEdge, n.name,
+                               "read port on '" + n.name + "' names '" +
+                                   p->component +
+                                   "', which is not a registered component: "
+                                   "pushes cannot wake a sleeping reader"});
             }
         }
 

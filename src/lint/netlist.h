@@ -20,6 +20,11 @@
 ///  * kCreditDepth    — a port's credit depth differs from the net's depth
 ///  * kResourceSum    — child ResourceFootprints do not sum into the parent
 ///  * kResourceFit    — a design does not fit its device
+///  * kWakeEdge       — a read port on a non-external net names a component
+///                      the kernel has not registered: quiescence wake
+///                      edges (sim/kernel.h) are routed through exactly
+///                      these ports, so a push could never wake a sleeping
+///                      reader declared under the wrong name
 ///
 /// See docs/LINT.md for how components register ports and how to read the
 /// DOT dump.
@@ -48,6 +53,7 @@ enum class Check : uint8_t {
     kCreditDepth,
     kResourceSum,
     kResourceFit,
+    kWakeEdge,
 };
 
 /// Stable short name for a check, e.g. "never-read".

@@ -7,7 +7,9 @@ BroadcastNetwork::BroadcastNetwork(sim::Kernel& kernel, sim::Stats& stats,
     : sim::Component(kernel, "broadcast"),
       config_(config),
       stats_(stats),
-      sinks_(config.rpu_count) {
+      sinks_(config.rpu_count),
+      ctr_tx_blocked_(&stats.counter("broadcast.tx_blocked")),
+      ctr_granted_(&stats.counter("broadcast.granted")) {
     tx_fifos_.reserve(config.rpu_count);
     for (unsigned i = 0; i < config.rpu_count; ++i) {
         std::string net = "broadcast.tx" + std::to_string(i);
@@ -27,9 +29,20 @@ bool
 BroadcastNetwork::try_send(uint8_t rpu, uint32_t offset, uint32_t value) {
     if (rpu >= tx_fifos_.size()) return false;
     if (!tx_fifos_[rpu]->push({offset, value})) {
-        stats_.counter("broadcast.tx_blocked").add();
+        ctr_tx_blocked_->add();
         return false;
     }
+    return true;
+}
+
+bool
+BroadcastNetwork::quiescent() const {
+    if (!in_flight_.empty()) return false;
+    // The grant credit accrues 10/cycle up to interval+10; once saturated
+    // an idle tick is the identity, so sleeping is exact.
+    if (grant_credit_ < config_.grant_interval_tenths + 10) return false;
+    for (const auto& f : tx_fifos_)
+        if (f->size() != 0) return false;
     return true;
 }
 
@@ -51,7 +64,7 @@ BroadcastNetwork::tick() {
                 config_.pipeline_min_cycles +
                 (now() + cand) % (config_.pipeline_jitter ? config_.pipeline_jitter : 1);
             in_flight_.push_back({m, now() + delay});
-            stats_.counter("broadcast.granted").add();
+            ctr_granted_->add();
             rr_ = (cand + 1) % config_.rpu_count;
             grant_credit_ -= config_.grant_interval_tenths;
             break;

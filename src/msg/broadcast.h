@@ -59,6 +59,11 @@ class BroadcastNetwork : public sim::Component {
 
     void tick() override;
 
+    /// Idle when nothing is queued or in flight and the grant credit has
+    /// saturated (the only per-tick state left). The TX FIFOs' wake edges
+    /// (we declared kRead ports on them) re-arm the arbiter on a push.
+    bool quiescent() const override;
+
     /// Messages delivered so far.
     uint64_t delivered() const { return delivered_; }
 
@@ -85,6 +90,8 @@ class BroadcastNetwork : public sim::Component {
     unsigned grant_credit_ = 0;
     uint64_t delivered_ = 0;
     DeliveryProbe probe_;
+    sim::Counter* ctr_tx_blocked_;
+    sim::Counter* ctr_granted_;
 };
 
 }  // namespace rosebud::msg

@@ -40,6 +40,13 @@ Rpu::Rpu(sim::Kernel& kernel, sim::Stats& stats, const Config& config)
       bcast_notify_(kernel, name() + ".bcast_notify", config.bcast_notify_depth,
                     kDescWidthBits, 0, sim::CreditPolicy::kRegistered) {
     declare_netlist(kernel);
+    ctr_rx_packets_ = &stats.counter(stat("rx_packets"));
+    ctr_rx_bytes_ = &stats.counter(stat("rx_bytes"));
+    ctr_rx_bad_slot_ = &stats.counter(stat("rx_bad_slot"));
+    ctr_tx_packets_ = &stats.counter(stat("tx_packets"));
+    ctr_tx_bytes_ = &stats.counter(stat("tx_bytes"));
+    ctr_tx_stall_cycles_ = &stats.counter(stat("tx_stall_cycles"));
+    ctr_dropped_packets_ = &stats.counter(stat("dropped_packets"));
 }
 
 void
@@ -81,13 +88,18 @@ Rpu::stat(const char* suffix) const {
 void
 Rpu::load_firmware(const std::vector<uint32_t>& image, uint32_t entry) {
     if (image.size() > imem_.size()) sim::fatal("firmware image larger than IMEM");
+    flush_skipped();
     std::fill(imem_.begin(), imem_.end(), 0);
     std::copy(image.begin(), image.end(), imem_.begin());
     entry_pc_ = entry;
+    core_.icache_invalidate();
+    wake();
 }
 
 void
 Rpu::attach_accelerator(std::unique_ptr<Accelerator> accel) {
+    flush_skipped();
+    wake();
     accel_ = std::move(accel);
     if (accel_) {
         accel_->reset();
@@ -104,6 +116,8 @@ Rpu::attach_accelerator(std::unique_ptr<Accelerator> accel) {
 
 void
 Rpu::boot() {
+    flush_skipped();
+    wake();
     core_.reset(entry_pc_);
     if (accel_) accel_->reset();
     slots_ = SlotConfig{};
@@ -130,8 +144,24 @@ Rpu::boot() {
 void
 Rpu::halt() {
     // Stop fetching; memories and in-flight engines are left intact so the
-    // host can inspect state (paper Section 3.4).
+    // host can inspect state (paper Section 3.4). Accounting is flushed
+    // first so the core's cycle counter is exact at the halt point.
+    flush_skipped();
     core_.stop();
+}
+
+void
+Rpu::raise_poke() {
+    flush_skipped();
+    irq_status_ |= kIrqPoke;
+    wake();
+}
+
+void
+Rpu::raise_evict() {
+    flush_skipped();
+    irq_status_ |= kIrqEvict;
+    wake();
 }
 
 bool
@@ -156,9 +186,12 @@ Rpu::begin_rx(net::PacketPtr pkt) {
     if (!rx_ready()) sim::panic(name() + ": begin_rx while busy");
     if (kernel().in_tick()) {
         rx_pending_ = std::move(pkt);  // transfer starts at this commit
+        wake();  // staged input: a sleeping RPU resumes next cycle
         return;
     }
+    flush_skipped();
     apply_begin_rx(std::move(pkt));
+    wake();
 }
 
 void
@@ -175,7 +208,7 @@ Rpu::finish_rx() {
     uint8_t slot = pkt->dest_slot;
     if (slots_.count == 0 || slot == 0 || slot > slots_.count) {
         // The LB never dispatches before slot config; treat as a drop.
-        stats_.counter(stat("rx_bad_slot")).add();
+        ctr_rx_bad_slot_->add();
         --occupancy_;
         return;
     }
@@ -198,9 +231,9 @@ Rpu::finish_rx() {
     uint32_t hdr_bytes = std::min(bytes, slots_.hdr_size);
     uint32_t hdr_addr = slots_.hdr_base + (slot - 1) * slots_.hdr_size;
     if (hdr_addr >= kDmemBase && hdr_addr - kDmemBase + hdr_bytes <= kDmemSize) {
-        std::vector<uint8_t> head(hdr_bytes);
-        pmem_.read_block(pmem_off, head.data(), hdr_bytes);
-        dmem_.write_block(hdr_addr - kDmemBase, head.data(), hdr_bytes);
+        if (hdr_scratch_.size() < hdr_bytes) hdr_scratch_.resize(hdr_bytes);
+        pmem_.read_block(pmem_off, hdr_scratch_.data(), hdr_bytes);
+        dmem_.write_block(hdr_addr - kDmemBase, hdr_scratch_.data(), hdr_bytes);
     }
 
     slot_pkts_[slot] = pkt;
@@ -215,12 +248,64 @@ Rpu::finish_rx() {
         sim::panic(name() + ": rx descriptor fifo overflow");
     }
     trace("rpu_rx_complete", *pkt);
-    stats_.counter(stat("rx_packets")).add();
-    stats_.counter(stat("rx_bytes")).add(pkt->size());
+    if (kernel().commit_compat()) {
+        stats_.counter(stat("rx_packets")).add();
+        stats_.counter(stat("rx_bytes")).add(pkt->size());
+    } else {
+        ctr_rx_packets_->add();
+        ctr_rx_bytes_->add(pkt->size());
+    }
+}
+
+bool
+Rpu::inputs_frozen() const {
+    // Every term is committed state: no engine mid-transfer, no staged
+    // cross-component input, no pending work the core could pick up, no
+    // time-driven events, no accelerator (which may act spontaneously).
+    return !accel_ && timer_cmp_ == 0 &&
+           !rx_pkt_ && rx_remaining_ == 0 && rx_gap_ == 0 && !rx_pending_ &&
+           !tx_cur_ && !tx_out_ && tx_fifo_.size() == 0 &&
+           rx_fifo_.size() == 0 && bcast_notify_.size() == 0 &&
+           bcast_pending_.empty() && !slot_resp_ &&
+           (irq_status_ & irq_mask_) == 0;
+}
+
+bool
+Rpu::quiescent() const {
+    if (core_.profile()) return false;  // the PC histogram must see every cycle
+    if (!core_.halted() && !(idle_watching_ && core_.stable_loop())) return false;
+    return inputs_frozen();
+}
+
+void
+Rpu::on_wake(sim::Cycle skipped_cycles) {
+    // Engines, timer and accelerator were provably inert for the whole
+    // window (inputs_frozen); only the core's time advances.
+    core_.skip_idle_cycles(skipped_cycles);
 }
 
 void
 Rpu::tick() {
+    // Arm/disarm the core's idle-loop watcher as the inputs freeze and
+    // unfreeze. Only while the kernel may actually skip: with telemetry
+    // attached every cycle runs anyway and the watcher is pure overhead.
+    // While not yet watching, the (multi-FIFO) freeze probe runs every
+    // 8th cycle only — arming a few cycles late just delays sleep; the
+    // disarm direction stays per-cycle so a stale watch never lingers
+    // once inputs move again.
+    if (kernel().idle_skip_effective()) {
+        if (idle_watching_ || (now() & 7) == 0) {
+            const bool frozen = inputs_frozen();
+            if (frozen != idle_watching_) {
+                idle_watching_ = frozen;
+                core_.set_idle_watch(frozen);
+            }
+        }
+    } else if (idle_watching_) {
+        idle_watching_ = false;
+        core_.set_idle_watch(false);
+    }
+
     // Internal watchdog timer (paper Section 3.4: firmware detects hangs
     // "using internal timer interrupt").
     if (timer_cmp_ > 0 && --timer_cmp_ == 0) irq_status_ |= kIrqTimer;
@@ -270,15 +355,22 @@ Rpu::tick_tx() {
     if (tx_out_) {
         if (egress_ && egress_(tx_out_)) {
             uint8_t slot = tx_cur_->desc.slot;
-            stats_.counter(stat("tx_packets")).add();
-            stats_.counter(stat("tx_bytes")).add(tx_out_->size());
+            if (kernel().commit_compat()) {
+                stats_.counter(stat("tx_packets")).add();
+                stats_.counter(stat("tx_bytes")).add(tx_out_->size());
+            } else {
+                ctr_tx_packets_->add();
+                ctr_tx_bytes_->add(tx_out_->size());
+            }
             tx_out_.reset();
             tx_cur_.reset();
             slot_pkts_[slot].reset();
             --occupancy_;
             if (slot_free_) slot_free_(config_.id, slot);
-        } else {
+        } else if (kernel().commit_compat()) {
             stats_.counter(stat("tx_stall_cycles")).add();
+        } else {
+            ctr_tx_stall_cycles_->add();
         }
         return;
     }
@@ -324,7 +416,7 @@ Rpu::tick_tx() {
             // Drop: free the slot without transmitting.
             uint8_t slot = cmd.desc.slot;
             if (slot_pkts_[slot]) trace("fw_drop", *slot_pkts_[slot]);
-            stats_.counter(stat("dropped_packets")).add();
+            ctr_dropped_packets_->add();
             slot_pkts_[slot].reset();
             --occupancy_;
             if (slot_free_) slot_free_(config_.id, slot);
@@ -341,9 +433,13 @@ Rpu::broadcast_deliver(uint32_t offset, uint32_t value) {
     if (kernel().in_tick()) {
         // Delivered from the broadcast network's tick: the semi-coherent
         // copy updates at commit so the core never sees a half-cycle value.
+        // The notify push below wakes a sleeping RPU (and replays its
+        // skipped window against the still-unmodified bcast_mem_).
         bcast_pending_.emplace_back(offset, value);
     } else {
+        flush_skipped();  // replay must see the pre-delivery copy
         std::memcpy(&bcast_mem_[offset], &value, 4);
+        wake();
     }
     if (!bcast_notify_.push({offset, value})) ++bcast_notify_drops_;
 }
@@ -545,6 +641,23 @@ uint32_t
 Rpu::RpuBus::fetch(uint32_t addr) {
     if (addr + 4 <= kImemSize) return rpu_.imem_[addr >> 2];
     return 0x00100073;  // ebreak: running off the image halts the core
+}
+
+bool
+Rpu::RpuBus::watch_safe_read(uint32_t addr) const {
+    if (addr >= kIoBase && addr < kIoBase + kIoSize) {
+        switch ((addr - kIoBase) & ~3u) {
+        case kRegCycle:       // time keeps advancing while "idle"
+        case kRegLbSlotResp:  // reading consumes the response
+            return false;
+        default:
+            return true;  // frozen while the RPU's inputs are frozen
+        }
+    }
+    // Accelerator MMIO may mutate on read. The watcher is only armed with
+    // no accelerator attached, but classify it anyway.
+    if (addr >= kIoExtBase && addr < kIoExtBase + kIoExtSize) return false;
+    return true;
 }
 
 // --- resources ----------------------------------------------------------------

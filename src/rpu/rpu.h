@@ -84,9 +84,11 @@ class Rpu : public sim::Component {
     bool core_halted() const { return core_.halted(); }
     bool core_faulted() const { return core_.faulted(); }
 
-    /// Host interrupts (paper: poke/evict).
-    void raise_poke() { irq_status_ |= kIrqPoke; }
-    void raise_evict() { irq_status_ |= kIrqEvict; }
+    /// Host interrupts (paper: poke/evict). These flush skipped-cycle
+    /// accounting before touching the status register (a sleeping core's
+    /// catch-up replay must see the pre-poke value) and wake the RPU.
+    void raise_poke();
+    void raise_evict();
 
     uint32_t debug_low() const { return debug_low_; }
     uint32_t debug_high() const { return debug_high_; }
@@ -177,6 +179,11 @@ class Rpu : public sim::Component {
     /// begin_rx/broadcast delivery staged by other components this cycle.
     void commit() override;
 
+    /// Quiescent when every input is frozen and the core is either halted
+    /// or spinning in a proven stable poll loop (rv::Core's idle-loop
+    /// watcher) — see DESIGN.md §11.
+    bool quiescent() const override;
+
     /// Footprint of the base RPU (core + memory subsystem + accelerator
     /// manager), excluding the attached accelerator.
     sim::ResourceFootprint base_resources() const;
@@ -185,6 +192,13 @@ class Rpu : public sim::Component {
     sim::ResourceFootprint resources() const;
 
     uint8_t id() const { return config_.id; }
+
+ protected:
+    /// Catch the core up on cycles skipped while asleep (arithmetic for
+    /// whole loop periods or a halted core, tick replay for the remainder;
+    /// exact because the replayed instructions see the same frozen inputs
+    /// they would have seen live).
+    void on_wake(sim::Cycle skipped_cycles) override;
 
  private:
     friend class RpuBus;
@@ -196,6 +210,7 @@ class Rpu : public sim::Component {
         Access load(uint32_t addr, uint32_t size) override;
         Access store(uint32_t addr, uint32_t size, uint32_t value) override;
         uint32_t fetch(uint32_t addr) override;
+        bool watch_safe_read(uint32_t addr) const override;
 
      private:
         Rpu& rpu_;
@@ -208,6 +223,11 @@ class Rpu : public sim::Component {
     void tick_tx();
     void declare_netlist(sim::Kernel& kernel);
     std::string stat(const char* suffix) const;
+
+    /// True when no RPU engine can make progress and no input can change
+    /// without an external call: the license both for arming the core's
+    /// idle-loop watcher and (in quiescent()) for sleeping.
+    bool inputs_frozen() const;
 
     Config config_;
     sim::Stats& stats_;
@@ -271,6 +291,22 @@ class Rpu : public sim::Component {
     // Loopback slot request state.
     std::optional<uint32_t> slot_resp_;
     uint32_t slot_resp_ready_cycle_ = 0;
+
+    // Idle-loop watcher arm state (tracks inputs_frozen across ticks).
+    bool idle_watching_ = false;
+
+    // Hot-path counter handles, resolved once at construction (the tick
+    // path must not build dotted names or walk the stats map per packet).
+    sim::Counter* ctr_rx_packets_ = nullptr;
+    sim::Counter* ctr_rx_bytes_ = nullptr;
+    sim::Counter* ctr_rx_bad_slot_ = nullptr;
+    sim::Counter* ctr_tx_packets_ = nullptr;
+    sim::Counter* ctr_tx_bytes_ = nullptr;
+    sim::Counter* ctr_tx_stall_cycles_ = nullptr;
+    sim::Counter* ctr_dropped_packets_ = nullptr;
+
+    // Reused header-mirror staging buffer (no per-packet allocation).
+    std::vector<uint8_t> hdr_scratch_;
 
     // Wiring.
     TraceFn trace_;

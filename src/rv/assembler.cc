@@ -124,6 +124,7 @@ void Assembler::auipc(Reg rd, int32_t imm_31_12) { emit(encode_u(imm_31_12, rd, 
 void Assembler::ecall() { emit(0x00000073); }
 void Assembler::ebreak() { emit(0x00100073); }
 void Assembler::fence() { emit(0x0000000f); }
+void Assembler::fence_i() { emit(0x0000100f); }
 
 void
 Assembler::csrrs(Reg rd, uint32_t csr, Reg rs1) {

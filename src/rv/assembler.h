@@ -94,6 +94,9 @@ class Assembler {
     void ecall();
     void ebreak();
     void fence();
+    /// fence.i — instruction-fetch barrier; the core flushes its decoded
+    /// cache, making preceding stores to the code region visible to fetch.
+    void fence_i();
     /// csrrs rd, csr, rs1 — used by firmware as rdcycle and friends.
     void csrrs(Reg rd, uint32_t csr, Reg rs1);
     /// csrrw rd, csr, rs1 — CSR write (interrupt setup).

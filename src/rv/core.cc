@@ -1,5 +1,7 @@
 #include "rv/core.h"
 
+#include <algorithm>
+
 #include "sim/log.h"
 
 namespace rosebud::rv {
@@ -18,6 +20,22 @@ Core::reset(uint32_t pc) {
     stall_ = 0;
     halted_ = false;
     faulted_ = false;
+    icache_invalidate();
+}
+
+void
+Core::icache_invalidate() {
+    if (!icache_.empty()) std::fill(icache_.begin(), icache_.end(), Decoded{});
+}
+
+void
+Core::icache_invalidate(uint32_t addr, uint32_t len) {
+    if (icache_.empty() || len == 0) return;
+    uint64_t first = addr >> 2;
+    if (first >= icache_.size()) return;
+    uint64_t last = std::min<uint64_t>((uint64_t(addr) + len - 1) >> 2,
+                                       icache_.size() - 1);
+    for (uint64_t i = first; i <= last; ++i) icache_[i] = Decoded{};
 }
 
 void
@@ -47,8 +65,204 @@ Core::run(uint64_t max_cycles) {
     return cycles_ - start;
 }
 
+Decoded
+Core::decode(uint32_t insn) {
+    Decoded d;
+    d.raw = insn;
+    d.rd = dec_rd(insn);
+    d.rs1 = dec_rs1(insn);
+    d.rs2 = dec_rs2(insn);
+    const uint32_t funct3 = dec_funct3(insn);
+    const uint32_t funct7 = dec_funct7(insn);
+    d.aux = uint8_t(funct3);
+
+    switch (dec_opcode(insn)) {
+    case kOpLui:
+        d.op = Decoded::kLui;
+        d.imm = dec_imm_u(insn);
+        break;
+    case kOpAuipc:
+        d.op = Decoded::kAuipc;
+        d.imm = dec_imm_u(insn);
+        break;
+    case kOpJal:
+        d.op = Decoded::kJal;
+        d.imm = dec_imm_j(insn);
+        break;
+    case kOpJalr:
+        d.op = Decoded::kJalr;
+        d.imm = dec_imm_i(insn);
+        break;
+    case kOpBranch: {
+        d.imm = dec_imm_b(insn);
+        switch (funct3) {
+        case 0: d.op = Decoded::kBeq; break;
+        case 1: d.op = Decoded::kBne; break;
+        case 4: d.op = Decoded::kBlt; break;
+        case 5: d.op = Decoded::kBge; break;
+        case 6: d.op = Decoded::kBltu; break;
+        case 7: d.op = Decoded::kBgeu; break;
+        default: d.op = Decoded::kIllegal; break;
+        }
+        break;
+    }
+    case kOpLoad: {
+        d.imm = dec_imm_i(insn);
+        switch (funct3) {
+        case 0: d.op = Decoded::kLb; break;
+        case 1: d.op = Decoded::kLh; break;
+        case 2: d.op = Decoded::kLw; break;
+        case 4: d.op = Decoded::kLbu; break;
+        case 5: d.op = Decoded::kLhu; break;
+        // Bad load widths still issue the bus access before trapping
+        // (matching the re-decoding interpreter).
+        default: d.op = Decoded::kLoadBad; break;
+        }
+        break;
+    }
+    case kOpStore: {
+        d.imm = dec_imm_s(insn);
+        switch (funct3) {
+        case 0: d.op = Decoded::kSb; break;
+        case 1: d.op = Decoded::kSh; break;
+        case 2: d.op = Decoded::kSw; break;
+        default: d.op = Decoded::kIllegal; break;  // traps before the bus
+        }
+        break;
+    }
+    case kOpImm: {
+        d.imm = dec_imm_i(insn);
+        switch (funct3) {
+        case 0: d.op = Decoded::kAddi; break;
+        case 1: d.op = Decoded::kSlli; break;
+        case 2: d.op = Decoded::kSlti; break;
+        case 3: d.op = Decoded::kSltiu; break;
+        case 4: d.op = Decoded::kXori; break;
+        case 5: d.op = (insn & (1u << 30)) ? Decoded::kSrai : Decoded::kSrli; break;
+        case 6: d.op = Decoded::kOri; break;
+        case 7: d.op = Decoded::kAndi; break;
+        }
+        break;
+    }
+    case kOpReg:
+        if (funct7 == 0x01) {  // M extension
+            switch (funct3) {
+            case 0: d.op = Decoded::kMul; break;
+            case 1: d.op = Decoded::kMulh; break;
+            case 2: d.op = Decoded::kMulhsu; break;
+            case 3: d.op = Decoded::kMulhu; break;
+            case 4: d.op = Decoded::kDiv; break;
+            case 5: d.op = Decoded::kDivu; break;
+            case 6: d.op = Decoded::kRem; break;
+            case 7: d.op = Decoded::kRemu; break;
+            }
+        } else {
+            switch (funct3) {
+            case 0: d.op = funct7 == 0x20 ? Decoded::kSub : Decoded::kAdd; break;
+            case 1: d.op = Decoded::kSll; break;
+            case 2: d.op = Decoded::kSlt; break;
+            case 3: d.op = Decoded::kSltu; break;
+            case 4: d.op = Decoded::kXor; break;
+            case 5: d.op = funct7 == 0x20 ? Decoded::kSra : Decoded::kSrl; break;
+            case 6: d.op = Decoded::kOr; break;
+            case 7: d.op = Decoded::kAnd; break;
+            }
+        }
+        break;
+    case kOpMiscMem:
+        // All fences are architectural no-ops here; fence.i additionally
+        // flushes the decoded-instruction cache.
+        d.op = funct3 == 1 ? Decoded::kFenceI : Decoded::kFence;
+        break;
+    case kOpSystem:
+        if (funct3 == 0) {
+            d.op = insn == 0x30200073 ? Decoded::kMret : Decoded::kHalt;
+        } else {
+            d.op = Decoded::kCsr;
+        }
+        break;
+    default:
+        d.op = Decoded::kIllegal;
+        break;
+    }
+    return d;
+}
+
+Decoded
+Core::fetch_decoded(uint32_t pc) {
+    if (predecode_) {
+        const uint32_t idx = pc >> 2;
+        if (idx < kIcacheWords) {
+            if (icache_.empty()) icache_.resize(kIcacheWords);
+            Decoded& d = icache_[idx];
+            if (d.op == Decoded::kInvalid) d = decode(bus_.fetch(pc));
+            return d;
+        }
+    }
+    return decode(bus_.fetch(pc));
+}
+
+void
+Core::set_idle_watch(bool on) {
+    idle_watch_ = on;
+    watch_have_anchor_ = false;
+    watch_dirty_ = false;
+    loop_stable_ = false;
+}
+
+void
+Core::watch_observe() {
+    if (loop_stable_) return;  // already proven; the owner will sleep soon
+    if (!watch_have_anchor_ || watch_dirty_ ||
+        cycles_ - watch_cycles_ > kMaxWatchPeriod) {
+        watch_have_anchor_ = true;
+        watch_dirty_ = false;
+        watch_pc_ = pc_;
+        watch_regs_ = regs_;
+        watch_csrs_ = csrs_;
+        watch_cycles_ = cycles_;
+        watch_instret_ = instret_;
+        return;
+    }
+    if (pc_ != watch_pc_) return;
+    if (regs_ == watch_regs_ && csrs_.mstatus == watch_csrs_.mstatus &&
+        csrs_.mtvec == watch_csrs_.mtvec && csrs_.mepc == watch_csrs_.mepc &&
+        csrs_.mcause == watch_csrs_.mcause) {
+        loop_stable_ = true;
+        loop_period_ = cycles_ - watch_cycles_;
+        loop_instret_ = instret_ - watch_instret_;
+    } else {
+        // Same PC, different state: slide the anchor to the current state.
+        watch_regs_ = regs_;
+        watch_csrs_ = csrs_;
+        watch_cycles_ = cycles_;
+        watch_instret_ = instret_;
+    }
+}
+
+void
+Core::skip_idle_cycles(uint64_t n) {
+    if (halted_) {
+        cycles_ += n;
+        return;
+    }
+    if (loop_stable_ && loop_period_ > 0) {
+        uint64_t full = n / loop_period_;
+        cycles_ += full * loop_period_;
+        instret_ += full * loop_instret_;
+        n %= loop_period_;
+    }
+    // Remainder (or, defensively, everything if no loop is proven — the
+    // owner should not have slept in that case) replays tick-by-tick.
+    for (; n > 0; --n) tick();
+}
+
 void
 Core::execute() {
+    // Observe the anchor *before* the instruction (and before a potential
+    // IRQ redirect): periodicity of the whole issue pattern is what must
+    // repeat, trap entries included.
+    if (idle_watch_) watch_observe();
     // Take a pending machine external interrupt at an instruction boundary.
     if (irq_line_ && (csrs_.mstatus & 0x8)) {
         csrs_.mepc = pc_;
@@ -59,72 +273,64 @@ Core::execute() {
         stall_ = 2;  // pipeline flush into the handler
         return;
     }
+    exec_decoded(fetch_decoded(pc_));
+}
 
-    const uint32_t insn = bus_.fetch(pc_);
+void
+Core::exec_decoded(const Decoded& d) {
     uint32_t next_pc = pc_ + 4;
     uint32_t cost = costs_.alu;
 
-    const uint32_t opcode = dec_opcode(insn);
-    const Reg rd = dec_rd(insn);
-    const Reg rs1 = dec_rs1(insn);
-    const Reg rs2 = dec_rs2(insn);
-    const uint32_t funct3 = dec_funct3(insn);
-    const uint32_t funct7 = dec_funct7(insn);
-    const uint32_t v1 = regs_[rs1];
-    const uint32_t v2 = regs_[rs2];
+    const uint32_t v1 = regs_[d.rs1];
+    const uint32_t v2 = regs_[d.rs2];
+    const int32_t imm = d.imm;
 
     auto write_rd = [&](uint32_t v) {
-        if (rd != zero) regs_[rd] = v;
+        if (d.rd != zero) regs_[d.rd] = v;
+    };
+    auto branch = [&](bool taken) {
+        if (taken) {
+            next_pc = pc_ + uint32_t(imm);
+            cost = costs_.branch_taken;
+        } else {
+            cost = costs_.branch_not_taken;
+        }
     };
 
-    switch (opcode) {
-    case kOpLui:
-        write_rd(uint32_t(dec_imm_u(insn)));
-        break;
+    switch (d.op) {
+    case Decoded::kLui: write_rd(uint32_t(imm)); break;
+    case Decoded::kAuipc: write_rd(pc_ + uint32_t(imm)); break;
 
-    case kOpAuipc:
-        write_rd(pc_ + uint32_t(dec_imm_u(insn)));
-        break;
-
-    case kOpJal:
+    case Decoded::kJal:
         write_rd(pc_ + 4);
-        next_pc = pc_ + uint32_t(dec_imm_j(insn));
+        next_pc = pc_ + uint32_t(imm);
         cost = costs_.jump;
         break;
 
-    case kOpJalr: {
-        uint32_t target = (v1 + uint32_t(dec_imm_i(insn))) & ~1u;
+    case Decoded::kJalr: {
+        uint32_t target = (v1 + uint32_t(imm)) & ~1u;
         write_rd(pc_ + 4);
         next_pc = target;
         cost = costs_.jump;
         break;
     }
 
-    case kOpBranch: {
-        bool taken = false;
-        switch (funct3) {
-        case 0: taken = v1 == v2; break;                          // beq
-        case 1: taken = v1 != v2; break;                          // bne
-        case 4: taken = int32_t(v1) < int32_t(v2); break;         // blt
-        case 5: taken = int32_t(v1) >= int32_t(v2); break;        // bge
-        case 6: taken = v1 < v2; break;                           // bltu
-        case 7: taken = v1 >= v2; break;                          // bgeu
-        default:
-            faulted_ = halted_ = true;
-            return;
-        }
-        if (taken) {
-            next_pc = pc_ + uint32_t(dec_imm_b(insn));
-            cost = costs_.branch_taken;
-        } else {
-            cost = costs_.branch_not_taken;
-        }
-        break;
-    }
+    case Decoded::kBeq: branch(v1 == v2); break;
+    case Decoded::kBne: branch(v1 != v2); break;
+    case Decoded::kBlt: branch(int32_t(v1) < int32_t(v2)); break;
+    case Decoded::kBge: branch(int32_t(v1) >= int32_t(v2)); break;
+    case Decoded::kBltu: branch(v1 < v2); break;
+    case Decoded::kBgeu: branch(v1 >= v2); break;
 
-    case kOpLoad: {
-        uint32_t addr = v1 + uint32_t(dec_imm_i(insn));
-        uint32_t size = 1u << (funct3 & 3);
+    case Decoded::kLb:
+    case Decoded::kLh:
+    case Decoded::kLw:
+    case Decoded::kLbu:
+    case Decoded::kLhu:
+    case Decoded::kLoadBad: {
+        uint32_t addr = v1 + uint32_t(imm);
+        uint32_t size = 1u << (d.aux & 3);
+        if (idle_watch_ && !bus_.watch_safe_read(addr)) watch_dirty_ = true;
         Bus::Access a = bus_.load(addr, size);
         if (a.retry) return;  // re-issue next cycle; pc unchanged
         if (a.fault) {
@@ -132,12 +338,12 @@ Core::execute() {
             return;
         }
         uint32_t v = a.value;
-        switch (funct3) {
-        case 0: v = uint32_t(int32_t(int8_t(v))); break;    // lb
-        case 1: v = uint32_t(int32_t(int16_t(v))); break;   // lh
-        case 2: break;                                      // lw
-        case 4: v &= 0xff; break;                           // lbu
-        case 5: v &= 0xffff; break;                         // lhu
+        switch (d.op) {
+        case Decoded::kLb: v = uint32_t(int32_t(int8_t(v))); break;
+        case Decoded::kLh: v = uint32_t(int32_t(int16_t(v))); break;
+        case Decoded::kLw: break;
+        case Decoded::kLbu: v &= 0xff; break;
+        case Decoded::kLhu: v &= 0xffff; break;
         default:
             faulted_ = halted_ = true;
             return;
@@ -147,13 +353,12 @@ Core::execute() {
         break;
     }
 
-    case kOpStore: {
-        uint32_t addr = v1 + uint32_t(dec_imm_s(insn));
-        uint32_t size = 1u << (funct3 & 3);
-        if (funct3 > 2) {
-            faulted_ = halted_ = true;
-            return;
-        }
+    case Decoded::kSb:
+    case Decoded::kSh:
+    case Decoded::kSw: {
+        uint32_t addr = v1 + uint32_t(imm);
+        uint32_t size = 1u << (d.aux & 3);
+        if (idle_watch_) watch_dirty_ = true;  // stores are never loop-pure
         Bus::Access a = bus_.store(addr, size, v2);
         if (a.retry) return;
         if (a.fault) {
@@ -164,95 +369,97 @@ Core::execute() {
         break;
     }
 
-    case kOpImm: {
-        int32_t imm = dec_imm_i(insn);
-        switch (funct3) {
-        case 0: write_rd(v1 + uint32_t(imm)); break;                        // addi
-        case 1: write_rd(v1 << (imm & 0x1f)); break;                        // slli
-        case 2: write_rd(int32_t(v1) < imm ? 1 : 0); break;                 // slti
-        case 3: write_rd(v1 < uint32_t(imm) ? 1 : 0); break;                // sltiu
-        case 4: write_rd(v1 ^ uint32_t(imm)); break;                        // xori
-        case 5:
-            if (insn & (1u << 30)) {
-                write_rd(uint32_t(int32_t(v1) >> (imm & 0x1f)));            // srai
-            } else {
-                write_rd(v1 >> (imm & 0x1f));                               // srli
-            }
-            break;
-        case 6: write_rd(v1 | uint32_t(imm)); break;                        // ori
-        case 7: write_rd(v1 & uint32_t(imm)); break;                        // andi
-        }
-        break;
-    }
+    case Decoded::kAddi: write_rd(v1 + uint32_t(imm)); break;
+    case Decoded::kSlli: write_rd(v1 << (imm & 0x1f)); break;
+    case Decoded::kSlti: write_rd(int32_t(v1) < imm ? 1 : 0); break;
+    case Decoded::kSltiu: write_rd(v1 < uint32_t(imm) ? 1 : 0); break;
+    case Decoded::kXori: write_rd(v1 ^ uint32_t(imm)); break;
+    case Decoded::kSrli: write_rd(v1 >> (imm & 0x1f)); break;
+    case Decoded::kSrai: write_rd(uint32_t(int32_t(v1) >> (imm & 0x1f))); break;
+    case Decoded::kOri: write_rd(v1 | uint32_t(imm)); break;
+    case Decoded::kAndi: write_rd(v1 & uint32_t(imm)); break;
 
-    case kOpReg:
-        if (funct7 == 0x01) {  // M extension
-            switch (funct3) {
-            case 0: write_rd(v1 * v2); break;  // mul
-            case 1: write_rd(uint32_t((int64_t(int32_t(v1)) * int64_t(int32_t(v2))) >> 32)); break;
-            case 2: write_rd(uint32_t((int64_t(int32_t(v1)) * int64_t(uint64_t(v2))) >> 32)); break;
-            case 3: write_rd(uint32_t((uint64_t(v1) * uint64_t(v2)) >> 32)); break;
-            case 4:  // div
-                if (v2 == 0) {
-                    write_rd(~0u);
-                } else if (v1 == 0x80000000u && v2 == ~0u) {
-                    write_rd(0x80000000u);
-                } else {
-                    write_rd(uint32_t(int32_t(v1) / int32_t(v2)));
-                }
-                break;
-            case 5: write_rd(v2 == 0 ? ~0u : v1 / v2); break;  // divu
-            case 6:  // rem
-                if (v2 == 0) {
-                    write_rd(v1);
-                } else if (v1 == 0x80000000u && v2 == ~0u) {
-                    write_rd(0);
-                } else {
-                    write_rd(uint32_t(int32_t(v1) % int32_t(v2)));
-                }
-                break;
-            case 7: write_rd(v2 == 0 ? v1 : v1 % v2); break;  // remu
-            }
-            cost = (funct3 < 4) ? costs_.mul : costs_.div;
+    case Decoded::kAdd: write_rd(v1 + v2); break;
+    case Decoded::kSub: write_rd(v1 - v2); break;
+    case Decoded::kSll: write_rd(v1 << (v2 & 0x1f)); break;
+    case Decoded::kSlt: write_rd(int32_t(v1) < int32_t(v2) ? 1 : 0); break;
+    case Decoded::kSltu: write_rd(v1 < v2 ? 1 : 0); break;
+    case Decoded::kXor: write_rd(v1 ^ v2); break;
+    case Decoded::kSrl: write_rd(v1 >> (v2 & 0x1f)); break;
+    case Decoded::kSra: write_rd(uint32_t(int32_t(v1) >> (v2 & 0x1f))); break;
+    case Decoded::kOr: write_rd(v1 | v2); break;
+    case Decoded::kAnd: write_rd(v1 & v2); break;
+
+    case Decoded::kMul:
+        write_rd(v1 * v2);
+        cost = costs_.mul;
+        break;
+    case Decoded::kMulh:
+        write_rd(uint32_t((int64_t(int32_t(v1)) * int64_t(int32_t(v2))) >> 32));
+        cost = costs_.mul;
+        break;
+    case Decoded::kMulhsu:
+        write_rd(uint32_t((int64_t(int32_t(v1)) * int64_t(uint64_t(v2))) >> 32));
+        cost = costs_.mul;
+        break;
+    case Decoded::kMulhu:
+        write_rd(uint32_t((uint64_t(v1) * uint64_t(v2)) >> 32));
+        cost = costs_.mul;
+        break;
+    case Decoded::kDiv:
+        if (v2 == 0) {
+            write_rd(~0u);
+        } else if (v1 == 0x80000000u && v2 == ~0u) {
+            write_rd(0x80000000u);
         } else {
-            switch (funct3) {
-            case 0: write_rd(funct7 == 0x20 ? v1 - v2 : v1 + v2); break;
-            case 1: write_rd(v1 << (v2 & 0x1f)); break;
-            case 2: write_rd(int32_t(v1) < int32_t(v2) ? 1 : 0); break;
-            case 3: write_rd(v1 < v2 ? 1 : 0); break;
-            case 4: write_rd(v1 ^ v2); break;
-            case 5:
-                if (funct7 == 0x20) {
-                    write_rd(uint32_t(int32_t(v1) >> (v2 & 0x1f)));
-                } else {
-                    write_rd(v1 >> (v2 & 0x1f));
-                }
-                break;
-            case 6: write_rd(v1 | v2); break;
-            case 7: write_rd(v1 & v2); break;
-            }
+            write_rd(uint32_t(int32_t(v1) / int32_t(v2)));
         }
+        cost = costs_.div;
+        break;
+    case Decoded::kDivu:
+        write_rd(v2 == 0 ? ~0u : v1 / v2);
+        cost = costs_.div;
+        break;
+    case Decoded::kRem:
+        if (v2 == 0) {
+            write_rd(v1);
+        } else if (v1 == 0x80000000u && v2 == ~0u) {
+            write_rd(0);
+        } else {
+            write_rd(uint32_t(int32_t(v1) % int32_t(v2)));
+        }
+        cost = costs_.div;
+        break;
+    case Decoded::kRemu:
+        write_rd(v2 == 0 ? v1 : v1 % v2);
+        cost = costs_.div;
         break;
 
-    case kOpMiscMem:  // fence — no-op in this memory model
+    case Decoded::kFence:
+        break;
+    case Decoded::kFenceI:
+        icache_invalidate();
         break;
 
-    case kOpSystem: {
-        uint32_t csr = insn >> 20;
-        if (funct3 == 0) {
-            if (insn == 0x30200073) {  // mret: return from the trap handler
-                next_pc = csrs_.mepc;
-                // MIE := MPIE; MPIE := 1.
-                csrs_.mstatus =
-                    (csrs_.mstatus & ~0x8u) | ((csrs_.mstatus >> 4) & 0x8) | 0x80;
-                cost = costs_.jump;
-                break;
-            }
-            // ecall / ebreak halt the core (used by firmware tests to
-            // terminate and by the RPU's spin-wait debugging).
-            halted_ = true;
-            return;
-        }
+    case Decoded::kMret:
+        next_pc = csrs_.mepc;
+        // MIE := MPIE; MPIE := 1.
+        csrs_.mstatus = (csrs_.mstatus & ~0x8u) | ((csrs_.mstatus >> 4) & 0x8) | 0x80;
+        cost = costs_.jump;
+        break;
+
+    case Decoded::kHalt:
+        // ecall / ebreak halt the core (used by firmware tests to
+        // terminate and by the RPU's spin-wait debugging).
+        halted_ = true;
+        return;
+
+    case Decoded::kCsr: {
+        // CSR reads may observe time (cycle/instret), which keeps changing
+        // while "idle" — a loop containing one is never provably periodic.
+        if (idle_watch_) watch_dirty_ = true;
+        const uint32_t csr = d.raw >> 20;
+        const uint32_t funct3 = d.aux;
         // CSR read (all) + write (trap CSRs only; counters are read-only).
         uint32_t value = 0;
         uint32_t* writable = nullptr;
@@ -270,7 +477,7 @@ Core::execute() {
         default: value = 0; break;
         }
         if (writable) value = *writable;
-        if (writable && !(funct3 != 1 && rs1 == zero)) {
+        if (writable && !(funct3 != 1 && d.rs1 == zero)) {
             // csrrw writes v1; csrrs sets bits; csrrc clears bits.
             switch (funct3) {
             case 1: *writable = v1; break;
@@ -284,6 +491,8 @@ Core::execute() {
         break;
     }
 
+    case Decoded::kInvalid:
+    case Decoded::kIllegal:
     default:
         faulted_ = halted_ = true;
         return;

@@ -54,7 +54,7 @@ class Fifo : public Clocked {
         : kernel_(kernel), name_(std::move(name)), capacity_(capacity),
           credit_(credit) {
         assert(capacity >= 1);
-        kernel.add_clocked(this);
+        kernel.add_clocked(this, /*lazy=*/true);
         kernel.declare_net({name_, NetRecord::kFifo, width_bits, capacity_,
                             net_flags});
     }
@@ -72,11 +72,16 @@ class Fifo : public Clocked {
 
     /// Stage a push; visible to `front`/`pop` from the next cycle.
     /// Returns false (and drops nothing — caller keeps the value) if full.
+    /// A successful push wakes the net's reader components (the kernel's
+    /// quiescence wake edges), so a sleeping consumer ticks again from the
+    /// cycle this value becomes visible.
     [[nodiscard]] bool push(T v) {
         check_stage("push");
         if (!can_push()) return false;
         staged_.push_back(std::move(v));
+        kernel_.request_commit(this);
         telemetry(TelemetrySink::NetEvent::kPushOk);
+        wake_readers();
         return true;
     }
 
@@ -119,14 +124,20 @@ class Fifo : public Clocked {
         check_pop_write();
         assert(popped_ < stable_.size());
         telemetry(TelemetrySink::NetEvent::kPop);
+        kernel_.request_commit(this);
         return std::move(stable_[popped_++]);
     }
 
     void commit() override {
-        stable_.erase(stable_.begin(), stable_.begin() + long(popped_));
-        popped_ = 0;
-        for (auto& v : staged_) stable_.push_back(std::move(v));
-        staged_.clear();
+        // Early-out when the cycle neither popped nor pushed: commit runs
+        // for every FIFO every cycle, so idle FIFOs must cost one branch.
+        // (commit_compat forces the full deque work for benchmarking.)
+        if (popped_ != 0 || !staged_.empty() || kernel_.commit_compat()) {
+            stable_.erase(stable_.begin(), stable_.begin() + long(popped_));
+            popped_ = 0;
+            for (auto& v : staged_) stable_.push_back(std::move(v));
+            staged_.clear();
+        }
         if (TelemetrySink* t = kernel_.telemetry())
             t->net_occupancy(name_, stable_.size(), capacity_);
     }
@@ -163,6 +174,20 @@ class Fifo : public Clocked {
 
     void telemetry(TelemetrySink::NetEvent ev) const {
         if (TelemetrySink* t = kernel_.telemetry()) t->net_event(name_, ev);
+    }
+
+    /// Wake this net's reader components. The resolved reader list is
+    /// cached against the kernel's wake epoch so the hot path is one
+    /// compare; before the wake map exists nothing has slept yet, so
+    /// there is nothing to wake.
+    void wake_readers() {
+        if (!kernel_.wake_map_built()) return;
+        if (wake_list_epoch_ != kernel_.wake_epoch()) {
+            wake_list_ = kernel_.wake_list(name_);
+            wake_list_epoch_ = kernel_.wake_epoch();
+        }
+        if (wake_list_)
+            for (Component* c : *wake_list_) c->wake();
     }
 
     /// Staging (push/clear): two different components staging into the same
@@ -222,6 +247,9 @@ class Fifo : public Clocked {
     const Component* popper_ = nullptr;
     Cycle stage_cycle_ = ~Cycle(0);
     Cycle pop_cycle_ = ~Cycle(0);
+
+    const std::vector<Component*>* wake_list_ = nullptr;
+    uint64_t wake_list_epoch_ = 0;  ///< 0 never matches a built map's epoch
 };
 
 /// A single clocked register: writes become visible next cycle.
@@ -231,14 +259,14 @@ class Reg : public Clocked {
     /// Anonymous register (not recorded in the netlist).
     explicit Reg(Kernel& kernel, T reset = T{})
         : kernel_(kernel), value_(std::move(reset)) {
-        kernel.add_clocked(this);
+        kernel.add_clocked(this, /*lazy=*/true);
     }
 
     /// Named register, recorded in the elaboration netlist.
     Reg(Kernel& kernel, std::string name, T reset, unsigned width_bits,
         unsigned net_flags = 0)
         : kernel_(kernel), name_(std::move(name)), value_(std::move(reset)) {
-        kernel.add_clocked(this);
+        kernel.add_clocked(this, /*lazy=*/true);
         kernel.declare_net({name_, NetRecord::kReg, width_bits, 1, net_flags});
     }
 
@@ -268,6 +296,7 @@ class Reg : public Clocked {
         set_cycle_ = kernel_.now();
         staged_ = std::move(v);
         dirty_ = true;
+        kernel_.request_commit(this);
     }
 
     void commit() override {

@@ -9,32 +9,262 @@ Component::Component(Kernel& kernel, std::string name)
     kernel.add_component(this);
 }
 
+Kernel::~Kernel() { stop_pool(); }
+
+void
+Kernel::note_wake(Component& c) {
+    if (phase_ != Phase::kIdle) {
+        // A wake during the tick (or, defensively, commit) phase defers
+        // the first scheduled tick to the next cycle: the sleeper could
+        // not have observed the producer's staged output anyway, and
+        // deferring keeps every schedule (serial, shuffled, parallel)
+        // bit-identical regardless of whether the sleeper's partition
+        // slot had already been passed. The skipped window — *including*
+        // the current cycle — is accounted right here, while committed
+        // state is still exactly what the sleeper would have observed
+        // live (the producer's effect is only staged); its commit() still
+        // runs this cycle, integrating any state the producer handed over.
+        if (c.unaccounted_) {
+            Cycle skipped = now_ + 1 - c.sleep_since_;
+            if (skipped > 0) c.on_wake(skipped);
+            c.sleep_since_ = now_ + 1;
+            c.unaccounted_ = false;
+        }
+        c.wake_at_.store(now_ + 1, std::memory_order_relaxed);
+    } else {
+        // Host-phase wake: the component ticks this coming cycle; its
+        // accounting is flushed by the tick loop (host mutators that
+        // change sleeper-visible state call flush_skipped() first).
+        c.wake_at_.store(now_, std::memory_order_relaxed);
+    }
+    awake_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Kernel::flush_wake_accounting(Component* c) {
+    if (!c->unaccounted_) return;
+    Cycle skipped = now_ - c->sleep_since_;
+    if (skipped > 0) c->on_wake(skipped);
+    c->sleep_since_ = now_;
+    // A component flushed while still asleep (host-boundary sync) keeps
+    // accumulating from here; a woken one is fully accounted.
+    c->unaccounted_ = !c->awake_.load(std::memory_order_relaxed);
+}
+
+void
+Component::flush_skipped() { kernel_.flush_wake_accounting(this); }
+
+void
+Kernel::sync_sleepers() {
+    for (Component* c : components_) flush_wake_accounting(c);
+}
+
+void
+Kernel::wake_all() {
+    for (Component* c : components_) {
+        if (!c->awake_.exchange(true, std::memory_order_relaxed)) {
+            c->wake_at_.store(now_, std::memory_order_relaxed);
+            awake_count_.fetch_add(1, std::memory_order_relaxed);
+        }
+        flush_wake_accounting(c);
+    }
+}
+
+void
+Kernel::set_idle_skip(bool on) {
+    idle_skip_ = on;
+    if (!on) wake_all();
+}
+
+void
+Kernel::sleep_sweep() {
+    for (Component* c : components_) {
+        if (!c->awake_.load(std::memory_order_relaxed)) continue;
+        // Just-woken components get one tick before they may sleep again.
+        if (c->wake_at_.load(std::memory_order_relaxed) >= now_) continue;
+        if (!c->quiescent()) continue;
+        c->awake_.store(false, std::memory_order_relaxed);
+        awake_count_.fetch_sub(1, std::memory_order_relaxed);
+        if (!c->unaccounted_) {
+            c->sleep_since_ = now_;  // now_ is already the next cycle here
+            c->unaccounted_ = true;
+        }
+    }
+}
+
+void
+Kernel::build_wake_map() {
+    wake_readers_.clear();
+    std::unordered_map<std::string, Component*> by_name;
+    by_name.reserve(components_.size());
+    for (Component* c : components_) by_name[c->name()] = c;
+    for (const PortRecord& p : ports_) {
+        if (p.dir != PortRecord::kRead) continue;
+        auto it = by_name.find(p.component);
+        if (it == by_name.end()) continue;  // external reader (host, wire)
+        auto& readers = wake_readers_[p.net];
+        if (std::find(readers.begin(), readers.end(), it->second) == readers.end())
+            readers.push_back(it->second);
+    }
+    wake_map_built_ = true;
+    ++wake_epoch_;
+}
+
+const std::vector<Component*>*
+Kernel::wake_list(const std::string& net) const {
+    auto it = wake_readers_.find(net);
+    return it == wake_readers_.end() ? nullptr : &it->second;
+}
+
+void
+Kernel::tick_partition(unsigned part, unsigned nparts) {
+    const Cycle now = now_;
+    for (size_t i = part; i < components_.size(); i += nparts) {
+        Component* c = components_[i];
+        if (!c->awake_.load(std::memory_order_relaxed)) continue;
+        if (c->wake_at_.load(std::memory_order_relaxed) > now) continue;
+        flush_wake_accounting(c);
+        c->tick();
+    }
+}
+
+void
+Kernel::stop_pool() {
+    if (workers_.empty()) return;
+    {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        pool_stop_ = true;
+    }
+    pool_start_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    pool_stop_ = false;
+}
+
+void
+Kernel::set_parallel_ticks(unsigned n) {
+    if (n == parallel_ticks_) return;
+    stop_pool();
+    parallel_ticks_ = n;
+    if (n <= 1) return;
+    workers_.reserve(n - 1);
+    for (unsigned w = 1; w < n; ++w) {
+        workers_.emplace_back([this, w, n] {
+            uint64_t seen = 0;
+            for (;;) {
+                {
+                    std::unique_lock<std::mutex> lock(pool_mu_);
+                    pool_start_cv_.wait(
+                        lock, [&] { return pool_stop_ || pool_gen_ != seen; });
+                    if (pool_stop_) return;
+                    seen = pool_gen_;
+                }
+                tick_partition(w, n);
+                {
+                    std::lock_guard<std::mutex> lock(pool_mu_);
+                    --pool_pending_;
+                }
+                pool_done_cv_.notify_one();
+            }
+        });
+    }
+}
+
 void
 Kernel::step() {
     if (!prestep_done_) {
         prestep_done_ = true;
         if (prestep_hook_) prestep_hook_(*this);
     }
+    const bool skipping = idle_skip_effective();
+    if (skipping && !wake_map_built_) build_wake_map();
+
     phase_ = Phase::kTick;
-    for (Component* c : components_) {
-        active_ = c;
-        c->tick();
+    if (parallel_effective() && !workers_.empty()) {
+        // active_ stays null: parallel ticking implies race_check_ off, so
+        // nothing consults the actor. The pool handshake's mutex gives the
+        // needed happens-before edges in both directions.
+        const unsigned nparts = unsigned(workers_.size()) + 1;
+        {
+            std::lock_guard<std::mutex> lock(pool_mu_);
+            ++pool_gen_;
+            pool_pending_ = nparts - 1;
+        }
+        pool_start_cv_.notify_all();
+        tick_partition(0, nparts);
+        {
+            std::unique_lock<std::mutex> lock(pool_mu_);
+            pool_done_cv_.wait(lock, [&] { return pool_pending_ == 0; });
+        }
+    } else {
+        for (Component* c : components_) {
+            if (!c->awake_.load(std::memory_order_relaxed)) continue;
+            if (c->wake_at_.load(std::memory_order_relaxed) > now_) continue;
+            // Set the actor before flushing: on_wake() may replay component
+            // ticks that touch the component's own FIFOs.
+            active_ = c;
+            flush_wake_accounting(c);
+            c->tick();
+        }
+        active_ = nullptr;
     }
+
     phase_ = Phase::kCommit;
     for (Component* c : components_) {
+        // Commits run for every awake component — including ones woken
+        // mid-tick whose first tick is next cycle: their staged input
+        // (e.g. an RPU's rx_pending_) must be integrated this edge.
+        if (!c->awake_.load(std::memory_order_relaxed)) continue;
         active_ = c;
         c->commit();
     }
     active_ = nullptr;
     for (Clocked* c : clocked_) c->commit();
+    if (telemetry_ || commit_compat_) {
+        // Telemetry needs per-cycle occupancy from every primitive, so the
+        // lazy set is swept in (deterministic) registration order. The
+        // baseline-compat benchmark mode sweeps for cost parity with the
+        // pre-fast-path kernel.
+        for (Clocked* c : lazy_clocked_) {
+            c->commit_queued_.store(false, std::memory_order_relaxed);
+            c->commit();
+        }
+        commit_queue_.clear();
+    } else {
+        // Index loop: commits above (e.g. a component integrating staged
+        // input into one of its FIFOs) may append while we drain.
+        for (size_t i = 0; i < commit_queue_.size(); ++i) {
+            Clocked* c = commit_queue_[i];
+            c->commit_queued_.store(false, std::memory_order_relaxed);
+            c->commit();
+        }
+        commit_queue_.clear();
+    }
     phase_ = Phase::kIdle;
     if (telemetry_) telemetry_->end_cycle(now_);
     ++now_;
+    // Sweep for sleepers every 4th cycle only: quiescent() is virtual and
+    // the sweep polls every awake component. Delaying sleep is always exact
+    // (a quiescent component's live ticks match its on_wake replay); it
+    // only costs at most 3 extra stepped cycles per sleep transition.
+    if (skipping && (now_ & 3) == 0) sleep_sweep();
 }
 
 void
 Kernel::run(Cycle cycles) {
-    for (Cycle i = 0; i < cycles; ++i) step();
+    const Cycle end = now_ + cycles;
+    while (now_ < end) {
+        if (prestep_done_ && idle_skip_effective() &&
+            awake_count_.load(std::memory_order_relaxed) == 0) {
+            // Whole-system quiescence: nothing can wake without a
+            // host-side call, which cannot happen inside this loop.
+            fast_forwarded_ += end - now_;
+            now_ = end;
+            break;
+        }
+        step();
+    }
+    sync_sleepers();
 }
 
 namespace {
@@ -71,6 +301,7 @@ Kernel::tick_order() const {
 
 void
 Kernel::declare_net(NetRecord net) {
+    wake_map_built_ = false;
     for (NetRecord& n : nets_) {
         if (n.name == net.name) {
             n = std::move(net);
@@ -89,6 +320,7 @@ Kernel::declare_port(PortRecord port) {
             return;
         }
     }
+    wake_map_built_ = false;
     ports_.push_back(std::move(port));
 }
 

@@ -19,13 +19,38 @@
 ///  * every primitive and abstract inter-component link is recorded in a
 ///    netlist (nets + directed ports) that the static checker in
 ///    src/lint/ validates before cycle 0.
+///
+/// Host-speed machinery (DESIGN.md §11):
+///  * **Quiescence skipping** — a component may override `quiescent()` to
+///    report that, absent new input, its tick()/commit() have no observable
+///    effect. The kernel keeps an active set; sleeping components are not
+///    ticked. Wake edges derived from the elaboration netlist (plus
+///    explicit `wake()` calls on direct-call boundaries) re-activate a
+///    consumer the moment a producer stages input for it. When *every*
+///    component is asleep the run loop fast-forwards the cycle counter in
+///    one step. Skipping is exact by construction and is automatically
+///    disabled while a TelemetrySink is attached (per-cycle event streams
+///    must see every cycle).
+///  * **Parallel tick execution** — `set_parallel_ticks(N)` partitions the
+///    tick phase across a small persistent thread pool; commits stay
+///    serial. Legal because the race detector enforces that ticks only
+///    read registered (committed) state, so tick order — and therefore
+///    tick concurrency — cannot be observed. Automatically falls back to
+///    serial while race checking is enabled (the detector needs a single
+///    attributable actor) or a TelemetrySink is attached (deterministic
+///    event order).
 
 #ifndef ROSEBUD_SIM_KERNEL_H
 #define ROSEBUD_SIM_KERNEL_H
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/telemetry.h"
@@ -58,6 +83,12 @@ class Clocked {
 
     /// Make updates staged during the current cycle visible to readers.
     virtual void commit() = 0;
+
+ private:
+    friend class Kernel;
+    /// Set while this element sits in the kernel's lazy-commit queue
+    /// (see Kernel::add_clocked / request_commit).
+    std::atomic<bool> commit_queued_{false};
 };
 
 class Kernel;
@@ -128,6 +159,27 @@ class Component : public Clocked {
     /// primitives and need no custom commit.
     void commit() override {}
 
+    /// Conservative idle report, polled by the kernel after each commit
+    /// when idle skipping is enabled. Return true only if — given no new
+    /// input — this component's tick() and commit() can have no observable
+    /// effect on any cycle until an input arrives. Inputs of a sleeping
+    /// component must be sim::Fifo pushes (which wake it through the
+    /// netlist wake edges) or direct calls instrumented with wake().
+    /// The default keeps the component permanently active.
+    virtual bool quiescent() const { return false; }
+
+    /// Re-activate this component. Idempotent and thread safe (callable
+    /// from a concurrent tick partition). A wake issued during the tick
+    /// phase takes effect on the *next* cycle — registered semantics: the
+    /// sleeper could not have observed the producer's staged output this
+    /// cycle anyway — which keeps serial, shuffled, and parallel schedules
+    /// bit-identical. Its commit() still runs this cycle, so staged input
+    /// handed over by a direct call (e.g. begin_rx) is integrated on time.
+    void wake();
+
+    /// False while the kernel has this component in the skipped set.
+    bool awake() const { return awake_.load(std::memory_order_relaxed); }
+
     /// Hierarchical instance name, e.g. "dut.rpu3.interconnect".
     const std::string& name() const { return name_; }
 
@@ -138,43 +190,108 @@ class Component : public Clocked {
     /// Current simulation time, for convenience in subclasses.
     Cycle now() const;
 
+    /// Called (from the owning tick partition or a host-boundary sync)
+    /// with the number of consecutive tick() calls that were skipped while
+    /// asleep, before the next tick runs. Override to keep purely
+    /// time-derived internal state (e.g. a halted core's cycle CSR) exact.
+    virtual void on_wake(Cycle skipped_cycles) { (void)skipped_cycles; }
+
+    /// Flush this component's skipped-cycle accounting *now*. Host-facing
+    /// mutators must call this before changing any state that a sleeper's
+    /// catch-up replay could observe (e.g. an IRQ status register the
+    /// firmware polls), so the replayed cycles see pre-mutation state.
+    void flush_skipped();
+
  private:
+    friend class Kernel;
+
     Kernel& kernel_;
     std::string name_;
+
+    std::atomic<bool> awake_{true};
+    std::atomic<Cycle> wake_at_{0};  ///< first cycle allowed to tick again
+    Cycle sleep_since_ = 0;          ///< first skipped cycle (if unaccounted_)
+    bool unaccounted_ = false;       ///< skipped cycles not yet reported
 };
 
 /// The clock driver: owns the component/clocked registries and advances
-/// simulated time. Not thread safe; one kernel per simulated system.
+/// simulated time. Host-side calls are not thread safe; one kernel per
+/// simulated system.
 class Kernel {
  public:
     /// Where the clock currently stands within Kernel::step().
     enum class Phase : uint8_t { kIdle, kTick, kCommit };
 
     Kernel() = default;
+    ~Kernel();
     Kernel(const Kernel&) = delete;
     Kernel& operator=(const Kernel&) = delete;
 
     /// Register a component (called from Component's constructor).
-    void add_component(Component* c) { components_.push_back(c); }
+    void add_component(Component* c) {
+        components_.push_back(c);
+        awake_count_.fetch_add(1, std::memory_order_relaxed);
+    }
 
-    /// Register a non-component clocked element (Fifo, Reg, ...).
-    void add_clocked(Clocked* c) { clocked_.push_back(c); }
+    /// Register a non-component clocked element. A `lazy` element promises
+    /// that commit() is the identity on cycles where it staged nothing and
+    /// popped nothing; it is committed only when it called request_commit()
+    /// that cycle (Fifo and Reg qualify). Non-lazy elements commit every
+    /// cycle. While a telemetry sink is attached, lazy elements are swept
+    /// every cycle too, so per-cycle occupancy reporting stays complete.
+    void add_clocked(Clocked* c, bool lazy = false) {
+        if (lazy)
+            lazy_clocked_.push_back(c);
+        else
+            clocked_.push_back(c);
+    }
+
+    /// Queue a lazy clocked element for this cycle's clock edge. Idempotent
+    /// per cycle; thread safe (tick partitions may race to queue distinct
+    /// elements — the per-element flag makes the queue duplicate-free and
+    /// fifo/reg commits are mutually independent, so queue order is
+    /// unobservable).
+    void request_commit(Clocked* c) {
+        if (c->commit_queued_.exchange(true, std::memory_order_relaxed)) return;
+        if (phase_ == Phase::kTick && parallel_effective()) {
+            std::lock_guard<std::mutex> lock(commit_queue_mu_);
+            commit_queue_.push_back(c);
+        } else {
+            commit_queue_.push_back(c);
+        }
+    }
 
     /// Advance the simulation by exactly one clock cycle.
     void step();
 
-    /// Advance the simulation by `cycles` clock cycles.
+    /// Advance the simulation by `cycles` clock cycles. When the whole
+    /// system is quiescent (idle skipping on, every component asleep) the
+    /// remaining cycles are fast-forwarded in one jump: nothing can wake
+    /// without a host-side call, which cannot happen inside this loop.
     void run(Cycle cycles);
 
     /// Run until `pred()` returns true or `max_cycles` elapse.
-    /// Returns true if the predicate fired.
+    /// Returns true if the predicate fired. While the whole system is
+    /// quiescent, cycles advance without tick/commit work but `pred` is
+    /// still evaluated each cycle (it may be time-dependent).
     template <typename Pred>
     bool run_until(Pred&& pred, Cycle max_cycles) {
+        bool hit = false;
         for (Cycle i = 0; i < max_cycles; ++i) {
-            if (pred()) return true;
-            step();
+            if (pred()) {
+                hit = true;
+                break;
+            }
+            if (prestep_done_ && idle_skip_effective() &&
+                awake_count_.load(std::memory_order_relaxed) == 0) {
+                ++now_;  // quiescent: the cycle is empty by construction
+            } else {
+                step();
+            }
         }
-        return pred();
+        if (!hit) hit = pred();
+        sync_sleepers();
+        return hit;
     }
 
     /// Current simulation time in cycles since reset.
@@ -195,7 +312,8 @@ class Kernel {
     bool in_tick() const { return phase_ == Phase::kTick; }
 
     /// The component whose tick()/commit() is currently running (null
-    /// between steps, i.e. for host/test code).
+    /// between steps, i.e. for host/test code, and null during a parallel
+    /// tick phase — which only happens with race checking off).
     const Component* active_component() const { return active_; }
 
     /// Enable/disable the dynamic same-cycle race checks in Fifo/Reg.
@@ -209,9 +327,67 @@ class Kernel {
     /// default) disables all event emission; the caller owns the sink and
     /// must detach (or outlive the kernel) before it dies. Events flow from
     /// the registered primitives and instrumented components; end_cycle
-    /// fires once per step after all commits.
-    void set_telemetry(TelemetrySink* sink) { telemetry_ = sink; }
+    /// fires once per step after all commits. Attaching a sink disables
+    /// idle skipping and parallel ticking (both accessors below report the
+    /// effective state) so per-cycle accounting stays exact and event
+    /// order deterministic.
+    void set_telemetry(TelemetrySink* sink) {
+        if (sink) wake_all();
+        telemetry_ = sink;
+    }
     TelemetrySink* telemetry() const { return telemetry_; }
+
+    // --- quiescence skipping --------------------------------------------------
+
+    /// Master switch for the active set / fast-forward machinery (on by
+    /// default; exact by construction). Turning it off wakes everything.
+    void set_idle_skip(bool on);
+    bool idle_skip() const { return idle_skip_; }
+
+    /// True when skipping is actually applied this step.
+    bool idle_skip_effective() const { return idle_skip_ && telemetry_ == nullptr; }
+
+    /// Components currently in the active set.
+    size_t awake_count() const { return awake_count_.load(std::memory_order_relaxed); }
+
+    /// Wake every component (and report skipped cycles to each sleeper).
+    void wake_all();
+
+    /// Report pending skipped cycles to every sleeper without waking it,
+    /// so host code can observe exact time-derived state (core cycle
+    /// counters) between runs. Called automatically at run()/run_until()
+    /// boundaries.
+    void sync_sleepers();
+
+    /// Cumulative cycles whose tick/commit work was skipped by whole-
+    /// system fast-forward (diagnostics for bench_simspeed).
+    Cycle fast_forwarded_cycles() const { return fast_forwarded_; }
+
+    // --- parallel tick execution ----------------------------------------------
+
+    /// Partition the tick phase over `n` threads (0 or 1 = serial). The
+    /// pool is persistent; commits and the sleep sweep stay serial.
+    void set_parallel_ticks(unsigned n);
+    unsigned parallel_ticks() const { return parallel_ticks_; }
+
+    /// True when the tick phase actually runs partitioned this step: a
+    /// pool is configured and neither the race detector nor a telemetry
+    /// sink demands single-threaded attribution.
+    bool parallel_effective() const {
+        return parallel_ticks_ > 1 && !race_check_ && telemetry_ == nullptr;
+    }
+
+    // --- baseline-compat (A/B benchmarking) -----------------------------------
+
+    /// Emulate the pre-fast-path kernel's per-cycle regime: every clocked
+    /// primitive commits every cycle (no lazy commit queue, no identity
+    /// early-outs) and the datapath components drop their occupancy-count
+    /// scan guards. Results are bit-identical either way — this exists so
+    /// bench_simspeed can measure the fast path against an honest
+    /// reference inside one binary. Off by default; never enable outside
+    /// benchmarking.
+    void set_commit_compat(bool on) { commit_compat_ = on; }
+    bool commit_compat() const { return commit_compat_; }
 
     // --- tick-order shuffling -------------------------------------------------
 
@@ -238,6 +414,19 @@ class Kernel {
     const std::vector<NetRecord>& nets() const { return nets_; }
     const std::vector<PortRecord>& ports() const { return ports_; }
 
+    // --- wake edges (net name -> reader components) ----------------------------
+
+    /// True once the wake-edge map reflects the current netlist. The map
+    /// is (re)built lazily before the first sleep sweep and after any
+    /// netlist change; a Fifo caches its resolved reader list against
+    /// wake_epoch().
+    bool wake_map_built() const { return wake_map_built_; }
+    uint64_t wake_epoch() const { return wake_epoch_; }
+
+    /// Reader components of `net` per the elaboration netlist, or null if
+    /// none are registered. Valid until the next netlist change.
+    const std::vector<Component*>* wake_list(const std::string& net) const;
+
     /// Hook run once, immediately before the first step(). System installs
     /// the static lint pass here so that everything constructed up front —
     /// including traffic sources added after the System — is elaborated
@@ -247,14 +436,44 @@ class Kernel {
     }
 
  private:
+    friend class Component;
+
+    void note_wake(Component& c);
+    void flush_wake_accounting(Component* c);
+    void sleep_sweep();
+    void build_wake_map();
+    void tick_partition(unsigned part, unsigned nparts);
+    void stop_pool();
+
     std::vector<Component*> components_;
     std::vector<Clocked*> clocked_;
+    std::vector<Clocked*> lazy_clocked_;
+    std::vector<Clocked*> commit_queue_;
+    std::mutex commit_queue_mu_;
     Cycle now_ = 0;
 
     Phase phase_ = Phase::kIdle;
     const Component* active_ = nullptr;
     bool race_check_ = true;
     TelemetrySink* telemetry_ = nullptr;
+
+    bool idle_skip_ = true;
+    bool commit_compat_ = false;
+    std::atomic<size_t> awake_count_{0};
+    Cycle fast_forwarded_ = 0;
+
+    bool wake_map_built_ = false;
+    uint64_t wake_epoch_ = 0;
+    std::unordered_map<std::string, std::vector<Component*>> wake_readers_;
+
+    unsigned parallel_ticks_ = 0;
+    std::vector<std::thread> workers_;
+    std::mutex pool_mu_;
+    std::condition_variable pool_start_cv_;
+    std::condition_variable pool_done_cv_;
+    uint64_t pool_gen_ = 0;
+    unsigned pool_pending_ = 0;
+    bool pool_stop_ = false;
 
     std::vector<NetRecord> nets_;
     std::vector<PortRecord> ports_;
@@ -263,6 +482,11 @@ class Kernel {
 };
 
 inline Cycle Component::now() const { return kernel_.now(); }
+
+inline void
+Component::wake() {
+    if (!awake_.exchange(true, std::memory_order_relaxed)) kernel_.note_wake(*this);
+}
 
 }  // namespace rosebud::sim
 

@@ -214,6 +214,40 @@ struct Poker : sim::Component {
     std::function<void()> fn;
 };
 
+TEST(LintStatic, WakeEdgeFiresForUnregisteredReader) {
+    // "phantom" reads the FIFO but no component with that name exists, so
+    // the kernel's wake map cannot route pushes to it: a sleeping reader
+    // declared under the wrong name would never wake.
+    sim::Kernel k;
+    Poker writer(k, "w");
+    sim::Fifo<int> f(k, "q", 4, 64);
+    k.declare_port({"w", "q", PortRecord::kWrite, 64, 0});
+    k.declare_port({"phantom", "q", PortRecord::kRead, 64, 0});
+    auto vs = run_checks(k);
+    EXPECT_TRUE(has(vs, Check::kWakeEdge, "q")) << lint::report(vs);
+}
+
+TEST(LintStatic, WakeEdgeSilentForRegisteredOrExternalReader) {
+    // Registered reader: resolvable, no violation.
+    sim::Kernel k;
+    Poker writer(k, "w"), reader(k, "r");
+    sim::Fifo<int> f(k, "q", 4, 64);
+    k.declare_port({"w", "q", PortRecord::kWrite, 64, 0});
+    k.declare_port({"r", "q", PortRecord::kRead, 64, 0});
+    auto vs = run_checks(k);
+    EXPECT_FALSE(has(vs, Check::kWakeEdge)) << lint::report(vs);
+
+    // External sink (e.g. the host draining a queue): exempt, like
+    // never-read.
+    sim::Kernel k2;
+    Poker writer2(k2, "w");
+    sim::Fifo<int> f2(k2, "out", 4, 64, sim::kNetExternalSink);
+    k2.declare_port({"w", "out", PortRecord::kWrite, 64, 0});
+    k2.declare_port({"host", "out", PortRecord::kRead, 64, 0});
+    auto vs2 = run_checks(k2);
+    EXPECT_FALSE(has(vs2, Check::kWakeEdge)) << lint::report(vs2);
+}
+
 TEST(RaceDetector, CrossComponentDoubleStageFaults) {
     sim::Kernel k;
     sim::Fifo<int> f(k, "f", 8, 32);

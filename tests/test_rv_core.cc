@@ -428,6 +428,234 @@ TEST(CoreTiming, DivIsSlow) {
     EXPECT_EQ(core.cycles(), 2u + 35u + 1u);
 }
 
+// --- predecoded dispatch ------------------------------------------------------
+//
+// The decoded-instruction cache must be invisible: every scenario that can
+// make a cached record stale (a store into the code region, fence.i, a
+// firmware reload via reset) is run in lockstep against a core with
+// predecoding disabled, requiring bit-identical pc/instret/registers on
+// every single cycle — instruction-for-instruction equivalence, not just
+// equal final state.
+
+/// Bus whose fetches read the same RAM that stores write (unlike TestBus,
+/// whose code image is immutable), so firmware can modify its own code.
+/// When `owner` is set, stores into RAM invalidate the overlapped decoded
+/// records — the contract a bus owner must implement (see rv/core.h).
+class SelfModBus : public Bus {
+ public:
+    std::vector<uint32_t> ram = std::vector<uint32_t>(16384, 0);
+    Core* owner = nullptr;
+
+    Access load(uint32_t addr, uint32_t size) override {
+        Access a;
+        if (addr + size > ram.size() * 4) {
+            a.fault = true;
+            return a;
+        }
+        a.value = ram[addr >> 2] >> (8 * (addr & 3));
+        a.cycles = 2;
+        return a;
+    }
+
+    Access store(uint32_t addr, uint32_t size, uint32_t value) override {
+        Access a;
+        if (addr + size > ram.size() * 4) {
+            a.fault = true;
+            return a;
+        }
+        uint32_t& word = ram[addr >> 2];
+        uint32_t shift = 8 * (addr & 3);
+        uint32_t mask = size == 4 ? ~0u : ((1u << (8 * size)) - 1) << shift;
+        word = (word & ~mask) | ((value << shift) & mask);
+        a.cycles = 1;
+        if (owner) owner->icache_invalidate(addr, size);
+        return a;
+    }
+
+    uint32_t fetch(uint32_t addr) override {
+        if (addr / 4 < ram.size()) return ram[addr >> 2];
+        return 0x00100073;  // ebreak
+    }
+};
+
+/// A predecoding core and a cold-decoding core running the same image in
+/// lockstep; `run_compare` faults on the first cycle their architectural
+/// state diverges.
+struct Lockstep {
+    SelfModBus warm_bus, cold_bus;
+    Core warm{"warm", warm_bus};
+    Core cold{"cold", cold_bus};
+
+    explicit Lockstep(bool store_invalidation_hook) {
+        cold.set_predecode(false);
+        if (store_invalidation_hook) {
+            warm_bus.owner = &warm;
+            cold_bus.owner = &cold;  // no-op (no cache), kept for symmetry
+        }
+    }
+
+    void load(const std::vector<uint32_t>& code) {
+        std::copy(code.begin(), code.end(), warm_bus.ram.begin());
+        std::copy(code.begin(), code.end(), cold_bus.ram.begin());
+    }
+
+    void reset() {
+        warm.reset(0);
+        cold.reset(0);
+    }
+
+    void run_compare(uint64_t max_cycles) {
+        for (uint64_t i = 0; i < max_cycles && !warm.halted(); ++i) {
+            warm.tick();
+            cold.tick();
+            ASSERT_EQ(warm.pc(), cold.pc()) << "cycle " << i;
+            ASSERT_EQ(warm.instret(), cold.instret()) << "cycle " << i;
+            ASSERT_EQ(warm.halted(), cold.halted()) << "cycle " << i;
+            for (int r = 0; r < 32; ++r) {
+                ASSERT_EQ(warm.reg(Reg(r)), cold.reg(Reg(r)))
+                    << "cycle " << i << " x" << r;
+            }
+        }
+        ASSERT_TRUE(warm.halted());
+        ASSERT_TRUE(cold.halted());
+        ASSERT_FALSE(warm.faulted());
+    }
+};
+
+/// Encoded word of a single instruction (for li-ing patches into registers).
+uint32_t
+encode(const std::function<void(Assembler&)>& one) {
+    Assembler a;
+    one(a);
+    auto words = a.assemble();
+    EXPECT_EQ(words.size(), 1u);
+    return words[0];
+}
+
+/// Two-iteration loop whose first instruction patches itself: iteration 1
+/// executes the original `addi a0, a0, 1` (now cached) and stores a new
+/// word over it; iteration 2 must execute the patched `addi a0, a0, 100`.
+std::vector<uint32_t>
+self_modifying_program(bool use_fence_i) {
+    Assembler a;
+    a.li(t1, int32_t(encode([](Assembler& p) { p.addi(a0, a0, 100); })));
+    a.li(a0, 0);
+    a.li(s0, 0);
+    a.li(t2, 2);
+    a.auipc(t0, 0);
+    a.addi(t0, t0, 8);  // t0 = address of the loop head (patch target)
+    a.label("loop");
+    a.addi(a0, a0, 1);  // patch target
+    a.sw(t1, 0, t0);
+    if (use_fence_i) a.fence_i();
+    a.addi(s0, s0, 1);
+    a.blt(s0, t2, "loop");
+    a.ebreak();
+    return a.assemble();
+}
+
+TEST(Predecode, SelfModifyingStoreMatchesColdDecode) {
+    Lockstep ls(/*store_invalidation_hook=*/true);
+    ls.load(self_modifying_program(/*use_fence_i=*/false));
+    ls.reset();
+    ls.run_compare(1000);
+    // 1 + 100: the second iteration saw the patched instruction.
+    EXPECT_EQ(ls.warm.reg(a0), 101u);
+    EXPECT_EQ(ls.cold.reg(a0), 101u);
+}
+
+TEST(Predecode, FenceIFlushesCacheMatchesColdDecode) {
+    // No bus invalidation hook: fence.i alone must make the store visible.
+    Lockstep ls(/*store_invalidation_hook=*/false);
+    ls.load(self_modifying_program(/*use_fence_i=*/true));
+    ls.reset();
+    ls.run_compare(1000);
+    EXPECT_EQ(ls.warm.reg(a0), 101u);
+    EXPECT_EQ(ls.cold.reg(a0), 101u);
+}
+
+TEST(Predecode, StaleCacheWithoutInvalidationProvesCachingIsReal) {
+    // Neither the hook nor fence.i: the predecoding core must keep
+    // executing the *cached* original instruction while the cold core sees
+    // the patched word — demonstrating the cache actually serves issues
+    // (and that the two invalidation tests above test something real).
+    SelfModBus bus;
+    Core core("warm", bus);
+    auto code = self_modifying_program(/*use_fence_i=*/false);
+    std::copy(code.begin(), code.end(), bus.ram.begin());
+    core.reset(0);
+    core.run(1000);
+    ASSERT_TRUE(core.halted());
+    EXPECT_EQ(core.reg(a0), 2u);  // stale: both iterations ran `addi a0,a0,1`
+
+    SelfModBus cold_bus;
+    Core cold("cold", cold_bus);
+    cold.set_predecode(false);
+    std::copy(code.begin(), code.end(), cold_bus.ram.begin());
+    cold.reset(0);
+    cold.run(1000);
+    ASSERT_TRUE(cold.halted());
+    EXPECT_EQ(cold.reg(a0), 101u);  // fresh decode sees the patch
+}
+
+TEST(Predecode, ReconfigureMidRunMatchesColdDecode) {
+    // Firmware reload: run image A to completion (warming the cache), swap
+    // the code RAM underneath (as Rpu::load_firmware does), reset, and run
+    // image B. reset() must drop every record warmed by A.
+    Assembler a1;
+    a1.li(a0, 0);
+    a1.li(s1, 10);
+    a1.label("l");
+    a1.addi(a0, a0, 3);
+    a1.addi(s1, s1, -1);
+    a1.bnez(s1, "l");
+    a1.ebreak();
+    auto image_a = a1.assemble();
+
+    // Image B reuses the same addresses with different instructions.
+    Assembler a2;
+    a2.li(a0, 1000);
+    a2.li(s1, 4);
+    a2.label("l");
+    a2.addi(a0, a0, -7);
+    a2.addi(s1, s1, -1);
+    a2.bnez(s1, "l");
+    a2.ebreak();
+    auto image_b = a2.assemble();
+
+    Lockstep ls(/*store_invalidation_hook=*/false);
+    ls.load(image_a);
+    ls.reset();
+    ls.run_compare(1000);
+    EXPECT_EQ(ls.warm.reg(a0), 30u);
+
+    ls.load(image_b);  // host-side reload: no stores through the bus
+    ls.reset();        // must flush the decoded cache
+    ls.run_compare(1000);
+    EXPECT_EQ(ls.warm.reg(a0), 1000u - 28u);
+    EXPECT_EQ(ls.cold.reg(a0), 1000u - 28u);
+}
+
+TEST(Predecode, DecodeIsPureAndCompleteForAluOps) {
+    // decode() is exposed for tooling: spot-check a few encodings against
+    // the dispatch records the interpreter executes from.
+    Decoded d = Core::decode(encode([](Assembler& p) { p.add(t2, t0, t1); }));
+    EXPECT_EQ(d.op, Decoded::kAdd);
+    EXPECT_EQ(d.rd, t2);
+    EXPECT_EQ(d.rs1, t0);
+    EXPECT_EQ(d.rs2, t1);
+
+    d = Core::decode(encode([](Assembler& p) { p.addi(a0, a0, -5); }));
+    EXPECT_EQ(d.op, Decoded::kAddi);
+    EXPECT_EQ(d.imm, -5);
+
+    d = Core::decode(0x0000100f);
+    EXPECT_EQ(d.op, Decoded::kFenceI);
+
+    d = Core::decode(0xffffffff);
+    EXPECT_EQ(d.op, Decoded::kIllegal);
+}
+
 TEST(CoreTiming, StopHaltsImmediately) {
     TestBus bus;
     Assembler a;
