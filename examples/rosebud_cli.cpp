@@ -21,6 +21,8 @@
 
 #include "core/experiments.h"
 #include "firmware/programs.h"
+#include "fuzz/corpus.h"
+#include "fuzz/driver.h"
 #include "lint/netlist.h"
 #include "obs/harness.h"
 #include "obs/profile.h"
@@ -80,6 +82,17 @@ usage() {
                  "  lint       --rpus N (omit to sweep 4/8/16) --dot FILE\n"
                  "             (elaborate every shipped config and run the static\n"
                  "              netlist checks; exits 1 on any violation)\n"
+                 "  fuzz       --seed N --budget-ms N --cases N (per-generator cap)\n"
+                 "             --gen fw|pkt|cfg|all --corpus DIR --no-minimize\n"
+                 "             --verbose\n"
+                 "             (conformance fuzzing campaign: firmware lockstep vs\n"
+                 "              the golden ISA model, malformed packets under the\n"
+                 "              differential scoreboard, randomized configs through\n"
+                 "              linter + oracle + shuffled-tick fingerprint; the\n"
+                 "              case sequence is a pure function of --seed, the\n"
+                 "              budget only truncates it; exits 1 on any failure)\n"
+                 "  fuzz       --replay FILE|DIR\n"
+                 "             (replay corpus case(s); exits 1 unless all green)\n"
                  "  profile    --pipeline forwarder|firewall|ids-hw|ids-sw|nat\n"
                  "             --rpus N --size N --load F --cycles N --seed N\n"
                  "             --epoch N --top N --vcd FILE --trace FILE --json FILE\n"
@@ -339,6 +352,48 @@ main(int argc, char** argv) {
         if (total != 0) {
             std::printf("%zu lint violation(s)\n", total);
             return 1;
+        }
+    } else if (args.experiment == "fuzz") {
+        if (args.has("replay")) {
+            // Replay one corpus file, or every *.case under a directory.
+            std::string target = args.str("replay", "");
+            std::vector<std::string> paths = fuzz::corpus_list(target);
+            if (paths.empty()) paths.push_back(target);
+            size_t red = 0;
+            for (const std::string& path : paths) {
+                fuzz::CorpusCase c = fuzz::corpus_load(path);
+                std::string detail;
+                bool green = fuzz::corpus_replay(c, &detail);
+                std::printf("%-5s %s: %s%s%s\n", green ? "green" : "RED",
+                            path.c_str(), fuzz::corpus_kind_name(c.kind),
+                            detail.empty() ? "" : " — ", detail.c_str());
+                if (!green) ++red;
+            }
+            std::printf("replayed %zu case(s), %zu red\n", paths.size(), red);
+            if (red != 0) return 1;
+        } else {
+            fuzz::FuzzPlan plan;
+            plan.seed = std::strtoull(args.str("seed", "1").c_str(), nullptr, 0);
+            plan.budget_ms = args.u32("budget-ms", 60'000);
+            plan.max_cases = args.u32("cases", 0);
+            std::string gen = args.str("gen", "all");
+            plan.firmware = gen == "all" || gen == "fw";
+            plan.packets = gen == "all" || gen == "pkt";
+            plan.configs = gen == "all" || gen == "cfg";
+            if (!plan.firmware && !plan.packets && !plan.configs) return usage();
+            plan.minimize = !args.has("no-minimize");
+            plan.corpus_dir = args.str("corpus", "");
+            plan.verbose = args.has("verbose");
+            fuzz::FuzzReport rep = fuzz::run_campaign(plan);
+            std::printf("%s\n", rep.summary().c_str());
+            for (const auto& f : rep.failures) {
+                std::printf("FAILURE [%s seed %llu]%s%s\n  %s\n",
+                            fuzz::corpus_kind_name(f.minimized.kind),
+                            (unsigned long long)f.minimized.seed,
+                            f.path.empty() ? "" : " -> ", f.path.c_str(),
+                            f.detail.substr(0, 500).c_str());
+            }
+            if (!rep.ok()) return 1;
         }
     } else if (args.experiment == "profile") {
         obs::ProfileSpec s;

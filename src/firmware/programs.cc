@@ -311,9 +311,41 @@ pigasus_hw_reorder(const SlotParams& slots) {
 
 Program
 pigasus_sw_reorder(const SlotParams& slots, unsigned reorder_cap) {
+    // The held-packet list below has 16 word slots (indices masked with
+    // andi 15 so the verifier can bound every access).
+    if (reorder_cap > 16) reorder_cap = 16;
     Assembler a;
     emit_prologue(a, slots);
     const HdrOffsets& off = kHashed;
+
+    // Remove flow-table entry a3 from the held-packet list (swap the last
+    // element into the hole) and drop the occupancy count. The list lives
+    // at DMEM 0x1000 (above the slot-context table), one word per held
+    // packet: the flow-table entry's address. Clobbers t4/t5/t6.
+    auto emit_unheld = [&](const std::string& tag) {
+        a.lui(t5, 0x801);
+        a.mv(t4, zero);
+        a.label("unh_" + tag);
+        a.andi(t6, t4, 15);
+        a.slli(t6, t6, 2);
+        a.add(t6, t6, t5);
+        a.lw(t6, 0, t6);
+        a.beq(t6, a3, "unf_" + tag);
+        a.addi(t4, t4, 1);
+        a.blt(t4, s0, "unh_" + tag);
+        a.j("und_" + tag);  // not listed (cannot happen; keep the count)
+        a.label("unf_" + tag);
+        a.addi(s0, s0, -1);
+        a.andi(t6, s0, 15);
+        a.slli(t6, t6, 2);
+        a.add(t6, t6, t5);
+        a.lw(t6, 0, t6);  // last element
+        a.andi(t4, t4, 15);
+        a.slli(t4, t4, 2);
+        a.add(t4, t4, t5);
+        a.sw(t6, 0, t4);  // fills the hole
+        a.label("und_" + tag);
+    };
     a.lui(s5, 0x2010);   // IO_EXT
     a.lui(s6, 0x804);    // header slots
     a.lui(s7, 0x800);    // slot contexts in DMEM
@@ -329,7 +361,7 @@ pigasus_sw_reorder(const SlotParams& slots, unsigned reorder_cap) {
 
     a.label("main");
     a.lw(a0, rp::kRegRecvLow, gp);
-    a.beqz(a0, "chkmatch");
+    a.beqz(a0, "sweep");
     a.lw(a1, rp::kRegRecvHigh, gp);
     a.sw(zero, rp::kRegRecvRelease, gp);
     a.srli(t0, a0, 4);
@@ -384,6 +416,9 @@ pigasus_sw_reorder(const SlotParams& slots, unsigned reorder_cap) {
     a.rdcycle(t4);
     a.sw(t4, 8, a3);
     a.lw(a2, 12, a3);      // held descriptor for this flow (0 = none)
+    a.beqz(a2, "io_nohold");
+    emit_unheld("io");
+    a.label("io_nohold");
     a.sw(zero, 12, a3);
     a.li(t5, off.tcp_payload);
     a.lw(t6, off.ports, t2);
@@ -399,6 +434,11 @@ pigasus_sw_reorder(const SlotParams& slots, unsigned reorder_cap) {
     a.bnez(t4, "punt_held_resync");
     a.slti(t4, s0, int32_t(reorder_cap));
     a.beqz(t4, "to_host");
+    a.lui(t4, 0x801);     // held list: record this flow entry
+    a.andi(t5, s0, 15);
+    a.slli(t5, t5, 2);
+    a.add(t5, t5, t4);
+    a.sw(a3, 0, t5);
     a.addi(s0, s0, 1);
     a.sw(a0, 12, a3);
     a.rdcycle(t4);
@@ -416,7 +456,7 @@ pigasus_sw_reorder(const SlotParams& slots, unsigned reorder_cap) {
     a.sw(t4, rp::kRegSendLow, gp);
     a.sw(zero, rp::kRegSendHigh, gp);
     a.sw(zero, 12, a3);
-    a.addi(s0, s0, -1);
+    emit_unheld("ph");
     a.j("in_order");
 
     a.label("stale_segment");
@@ -443,7 +483,7 @@ pigasus_sw_reorder(const SlotParams& slots, unsigned reorder_cap) {
     a.ori(t4, t4, 2);
     a.sw(t4, rp::kRegSendLow, gp);
     a.sw(zero, rp::kRegSendHigh, gp);
-    a.addi(s0, s0, -1);
+    emit_unheld("tk");
     a.label("tk_claim");
     a.sw(a2, 0, a3);       // take the entry over
     a.sw(zero, 12, a3);
@@ -455,6 +495,38 @@ pigasus_sw_reorder(const SlotParams& slots, unsigned reorder_cap) {
     a.sw(a0, rp::kRegSendLow, gp);
     a.sw(a1, rp::kRegSendHigh, gp);
     a.j("main");
+
+    // Idle-loop timeout sweep: a held packet whose gap never fills (the
+    // missing segment was punted on a collision, or the flow simply
+    // ended) must not sit in its packet slot forever. Check one held
+    // entry per idle iteration; past the collision timeout, punt it to
+    // the host and invalidate the flow entry so a new flow can claim it.
+    // Surfaced by the packet conformance fuzzer (src/fuzz/pkt_fuzz.cc)
+    // as end-of-traffic stuck-packet divergences.
+    a.label("sweep");
+    a.beqz(s0, "chkmatch");
+    a.lui(t5, 0x801);
+    a.lw(a3, 0, t5);       // first held flow entry (pointer from memory...
+    a.slli(a3, a3, 13);    // ...re-bounded: the flow table spans 512 KiB
+    a.srli(a3, a3, 13);    //    at 0x01080000, so low 19 bits + base)
+    a.andi(a3, a3, -16);
+    a.add(a3, a3, a7);
+    a.lw(t4, 8, a3);       // last touch time
+    a.rdcycle(t6);
+    a.sub(t6, t6, t4);
+    a.lui(t4, 0x4);        // same ~65 us horizon as collision reclaim
+    a.bltu(t6, t4, "chkmatch");
+    a.lw(t4, 12, a3);
+    a.beqz(t4, "swp_unlist");
+    a.andi(t4, t4, -16);
+    a.ori(t4, t4, 2);      // port = host
+    a.sw(t4, rp::kRegSendLow, gp);
+    a.sw(zero, rp::kRegSendHigh, gp);
+    a.label("swp_unlist");
+    a.sw(zero, 12, a3);
+    a.sw(zero, 0, a3);     // entry empty: the next segment starts fresh
+    emit_unheld("swp");
+    a.j("chkmatch");
 
     a.label("maybe_udp");
     a.addi(t4, t4, -11);
@@ -487,8 +559,8 @@ pigasus_sw_reorder(const SlotParams& slots, unsigned reorder_cap) {
     a.j("chkmatch");
 
     a.label("process_held");
-    // Re-enter the parse path for the held descriptor.
-    a.addi(s0, s0, -1);
+    // Re-enter the parse path for the held descriptor (the pickup site
+    // already dropped it from the held list).
     a.mv(a0, a2);
     a.srli(t0, a0, 4);
     a.andi(t0, t0, 0xff);

@@ -1,0 +1,67 @@
+/// \file
+/// Replayable failure corpus (tests/corpus/*.case).
+///
+/// Every failure the campaign driver minimizes is serialized as one small
+/// line-oriented text file, checked into tests/corpus/ once the underlying
+/// bug is fixed. The regression suite replays every file and asserts
+/// green, so a fixed bug stays fixed. The format is deliberately dumb —
+/// `key value` lines, hex payloads — so a failing case can be read, edited
+/// and bisected by hand:
+///
+///   rosebud-fuzz-case v1
+///   kind fw|pkt|cfg
+///   seed <decimal>
+///   note <free text>            (optional)
+///   word <8-hex>                (fw: one instruction per line)
+///   pipeline/policy/... <val>   (pkt: case parameters)
+///   frame <hex bytes>           (pkt: one offered frame per line)
+///   delta <field> <decimal>     (cfg: one override per line)
+
+#ifndef ROSEBUD_FUZZ_CORPUS_H
+#define ROSEBUD_FUZZ_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/cfg_fuzz.h"
+#include "fuzz/fw_fuzz.h"
+#include "fuzz/pkt_fuzz.h"
+
+namespace rosebud::fuzz {
+
+struct CorpusCase {
+    enum class Kind : uint8_t { kFirmware, kPacket, kConfig };
+
+    Kind kind = Kind::kFirmware;
+    uint64_t seed = 0;
+    std::string note;
+
+    std::vector<uint32_t> image;              ///< fw: the program
+    PktCase pkt;                              ///< pkt: case parameters
+    std::vector<std::vector<uint8_t>> frames; ///< pkt: offered frames
+    std::vector<CfgDelta> deltas;             ///< cfg: config overrides
+};
+
+const char* corpus_kind_name(CorpusCase::Kind k);
+
+std::string corpus_to_text(const CorpusCase& c);
+
+/// Parse; fatals (sim::FatalError) on malformed input.
+CorpusCase corpus_from_text(const std::string& text);
+
+CorpusCase corpus_load(const std::string& path);
+void corpus_save(const CorpusCase& c, const std::string& path);
+
+/// All *.case files under `dir`, sorted by name ([] if no such directory).
+std::vector<std::string> corpus_list(const std::string& dir);
+
+/// Replay one case through the matching fuzzer. Green means the recorded
+/// failure no longer reproduces: a fw case runs lockstep-clean, a pkt case
+/// replays with zero divergences, a cfg case classifies into an ok bucket.
+/// `detail` (optional) receives the verdict description.
+bool corpus_replay(const CorpusCase& c, std::string* detail = nullptr);
+
+}  // namespace rosebud::fuzz
+
+#endif  // ROSEBUD_FUZZ_CORPUS_H

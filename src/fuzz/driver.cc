@@ -1,0 +1,163 @@
+#include "fuzz/driver.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/log.h"
+
+namespace rosebud::fuzz {
+
+namespace {
+
+uint64_t
+now_ms() {
+    using namespace std::chrono;
+    return uint64_t(
+        duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+failure_path(const FuzzPlan& plan, const char* gen, uint64_t index) {
+    std::ostringstream os;
+    os << plan.corpus_dir << "/" << gen << "-s" << plan.seed << "-c" << index
+       << ".case";
+    return os.str();
+}
+
+void
+record_failure(const FuzzPlan& plan, FuzzReport& rep, CorpusCase minimized,
+               std::string detail, const char* gen, uint64_t index) {
+    FuzzFailure f;
+    f.minimized = std::move(minimized);
+    f.detail = std::move(detail);
+    if (!plan.corpus_dir.empty()) {
+        f.path = failure_path(plan, gen, index);
+        corpus_save(f.minimized, f.path);
+    }
+    rep.failures.push_back(std::move(f));
+}
+
+void
+progress(const FuzzPlan& plan, const char* gen, uint64_t index,
+         const char* verdict) {
+    if (!plan.verbose) return;
+    std::printf("  [%s %6llu] %s\n", gen, (unsigned long long)index, verdict);
+    std::fflush(stdout);
+}
+
+}  // namespace
+
+uint64_t
+campaign_case_seed(uint64_t campaign_seed, uint64_t index) {
+    // splitmix64 of (seed, index): each case's seed depends only on the
+    // campaign seed and its index, never on how earlier cases went.
+    uint64_t z = campaign_seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::string
+FuzzReport::summary() const {
+    std::ostringstream os;
+    os << "fuzz: " << total_cases() << " cases in " << elapsed_ms << " ms | fw "
+       << fw_pass << "/" << fw_cases;
+    if (fw_inadmissible) os << " (" << fw_inadmissible << " inadmissible)";
+    os << " | pkt " << pkt_pass << "/" << pkt_cases << " | cfg " << cfg_pass
+       << " pass + " << cfg_rejected << " rejected / " << cfg_cases << " | "
+       << failures.size() << " failure(s)";
+    return os.str();
+}
+
+FuzzReport
+run_campaign(const FuzzPlan& plan) {
+    FuzzReport rep;
+    const uint64_t start = now_ms();
+    auto out_of_budget = [&] { return now_ms() - start >= plan.budget_ms; };
+    auto hit_cap = [&](uint64_t count) {
+        return plan.max_cases != 0 && count >= plan.max_cases;
+    };
+
+    // Round-robin across the enabled generators so a short budget still
+    // samples all three.
+    for (uint64_t i = 0;; ++i) {
+        bool any = false;
+        const uint64_t cs = campaign_case_seed(plan.seed, i);
+
+        if (plan.firmware && !hit_cap(rep.fw_cases) && !out_of_budget()) {
+            any = true;
+            ++rep.fw_cases;
+            FwCase c = generate_firmware(cs, plan.fw_opts);
+            FwVerdict v = run_firmware_lockstep(c, plan.fw_opts);
+            progress(plan, "fw", i, fw_kind_name(v.kind));
+            if (v.kind == FwKind::kInadmissible) {
+                ++rep.fw_inadmissible;
+            } else if (v.ok()) {
+                ++rep.fw_pass;
+            } else {
+                if (plan.minimize) c = minimize_firmware(c, plan.fw_opts);
+                CorpusCase cc;
+                cc.kind = CorpusCase::Kind::kFirmware;
+                cc.seed = c.seed;
+                cc.note = v.detail;
+                cc.image = c.image;
+                record_failure(plan, rep, std::move(cc), v.detail, "fw", i);
+            }
+        }
+
+        if (plan.packets && !hit_cap(rep.pkt_cases) && !out_of_budget()) {
+            any = true;
+            ++rep.pkt_cases;
+            PktCase c = generate_packet_case(cs, plan.pkt_opts);
+            PktVerdict v = run_packet_case(c, plan.pkt_opts);
+            progress(plan, "pkt", i, v.ok() ? "pass" : "diverge");
+            if (v.ok()) {
+                ++rep.pkt_pass;
+            } else {
+                auto frames = v.frames;
+                if (plan.minimize) {
+                    frames = minimize_packets(c, plan.pkt_opts, frames);
+                }
+                CorpusCase cc;
+                cc.kind = CorpusCase::Kind::kPacket;
+                cc.seed = c.seed;
+                cc.note = "divergence under replay";
+                cc.pkt = c;
+                cc.frames = std::move(frames);
+                record_failure(plan, rep, std::move(cc), v.detail, "pkt", i);
+            }
+        }
+
+        if (plan.configs && !hit_cap(rep.cfg_cases) && !out_of_budget()) {
+            any = true;
+            ++rep.cfg_cases;
+            CfgCase c = generate_config_case(cs, plan.cfg_opts);
+            CfgVerdict v = run_config_case(c, plan.cfg_opts);
+            progress(plan, "cfg", i, cfg_kind_name(v.kind));
+            if (v.kind == CfgKind::kPass) {
+                ++rep.cfg_pass;
+            } else if (v.ok()) {
+                ++rep.cfg_rejected;
+            } else {
+                auto deltas = c.deltas;
+                if (plan.minimize) deltas = minimize_config(c, plan.cfg_opts);
+                CorpusCase cc;
+                cc.kind = CorpusCase::Kind::kConfig;
+                cc.seed = c.seed;
+                cc.note = cfg_kind_name(v.kind);
+                cc.deltas = std::move(deltas);
+                record_failure(plan, rep, std::move(cc), v.detail, "cfg", i);
+            }
+        }
+
+        // Every enabled generator hit its cap or the clock ran out.
+        if (!any) break;
+    }
+
+    rep.elapsed_ms = now_ms() - start;
+    return rep;
+}
+
+}  // namespace rosebud::fuzz

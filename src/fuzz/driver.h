@@ -1,0 +1,73 @@
+/// \file
+/// Campaign driver: the single entry point behind `rosebud_cli fuzz`.
+///
+/// A campaign walks a seed-indexed case sequence round-robin across the
+/// three generators (firmware, packet, config). Case i of each generator
+/// is derived from mix(campaign_seed, i) alone, so the sequence is a pure
+/// function of the campaign seed: the wall-clock budget (and max_cases)
+/// only decide how much of that fixed sequence gets run — a prefix, never
+/// a different sequence. `--seed N --budget-ms M` is therefore
+/// reproducible: rerunning with the same seed revisits exactly the same
+/// cases in the same order.
+///
+/// Failures are minimized with the matching delta-debugging reducer and,
+/// when a corpus directory is configured, serialized as
+/// `<dir>/<gen><seed>-<case>.case` for replay by the regression suite.
+
+#ifndef ROSEBUD_FUZZ_DRIVER_H
+#define ROSEBUD_FUZZ_DRIVER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/cfg_fuzz.h"
+#include "fuzz/corpus.h"
+#include "fuzz/fw_fuzz.h"
+#include "fuzz/pkt_fuzz.h"
+
+namespace rosebud::fuzz {
+
+struct FuzzPlan {
+    uint64_t seed = 1;           ///< campaign seed (names the case sequence)
+    uint64_t budget_ms = 60'000; ///< wall-clock bound; truncates, never reorders
+    uint64_t max_cases = 0;      ///< per-generator cap; 0 = budget-bound only
+    bool firmware = true;
+    bool packets = true;
+    bool configs = true;
+    bool minimize = true;        ///< ddmin failures before reporting
+    std::string corpus_dir;      ///< save minimized failures here ("" = don't)
+    bool verbose = false;        ///< per-case progress on stdout
+    FwOptions fw_opts;
+    PktOptions pkt_opts;
+    CfgOptions cfg_opts;
+};
+
+struct FuzzFailure {
+    CorpusCase minimized;  ///< replayable reproduction (post-ddmin)
+    std::string detail;    ///< verdict description
+    std::string path;      ///< corpus file ("" if no corpus_dir)
+};
+
+struct FuzzReport {
+    // Per-generator case counts (attempted / clean).
+    uint64_t fw_cases = 0, fw_pass = 0, fw_inadmissible = 0;
+    uint64_t pkt_cases = 0, pkt_pass = 0;
+    uint64_t cfg_cases = 0, cfg_pass = 0, cfg_rejected = 0;
+    uint64_t elapsed_ms = 0;
+    std::vector<FuzzFailure> failures;
+
+    uint64_t total_cases() const { return fw_cases + pkt_cases + cfg_cases; }
+    bool ok() const { return failures.empty(); }
+    std::string summary() const;
+};
+
+/// Run a campaign. Deterministic per plan.seed (see file comment).
+FuzzReport run_campaign(const FuzzPlan& plan);
+
+/// The per-case seed for generator case index i under a campaign seed.
+uint64_t campaign_case_seed(uint64_t campaign_seed, uint64_t index);
+
+}  // namespace rosebud::fuzz
+
+#endif  // ROSEBUD_FUZZ_DRIVER_H

@@ -1,0 +1,88 @@
+/// \file
+/// Firmware conformance fuzzer: random-but-verifier-admissible RV32IM
+/// programs run in lockstep against the golden reference executor.
+///
+/// The generator composes programs from *verified basic-block templates*
+/// (the admissibility grammar):
+///
+///   * a prologue that initializes every general register (so the static
+///     verifier's uninit pass holds) and pins x5/x6 to the legal DMEM and
+///     MMIO windows;
+///   * ALU/shift chains over the scratch-register pool;
+///   * M-extension chains, with the spec's edge operands (0, INT_MIN, -1)
+///     seeded deliberately;
+///   * load/store bursts of every width into the DMEM window, naturally
+///     aligned;
+///   * bounded counted loops (trip counts 2..9, counter untouched by the
+///     body) and forward conditional branches;
+///   * MMIO send/receive blocks against the interconnect's debug/recv
+///     registers (word-sized, per the map in rpu/descriptor.h);
+///   * trap-CSR read/modify/write blocks (mstatus/mtvec/mepc/mcause);
+///   * an ebreak epilogue.
+///
+/// Every generated image must pass verify::verify_image — the same gate
+/// the host applies to real firmware — so the fuzzer tortures exactly the
+/// programs the system promises to run. The lockstep runner executes the
+/// image on rv::Core (timed, predecoded) and on fuzz::RefModel (untimed,
+/// spec-transcribed) against two *independent* instances of the same
+/// deterministic memory/device model, comparing pc and all 32 registers
+/// after every retired instruction and RAM + MMIO digests at the end.
+
+#ifndef ROSEBUD_FUZZ_FW_FUZZ_H
+#define ROSEBUD_FUZZ_FW_FUZZ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rosebud::fuzz {
+
+/// One generated firmware case (entry pc is always 0).
+struct FwCase {
+    uint64_t seed = 0;
+    std::vector<uint32_t> image;
+};
+
+struct FwOptions {
+    uint32_t blocks = 12;        ///< template blocks per program
+    uint64_t max_steps = 50000;  ///< lockstep instruction bound
+    /// Synthetic ref-model bug (div-by-zero result corrupted) used to
+    /// demonstrate the failure path and the minimizer; the generator also
+    /// guarantees one div-by-zero block so the bug always fires.
+    bool inject_div_bug = false;
+};
+
+/// What a lockstep run concluded.
+enum class FwKind : uint8_t {
+    kPass,          ///< ran to ebreak (or a matching trap) with no mismatch
+    kDiverge,       ///< core and reference disagreed
+    kTimeout,       ///< max_steps exceeded (generator bug: unbounded loop)
+    kInadmissible,  ///< the static verifier rejected the generated image
+};
+
+const char* fw_kind_name(FwKind k);
+
+struct FwVerdict {
+    FwKind kind = FwKind::kPass;
+    uint64_t steps = 0;   ///< instructions compared
+    std::string detail;   ///< divergence/rejection description ("" if pass)
+
+    bool ok() const { return kind == FwKind::kPass; }
+};
+
+/// Generate one admissible program from `seed` (deterministic).
+FwCase generate_firmware(uint64_t seed, const FwOptions& opts = {});
+
+/// Run one case in lockstep. Checks admissibility first.
+FwVerdict run_firmware_lockstep(const FwCase& c, const FwOptions& opts = {});
+
+/// Delta-debugging minimizer: nop out instructions while the verdict kind
+/// is preserved (layout — and therefore branch targets — is kept intact).
+/// Returns the minimized case; `live_insns` (if non-null) receives the
+/// number of non-nop instructions left, the ebreak epilogue excluded.
+FwCase minimize_firmware(const FwCase& failing, const FwOptions& opts = {},
+                         uint32_t* live_insns = nullptr);
+
+}  // namespace rosebud::fuzz
+
+#endif  // ROSEBUD_FUZZ_FW_FUZZ_H

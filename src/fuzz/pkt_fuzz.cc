@@ -1,0 +1,279 @@
+#include "fuzz/pkt_fuzz.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "net/rules.h"
+#include "sim/random.h"
+
+namespace rosebud::fuzz {
+
+namespace {
+
+using oracle::Pipeline;
+
+/// The valid pipeline×policy matrix (DataplaneOracle's constructor gate).
+struct Combo {
+    Pipeline pipeline;
+    lb::Policy policy;
+};
+
+constexpr Combo kCombos[] = {
+    {Pipeline::kForwarder, lb::Policy::kRoundRobin},
+    {Pipeline::kForwarder, lb::Policy::kHash},
+    {Pipeline::kForwarder, lb::Policy::kLeastLoaded},
+    {Pipeline::kFirewall, lb::Policy::kRoundRobin},
+    {Pipeline::kFirewall, lb::Policy::kLeastLoaded},
+    {Pipeline::kPigasusHwReorder, lb::Policy::kRoundRobin},
+    {Pipeline::kPigasusHwReorder, lb::Policy::kLeastLoaded},
+    {Pipeline::kPigasusSwReorder, lb::Policy::kHash},
+    {Pipeline::kNat, lb::Policy::kRoundRobin},
+    {Pipeline::kNat, lb::Policy::kHash},
+    {Pipeline::kNat, lb::Policy::kLeastLoaded},
+};
+
+/// Shortest frame the pipeline's firmware contracts to parse without
+/// touching bytes beyond the frame (see the file comment in pkt_fuzz.h).
+size_t
+truncation_floor(Pipeline p, const std::vector<uint8_t>& frame) {
+    switch (p) {
+    case Pipeline::kForwarder: return 14;
+    case Pipeline::kFirewall: return 34;
+    case Pipeline::kPigasusHwReorder:
+    case Pipeline::kPigasusSwReorder:
+        if (frame.size() > 23 && frame[23] != 6 && frame[23] != 17) return 38;
+        return frame.size() > 23 && frame[23] == 17 ? 42 : 54;
+    case Pipeline::kNat: return 54;
+    }
+    return 54;
+}
+
+void
+mutate_one(net::Packet& pkt, Pipeline pipeline, sim::Rng& rng) {
+    auto& d = pkt.data;
+    bool nat = pipeline == Pipeline::kNat;
+    bool forwarder = pipeline == Pipeline::kForwarder;
+    bool pigasus = pipeline == Pipeline::kPigasusHwReorder ||
+                   pipeline == Pipeline::kPigasusSwReorder;
+
+    // TCP under a reorder engine is special: a mutation that changes one
+    // segment's length, flow identity or protocol leaves a sequence hole
+    // the engine waits on forever, wedging the rest of the flow (the
+    // scoreboard then reports the held segments as stuck). Keep those
+    // invariants and malform only what nothing sequences on: the IP
+    // total-length field and the payload bytes. UDP frames on the same
+    // pipelines get the full grammar — the engine does not track them.
+    if (pigasus && d.size() > 23 && d[23] == 6) {
+        if (rng.chance(0.5) && d.size() >= 18) {
+            d[16] = uint8_t(rng.next());
+            d[17] = uint8_t(rng.next());
+        } else if (d.size() > 54) {
+            for (uint64_t n = rng.range(1, 8); n--;) {
+                d[54 + rng.below(d.size() - 54)] = uint8_t(rng.next());
+            }
+        }
+        return;
+    }
+
+    switch (rng.below(6)) {
+    case 0: {  // truncate toward the pipeline's parse floor
+        size_t floor = truncation_floor(pipeline, d);
+        if (d.size() > floor) d.resize(rng.range(floor, d.size() - 1));
+        break;
+    }
+    case 1: {  // extend with garbage payload bytes
+        size_t extra = size_t(rng.range(1, 64));
+        for (size_t i = 0; i < extra; ++i) d.push_back(uint8_t(rng.next()));
+        break;
+    }
+    case 2:  // bogus IP total length — no stage parses it
+        if (d.size() >= 18) {
+            d[16] = uint8_t(rng.next());
+            d[17] = uint8_t(rng.next());
+        }
+        break;
+    case 3:  // oversized IHL / IP options (engine-trusted byte: skip on NAT)
+        if (!nat && d.size() >= 15) {
+            d[14] = uint8_t(0x40 | rng.range(5, 15));
+        }
+        break;
+    case 4:  // direction flip: swap src/dst IPs and ports (state collisions)
+        if (d.size() >= 38) {
+            for (size_t i = 0; i < 4; ++i) std::swap(d[26 + i], d[30 + i]);
+            for (size_t i = 0; i < 2; ++i) std::swap(d[34 + i], d[36 + i]);
+        }
+        break;
+    default:  // scattered byte corruption
+        if (!d.empty()) {
+            for (uint64_t n = rng.range(1, 8); n--;) {
+                size_t off = size_t(rng.below(d.size()));
+                // The NAT engine trusts version/IHL; stay off that byte.
+                if (nat && off == 14) continue;
+                // Corrupting L2/L3 headers is only fully modeled on the
+                // forwarder (it echoes); elsewhere restrict corruption to
+                // fields the oracle provably mirrors: ethertype, proto,
+                // IPs, ports, payload.
+                if (!forwarder && off < 54 && !(off == 12 || off == 13 || off == 23 ||
+                                                (off >= 26 && off <= 37) || off >= 42)) {
+                    continue;
+                }
+                d[off] = uint8_t(rng.next());
+            }
+        }
+        break;
+    }
+    if (d.empty()) d.push_back(0);
+}
+
+oracle::RunSpec
+base_spec(const PktCase& c, const PktOptions& opts) {
+    oracle::RunSpec spec;
+    spec.pipeline = c.pipeline;
+    spec.policy = c.policy;
+    spec.rpu_count = c.rpu_count;
+    spec.hw_reassembler = c.pipeline == Pipeline::kPigasusHwReorder;
+    spec.seed = c.seed;
+    spec.packet_size = c.packet_size;
+    spec.max_packets = c.max_packets;
+    spec.attack_fraction = c.attack_fraction;
+    spec.reorder_fraction = c.reorder_fraction;
+    spec.udp_fraction = c.udp_fraction;
+    spec.run_cycles = opts.run_cycles;
+    return spec;
+}
+
+PktVerdict
+verdict_from(const oracle::RunResult& res) {
+    PktVerdict v;
+    v.divergences = res.counts.divergences;
+    v.offered = res.counts.offered;
+    if (!res.ok) {
+        v.kind = PktKind::kDiverge;
+        v.detail = res.report.substr(0, 2000);
+    }
+    return v;
+}
+
+/// Reproduce the harness's blacklist synthesis for this seed and corrupt
+/// it: the oracle forgets half the entries, so the device's (correct)
+/// drops become divergences. Validates the failure path end to end.
+net::Blacklist
+corrupted_blacklist(const oracle::RunSpec& spec) {
+    sim::Rng rng(spec.seed);
+    net::Blacklist full = net::Blacklist::synthesize(spec.blacklist_count, rng);
+    net::Blacklist half;
+    const auto& entries = full.entries();
+    for (size_t i = 0; i < entries.size(); i += 2) {
+        half.add(entries[i].prefix, entries[i].length);
+    }
+    return half;
+}
+
+}  // namespace
+
+PktCase
+generate_packet_case(uint64_t seed, const PktOptions& opts) {
+    sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xfe0f);
+    PktCase c;
+    c.seed = seed;
+    const Combo& combo = kCombos[rng.below(sizeof(kCombos) / sizeof(kCombos[0]))];
+    c.pipeline = combo.pipeline;
+    c.policy = combo.policy;
+    if (opts.inject_oracle_bug) {
+        // The corrupted-oracle hook exists only on the firewall pipeline.
+        c.pipeline = Pipeline::kFirewall;
+        c.policy = lb::Policy::kRoundRobin;
+    }
+    c.rpu_count = 4u * unsigned(rng.range(1, 4));
+    c.packet_size = uint32_t(rng.range(64, 512));
+    c.max_packets = opts.max_packets;
+    c.attack_fraction = rng.chance(0.5) ? 0.25 : 0.05;
+    c.reorder_fraction = c.pipeline == Pipeline::kPigasusSwReorder ? 0.1 : 0.0;
+    c.udp_fraction = rng.chance(0.3) ? 0.5 : 0.2;
+    c.mutate_prob = 0.2 + 0.4 * rng.uniform();
+    return c;
+}
+
+PktVerdict
+run_packet_case(const PktCase& c, const PktOptions& opts) {
+    oracle::RunSpec spec = base_spec(c, opts);
+
+    net::Blacklist corrupt;
+    if (opts.inject_oracle_bug) {
+        corrupt = corrupted_blacklist(spec);
+        spec.oracle_blacklist = &corrupt;
+        // Every frame must carry a blacklisted source for the corruption
+        // to bite quickly.
+        spec.attack_fraction = 1.0;
+    }
+
+    // Captured post-mutation frames become the replayable failure unit.
+    auto captured = std::make_shared<std::vector<std::vector<uint8_t>>>();
+    auto mut_rng = std::make_shared<sim::Rng>(c.seed ^ 0x6d75746174ULL);
+    double prob = c.mutate_prob;
+    Pipeline pipeline = c.pipeline;
+    spec.mutate_frame = [captured, mut_rng, prob, pipeline](net::Packet& pkt) {
+        if (mut_rng->chance(prob)) mutate_one(pkt, pipeline, *mut_rng);
+        captured->push_back(pkt.data);
+    };
+
+    PktVerdict v = verdict_from(oracle::run_differential(spec));
+    v.frames = std::move(*captured);
+    return v;
+}
+
+PktVerdict
+replay_packet_case(const PktCase& c, const PktOptions& opts,
+                   const std::vector<std::vector<uint8_t>>& frames) {
+    oracle::RunSpec spec = base_spec(c, opts);
+
+    net::Blacklist corrupt;
+    if (opts.inject_oracle_bug) {
+        corrupt = corrupted_blacklist(spec);
+        spec.oracle_blacklist = &corrupt;
+    }
+
+    spec.replay_frames = frames;
+    spec.max_packets = frames.size();
+    PktVerdict v = verdict_from(oracle::run_differential(spec));
+    v.frames = frames;
+    return v;
+}
+
+std::vector<std::vector<uint8_t>>
+minimize_packets(const PktCase& c, const PktOptions& opts,
+                 const std::vector<std::vector<uint8_t>>& frames) {
+    auto diverges = [&](const std::vector<std::vector<uint8_t>>& fs) {
+        return !fs.empty() && !replay_packet_case(c, opts, fs).ok();
+    };
+    if (!diverges(frames)) return frames;
+
+    // ddmin over the frame sequence: drop chunks while the replay still
+    // diverges.
+    std::vector<std::vector<uint8_t>> best = frames;
+    size_t chunks = 2;
+    while (best.size() > 1) {
+        bool removed = false;
+        size_t per = (best.size() + chunks - 1) / chunks;
+        for (size_t i = 0; i * per < best.size(); ++i) {
+            std::vector<std::vector<uint8_t>> trial;
+            trial.reserve(best.size());
+            for (size_t j = 0; j < best.size(); ++j) {
+                if (j < i * per || j >= std::min((i + 1) * per, best.size())) {
+                    trial.push_back(best[j]);
+                }
+            }
+            if (!diverges(trial)) continue;
+            best = std::move(trial);
+            removed = true;
+            break;
+        }
+        if (!removed) {
+            if (chunks >= best.size()) break;
+            chunks = std::min(chunks * 2, best.size());
+        }
+    }
+    return best;
+}
+
+}  // namespace rosebud::fuzz

@@ -1,0 +1,103 @@
+/// \file
+/// Packet conformance fuzzer: random flows plus adversarially malformed
+/// frames driven through every accelerator pipeline under the golden-model
+/// differential scoreboard (src/oracle).
+///
+/// Each seed deterministically selects one valid pipeline×policy
+/// combination, a traffic shape, and a mutation plan. Mutations run in the
+/// harness's mutate_frame hook — after generation, before the frame is
+/// offered — so the oracle's ingress prediction and the device always score
+/// the same bytes; what the fuzzer probes is whether the *device* handles
+/// those bytes the way the reference dataplane says it must.
+///
+/// The mutation grammar is pipeline-aware. Truncation floors keep each
+/// sample inside the envelope the firmware contracts to parse (the
+/// fixed-offset firewall/IDS firmwares read header bytes unconditionally,
+/// so a frame shorter than the parsed region would compare stale packet
+/// memory — a known sharp edge documented in docs/FUZZING.md):
+///
+///   * forwarder: any length >= 14 and arbitrary byte corruption — it
+///     echoes bytes without parsing them;
+///   * firewall:  truncation >= 34; ethertype/src-IP/payload corruption;
+///   * pigasus:   TCP frames keep their flow identity, protocol and
+///     segment length (the reorder engines wait forever on a sequence
+///     hole, wedging the flow) — only the IP total-length field and
+///     payload bytes are malformed; UDP frames get the full grammar
+///     including truncation >= 42;
+///   * nat:       direction flips (src/dst IP+port swaps) to collide
+///     translation state, payload corruption; the version/IHL byte is
+///     left alone (the engine trusts it).
+///
+/// Every case also exercises bogus IP total-length values and (outside
+/// NAT) oversized IHL/IP options — fields no stage parses, which is
+/// exactly the claim the scoreboard then re-proves.
+
+#ifndef ROSEBUD_FUZZ_PKT_FUZZ_H
+#define ROSEBUD_FUZZ_PKT_FUZZ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oracle/harness.h"
+
+namespace rosebud::fuzz {
+
+/// One deterministic packet-fuzz sample.
+struct PktCase {
+    uint64_t seed = 0;
+    oracle::Pipeline pipeline = oracle::Pipeline::kForwarder;
+    lb::Policy policy = lb::Policy::kRoundRobin;
+    unsigned rpu_count = 8;
+    uint32_t packet_size = 128;
+    uint64_t max_packets = 100;
+    double attack_fraction = 0.25;
+    double reorder_fraction = 0.0;
+    double udp_fraction = 0.2;
+    double mutate_prob = 0.4;  ///< per-frame probability of malformation
+};
+
+struct PktOptions {
+    uint64_t max_packets = 100;       ///< traffic volume per case
+    sim::Cycle run_cycles = 40'000;   ///< main run length before drain
+    /// Synthetic failure: corrupt the firewall oracle's blacklist (the
+    /// harness's oracle_blacklist hook) so the run must diverge — the
+    /// injection path for minimizer and corpus tests. Forces the case
+    /// onto the firewall pipeline.
+    bool inject_oracle_bug = false;
+};
+
+enum class PktKind : uint8_t { kPass, kDiverge };
+
+struct PktVerdict {
+    PktKind kind = PktKind::kPass;
+    uint64_t divergences = 0;
+    uint64_t offered = 0;
+    std::string detail;  ///< scoreboard report head ("" if pass)
+    /// The frames actually offered (post-mutation), in order — the replay
+    /// unit for the corpus and the minimizer.
+    std::vector<std::vector<uint8_t>> frames;
+
+    bool ok() const { return kind == PktKind::kPass; }
+};
+
+/// Derive case parameters from `seed` (deterministic).
+PktCase generate_packet_case(uint64_t seed, const PktOptions& opts = {});
+
+/// Run one case under the differential scoreboard.
+PktVerdict run_packet_case(const PktCase& c, const PktOptions& opts = {});
+
+/// Replay explicit frames through the case's configuration (corpus replay
+/// and the minimizer's probe). No generator, no mutation.
+PktVerdict replay_packet_case(const PktCase& c, const PktOptions& opts,
+                              const std::vector<std::vector<uint8_t>>& frames);
+
+/// ddmin over the recorded frames: the smallest subsequence that still
+/// reproduces a divergence under replay.
+std::vector<std::vector<uint8_t>> minimize_packets(
+    const PktCase& c, const PktOptions& opts,
+    const std::vector<std::vector<uint8_t>>& frames);
+
+}  // namespace rosebud::fuzz
+
+#endif  // ROSEBUD_FUZZ_PKT_FUZZ_H

@@ -1,0 +1,287 @@
+#include "fuzz/ref_model.h"
+
+namespace rosebud::fuzz {
+
+namespace {
+
+// Local field extraction, transcribed from the spec's encoding diagrams.
+// (Deliberately not the rv/isa.h helpers beyond what a human would re-derive;
+// keeping these separate is what makes an encoder/decoder bug visible.)
+inline uint32_t opc(uint32_t i) { return i & 0x7f; }
+inline uint32_t rd_of(uint32_t i) { return (i >> 7) & 31; }
+inline uint32_t f3(uint32_t i) { return (i >> 12) & 7; }
+inline uint32_t rs1_of(uint32_t i) { return (i >> 15) & 31; }
+inline uint32_t rs2_of(uint32_t i) { return (i >> 20) & 31; }
+inline uint32_t f7(uint32_t i) { return i >> 25; }
+
+inline int32_t imm_i(uint32_t i) { return int32_t(i) >> 20; }
+inline int32_t imm_s(uint32_t i) {
+    return (int32_t(i) >> 25 << 5) | int32_t((i >> 7) & 31);
+}
+inline int32_t imm_b(uint32_t i) {
+    int32_t v = int32_t((i >> 31) & 1) << 12 | int32_t((i >> 7) & 1) << 11 |
+                int32_t((i >> 25) & 0x3f) << 5 | int32_t((i >> 8) & 0xf) << 1;
+    return v << 19 >> 19;
+}
+inline int32_t imm_u(uint32_t i) { return int32_t(i & 0xfffff000); }
+inline int32_t imm_j(uint32_t i) {
+    int32_t v = int32_t((i >> 31) & 1) << 20 | int32_t((i >> 12) & 0xff) << 12 |
+                int32_t((i >> 20) & 1) << 11 | int32_t((i >> 21) & 0x3ff) << 1;
+    return v << 11 >> 11;
+}
+
+constexpr uint32_t kCsrMstatus = 0x300;
+constexpr uint32_t kCsrMtvec = 0x305;
+constexpr uint32_t kCsrMepc = 0x341;
+constexpr uint32_t kCsrMcause = 0x342;
+constexpr uint32_t kCsrCycle = 0xc00;
+constexpr uint32_t kCsrTime = 0xc01;
+constexpr uint32_t kCsrInstret = 0xc02;
+constexpr uint32_t kCsrCycleH = 0xc80;
+constexpr uint32_t kCsrTimeH = 0xc81;
+constexpr uint32_t kCsrInstretH = 0xc82;
+
+}  // namespace
+
+void
+RefModel::reset(uint32_t pc) {
+    x_.fill(0);
+    csrs_ = RefCsrs{};
+    pc_ = pc;
+    instret_ = 0;
+    state_ = Step::kOk;
+}
+
+bool
+RefModel::external_interrupt() {
+    if (state_ != Step::kOk || !(csrs_.mstatus & 0x8)) return false;
+    csrs_.mepc = pc_;
+    csrs_.mcause = 0x8000000b;  // machine external interrupt
+    csrs_.mstatus = (csrs_.mstatus & ~0x88u) | ((csrs_.mstatus & 0x8) << 4);
+    pc_ = csrs_.mtvec & ~3u;
+    return true;
+}
+
+RefModel::Step
+RefModel::step() {
+    if (state_ != Step::kOk) return state_;
+    if (pc_ & 3) {  // instruction-address-misaligned
+        state_ = Step::kTrap;
+        return state_;
+    }
+    Step s = exec(mem_.fetch(pc_));
+    if (s == Step::kOk) ++instret_;
+    state_ = s;
+    return s;
+}
+
+RefModel::Step
+RefModel::exec(uint32_t insn) {
+    const uint32_t rd = rd_of(insn);
+    const uint32_t a = x_[rs1_of(insn)];
+    const uint32_t b = x_[rs2_of(insn)];
+    uint32_t next = pc_ + 4;
+
+    auto wr = [&](uint32_t v) {
+        if (rd) x_[rd] = v;
+    };
+    // Control transfers to misaligned addresses raise the misaligned-fetch
+    // trap at the transfer, like the core.
+    auto jump = [&](uint32_t target) -> bool {
+        if (target & 3) return false;
+        next = target;
+        return true;
+    };
+
+    switch (opc(insn)) {
+    case 0x37:  // lui
+        wr(uint32_t(imm_u(insn)));
+        break;
+    case 0x17:  // auipc
+        wr(pc_ + uint32_t(imm_u(insn)));
+        break;
+    case 0x6f:  // jal
+        wr(pc_ + 4);
+        if (!jump(pc_ + uint32_t(imm_j(insn)))) return Step::kTrap;
+        break;
+    case 0x67: {  // jalr (funct3 must be 0)
+        if (f3(insn) != 0) return Step::kTrap;
+        uint32_t target = (a + uint32_t(imm_i(insn))) & ~1u;
+        wr(pc_ + 4);
+        if (!jump(target)) return Step::kTrap;
+        break;
+    }
+    case 0x63: {  // branches
+        bool taken;
+        switch (f3(insn)) {
+        case 0: taken = a == b; break;
+        case 1: taken = a != b; break;
+        case 4: taken = int32_t(a) < int32_t(b); break;
+        case 5: taken = int32_t(a) >= int32_t(b); break;
+        case 6: taken = a < b; break;
+        case 7: taken = a >= b; break;
+        default: return Step::kTrap;
+        }
+        if (taken && !jump(pc_ + uint32_t(imm_b(insn)))) return Step::kTrap;
+        break;
+    }
+    case 0x03: {  // loads
+        uint32_t size;
+        switch (f3(insn)) {
+        case 0: case 4: size = 1; break;
+        case 1: case 5: size = 2; break;
+        case 2: size = 4; break;
+        default: return Step::kTrap;
+        }
+        uint32_t addr = a + uint32_t(imm_i(insn));
+        if (addr % size) return Step::kTrap;  // misaligned load
+        RefMem::Access acc = mem_.load(addr, size);
+        if (acc.fault) return Step::kTrap;
+        uint32_t v = acc.value;
+        switch (f3(insn)) {
+        case 0: v = uint32_t(int32_t(int8_t(v))); break;
+        case 1: v = uint32_t(int32_t(int16_t(v))); break;
+        case 4: v &= 0xff; break;
+        case 5: v &= 0xffff; break;
+        default: break;
+        }
+        wr(v);
+        break;
+    }
+    case 0x23: {  // stores
+        uint32_t size;
+        switch (f3(insn)) {
+        case 0: size = 1; break;
+        case 1: size = 2; break;
+        case 2: size = 4; break;
+        default: return Step::kTrap;
+        }
+        uint32_t addr = a + uint32_t(imm_s(insn));
+        if (addr % size) return Step::kTrap;  // misaligned store
+        RefMem::Access acc = mem_.store(addr, size, b & (size == 4 ? 0xffffffffu
+                                                         : size == 2 ? 0xffffu
+                                                                     : 0xffu));
+        if (acc.fault) return Step::kTrap;
+        break;
+    }
+    case 0x13: {  // OP-IMM
+        int32_t imm = imm_i(insn);
+        switch (f3(insn)) {
+        case 0: wr(a + uint32_t(imm)); break;
+        case 1: wr(a << (imm & 31)); break;
+        case 2: wr(int32_t(a) < imm ? 1 : 0); break;
+        case 3: wr(a < uint32_t(imm) ? 1 : 0); break;
+        case 4: wr(a ^ uint32_t(imm)); break;
+        case 5:
+            if (insn & (1u << 30)) {
+                wr(uint32_t(int32_t(a) >> (imm & 31)));
+            } else {
+                wr(a >> (imm & 31));
+            }
+            break;
+        case 6: wr(a | uint32_t(imm)); break;
+        case 7: wr(a & uint32_t(imm)); break;
+        }
+        break;
+    }
+    case 0x33:  // OP
+        if (f7(insn) == 1) {  // M extension
+            switch (f3(insn)) {
+            case 0: wr(a * b); break;
+            case 1: wr(uint32_t((int64_t(int32_t(a)) * int64_t(int32_t(b))) >> 32)); break;
+            case 2: wr(uint32_t((int64_t(int32_t(a)) * int64_t(uint64_t(b))) >> 32)); break;
+            case 3: wr(uint32_t((uint64_t(a) * uint64_t(b)) >> 32)); break;
+            case 4:  // div: x/0 = -1; INT_MIN/-1 = INT_MIN
+                if (b == 0) {
+                    wr(0xffffffffu);
+                } else if (a == 0x80000000u && b == 0xffffffffu) {
+                    wr(0x80000000u);
+                } else {
+                    wr(uint32_t(int32_t(a) / int32_t(b)));
+                }
+                break;
+            case 5: wr(b == 0 ? 0xffffffffu : a / b); break;
+            case 6:  // rem: x%0 = x; INT_MIN%-1 = 0
+                if (b == 0) {
+                    wr(a);
+                } else if (a == 0x80000000u && b == 0xffffffffu) {
+                    wr(0);
+                } else {
+                    wr(uint32_t(int32_t(a) % int32_t(b)));
+                }
+                break;
+            case 7: wr(b == 0 ? a : a % b); break;
+            }
+        } else {
+            switch (f3(insn)) {
+            case 0: wr(f7(insn) == 0x20 ? a - b : a + b); break;
+            case 1: wr(a << (b & 31)); break;
+            case 2: wr(int32_t(a) < int32_t(b) ? 1 : 0); break;
+            case 3: wr(a < b ? 1 : 0); break;
+            case 4: wr(a ^ b); break;
+            case 5:
+                if (f7(insn) == 0x20) {
+                    wr(uint32_t(int32_t(a) >> (b & 31)));
+                } else {
+                    wr(a >> (b & 31));
+                }
+                break;
+            case 6: wr(a | b); break;
+            case 7: wr(a & b); break;
+            }
+        }
+        break;
+    case 0x0f:  // fence / fence.i: architectural no-ops here
+        break;
+    case 0x73:  // SYSTEM
+        if (f3(insn) == 0) {
+            if (insn == 0x30200073) {  // mret
+                uint32_t target = csrs_.mepc;
+                csrs_.mstatus =
+                    (csrs_.mstatus & ~0x8u) | ((csrs_.mstatus >> 4) & 0x8) | 0x80;
+                if (!jump(target)) return Step::kTrap;
+            } else {
+                return Step::kHalt;  // ecall / ebreak
+            }
+        } else {
+            // Zicsr. Counter CSRs read the instruction count (the model is
+            // untimed); trap CSRs are read/write.
+            const uint32_t csr = insn >> 20;
+            uint32_t value = 0;
+            uint32_t* writable = nullptr;
+            switch (csr) {
+            case kCsrCycle:
+            case kCsrTime:
+            case kCsrInstret: value = uint32_t(instret_); break;
+            case kCsrCycleH:
+            case kCsrTimeH:
+            case kCsrInstretH: value = uint32_t(instret_ >> 32); break;
+            case kCsrMstatus: writable = &csrs_.mstatus; break;
+            case kCsrMtvec: writable = &csrs_.mtvec; break;
+            case kCsrMepc: writable = &csrs_.mepc; break;
+            case kCsrMcause: writable = &csrs_.mcause; break;
+            default: value = 0; break;
+            }
+            if (writable) value = *writable;
+            // csrrw always writes; csrrs/csrrc skip the write when rs1=x0.
+            // (Immediate forms fall through with no write — see header.)
+            if (writable && !(f3(insn) != 1 && rs1_of(insn) == 0)) {
+                switch (f3(insn)) {
+                case 1: *writable = a; break;
+                case 2: *writable = value | a; break;
+                case 3: *writable = value & ~a; break;
+                default: break;
+                }
+            }
+            wr(value);
+        }
+        break;
+    default:
+        return Step::kTrap;  // undecodable major opcode
+    }
+
+    pc_ = next;
+    return Step::kOk;
+}
+
+}  // namespace rosebud::fuzz

@@ -1,0 +1,112 @@
+/// \file
+/// Golden RV32IM reference executor for conformance fuzzing.
+///
+/// This is the promoted and completed form of the naive RefModel that used
+/// to live inside tests/test_rv_fuzz.cc: a deliberately straight-line
+/// transcription of the RISC-V unprivileged spec (v2.2) plus the machine-
+/// mode trap subset rv::Core implements. It shares *no* decode or execute
+/// code with the interpreter — only the bit-extraction helpers of
+/// rv/isa.h — so a disagreement between the two is a real divergence, not
+/// a mirrored bug (the FERIVer lockstep methodology).
+///
+/// Deviations-by-contract, chosen to match the simulated hardware:
+///
+///  * Misaligned data accesses trap (the RPU buses fault them; the spec
+///    permits either behavior).
+///  * Misaligned *control transfers* (target & 3 != 0) trap at the edge,
+///    the spec's instruction-address-misaligned exception.
+///  * ecall/ebreak halt the model (the core's firmware-exit convention).
+///  * CSR immediate forms (csrrwi/csrrsi/csrrci) read the register file
+///    like the register forms do — matching rv::Core, which does not
+///    implement the zimm encoding. The static verifier rejects them, so
+///    admissible firmware never reaches this corner; targeted lockstep
+///    tests pin the shared behavior anyway.
+///
+/// Timing is deliberately absent: the model retires exactly one
+/// instruction per step(). The cycle/time CSRs therefore read as the
+/// *instruction* count and must not be compared against a timed core —
+/// the firmware fuzzer's admissibility templates never emit them.
+
+#ifndef ROSEBUD_FUZZ_REF_MODEL_H
+#define ROSEBUD_FUZZ_REF_MODEL_H
+
+#include <array>
+#include <cstdint>
+
+namespace rosebud::fuzz {
+
+/// Memory system seen by the reference model. Implementations define the
+/// address map (legal windows, MMIO device semantics); the model defines
+/// only the ISA. Natural alignment is enforced by the *model* before the
+/// access reaches RefMem.
+class RefMem {
+ public:
+    virtual ~RefMem() = default;
+
+    struct Access {
+        uint32_t value = 0;  ///< loaded value (zero-extended raw bytes)
+        bool fault = false;  ///< unmapped access -> model traps
+    };
+
+    virtual Access load(uint32_t addr, uint32_t size) = 0;
+    virtual Access store(uint32_t addr, uint32_t size, uint32_t value) = 0;
+
+    /// Instruction fetch (always a 32-bit aligned word).
+    virtual uint32_t fetch(uint32_t addr) = 0;
+};
+
+/// Architectural trap CSRs (mirrors the subset rv::Core implements).
+struct RefCsrs {
+    uint32_t mstatus = 0;
+    uint32_t mtvec = 0;
+    uint32_t mepc = 0;
+    uint32_t mcause = 0;
+};
+
+class RefModel {
+ public:
+    /// Outcome of one retired instruction.
+    enum class Step : uint8_t {
+        kOk,    ///< retired normally
+        kHalt,  ///< ecall/ebreak
+        kTrap,  ///< bus fault, misaligned access/target, illegal opcode
+    };
+
+    explicit RefModel(RefMem& mem) : mem_(mem) {}
+
+    void reset(uint32_t pc);
+
+    /// Fetch, decode and execute one instruction. After kHalt/kTrap the
+    /// model is stopped: further calls return the same verdict.
+    Step step();
+
+    /// Take a machine external interrupt (only when mstatus.MIE is set);
+    /// returns true if the vector was entered. Exposed so a lockstep
+    /// harness that injects interrupts can mirror the core's trap entry.
+    bool external_interrupt();
+
+    bool halted() const { return state_ != Step::kOk; }
+    bool trapped() const { return state_ == Step::kTrap; }
+
+    uint32_t pc() const { return pc_; }
+    uint32_t reg(unsigned r) const { return x_[r & 31]; }
+    void set_reg(unsigned r, uint32_t v) {
+        if ((r & 31) != 0) x_[r & 31] = v;
+    }
+    const RefCsrs& csrs() const { return csrs_; }
+    uint64_t instret() const { return instret_; }
+
+ private:
+    Step exec(uint32_t insn);
+
+    RefMem& mem_;
+    std::array<uint32_t, 32> x_{};
+    uint32_t pc_ = 0;
+    uint64_t instret_ = 0;
+    RefCsrs csrs_;
+    Step state_ = Step::kOk;
+};
+
+}  // namespace rosebud::fuzz
+
+#endif  // ROSEBUD_FUZZ_REF_MODEL_H

@@ -1,5 +1,6 @@
 #include "oracle/harness.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "accel/firewall.h"
@@ -35,7 +36,14 @@ run_differential(const RunSpec& spec) {
     scfg.rpu_count = spec.rpu_count;
     scfg.lb_policy = spec.policy;
     scfg.hw_reassembler = spec.hw_reassembler;
+    if (spec.tweak_config) {
+        spec.tweak_config(scfg);
+        // Fuzzed configurations must reach the explicit lint_check() below
+        // instead of dying at the automatic pre-cycle-0 gate.
+        if (scfg.lint == LintMode::kEnforce) scfg.lint = LintMode::kWarn;
+    }
     System sys(scfg);
+    if (spec.shuffle_tick_order) sys.kernel().shuffle_tick_order(spec.seed);
 
     // Rules are synthesized from the run seed; the oracle and the device
     // accelerators are built from the *same* objects, so divergences mean
@@ -107,13 +115,41 @@ run_differential(const RunSpec& spec) {
     tspec.flow_count = spec.flow_count;
     tspec.udp_fraction = spec.udp_fraction;
     tspec.seed = spec.seed * 2654435761u + 1;  // decouple from rule synthesis
-    auto gen = std::make_shared<net::TraceGenerator>(tspec, gen_rules, gen_blacklist);
 
     dist::TrafficSource::Config src;
     src.port = 0;
     src.load = spec.load;
     src.max_packets = spec.max_packets;
-    sys.add_source(src, [gen] { return gen->next(); });
+
+    dist::TrafficSource::GenFn gen_fn;
+    if (!spec.replay_frames.empty()) {
+        // Corpus replay: hand the recorded frames to the source verbatim.
+        auto frames =
+            std::make_shared<std::vector<std::vector<uint8_t>>>(spec.replay_frames);
+        auto next = std::make_shared<size_t>(0);
+        gen_fn = [frames, next]() -> net::PacketPtr {
+            if (*next >= frames->size()) return nullptr;
+            auto pkt = std::make_shared<net::Packet>();
+            pkt->data = (*frames)[*next];
+            pkt->id = ++*next;
+            return pkt;
+        };
+        src.max_packets = std::min<uint64_t>(spec.max_packets, frames->size());
+    } else {
+        auto gen = std::make_shared<net::TraceGenerator>(tspec, gen_rules, gen_blacklist);
+        gen_fn = [gen] { return gen->next(); };
+    }
+    if (spec.mutate_frame) {
+        // Applied before the source offers the frame, so the oracle's
+        // ingress prediction and the device see identical bytes.
+        gen_fn = [inner = std::move(gen_fn),
+                  mutate = spec.mutate_frame]() -> net::PacketPtr {
+            net::PacketPtr pkt = inner();
+            if (pkt) mutate(*pkt);
+            return pkt;
+        };
+    }
+    sys.add_source(src, std::move(gen_fn));
 
     // Elaboration lint: running it across the sweep doubles as coverage
     // that every pipeline/policy/rpu-count combination builds a clean
@@ -135,6 +171,8 @@ run_differential(const RunSpec& spec) {
     RunResult res;
     res.counts = scoreboard.finish();
     res.report = scoreboard.report();
+    res.fingerprint = sys.state_fingerprint();
+    res.lint_violations = lint_violations.size();
     res.ok = res.counts.divergences == 0 && res.counts.offered > 0 &&
              lint_violations.empty();
     if (!lint_violations.empty()) {

@@ -53,6 +53,27 @@ struct RunSpec {
     /// reconfiguration, ...).
     const net::Blacklist* oracle_blacklist = nullptr;
     std::function<void(System&)> mid_run;
+
+    // --- fuzzing hooks (src/fuzz) -------------------------------------------
+    //
+    /// Rewrites each frame after generation but before it is offered, so
+    /// the oracle and the device score the same (possibly malformed)
+    /// bytes. Adversarial truncation/corruption lives here.
+    std::function<void(net::Packet&)> mutate_frame;
+    /// When non-empty, the source replays exactly these raw frames in
+    /// order instead of synthesizing traffic (corpus replay, minimized
+    /// cases); max_packets is clamped to the list length. mutate_frame
+    /// still applies.
+    std::vector<std::vector<uint8_t>> replay_frames;
+    /// Applied to the derived SystemConfig just before construction
+    /// (FIFO-depth / bus-width overrides for the config fuzzer). The
+    /// automatic pre-cycle-0 lint gate is downgraded to warn when this is
+    /// set — the harness already folds lint_check() into the result, and
+    /// the config fuzzer must observe violations, not die on them.
+    std::function<void(SystemConfig&)> tweak_config;
+    /// Permute the kernel's component tick order under the run seed (the
+    /// fingerprint-stability checks run each sample both ways).
+    bool shuffle_tick_order = false;
 };
 
 /// Outcome of one differential run.
@@ -60,6 +81,10 @@ struct RunResult {
     Scoreboard::Counts counts;
     bool ok = false;     ///< zero divergences and everything accounted for
     std::string report;  ///< first divergences, human-readable ("" if ok)
+    /// System::state_fingerprint() after the drain — the tick-order
+    /// determinism witness the config fuzzer compares across runs.
+    uint64_t fingerprint = 0;
+    size_t lint_violations = 0;  ///< pre-run netlist lint findings
 };
 
 /// Build, run, and score one configuration. Fatals on unsupported

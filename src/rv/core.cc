@@ -498,6 +498,14 @@ Core::exec_decoded(const Decoded& d) {
         return;
     }
 
+    // Instruction-address-misaligned: a control transfer whose target is
+    // not word-aligned (jalr keeps bit 1, mret takes mepc verbatim) traps
+    // instead of silently fetching the rounded-down word. Surfaced by the
+    // conformance fuzzer's golden-model lockstep (src/fuzz/ref_model.cc).
+    if (next_pc & 3) {
+        faulted_ = halted_ = true;
+        return;
+    }
     pc_ = next_pc;
     ++instret_;
     stall_ = cost - 1;
