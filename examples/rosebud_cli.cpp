@@ -77,7 +77,11 @@ usage() {
                  "             (differential run against the golden oracle;\n"
                  "              exits 1 on any divergence)\n"
                  "  verify     --program all|forwarder|two-step|firewall|ids-hw|ids-sw|nat\n"
-                 "             --dot FILE (write the CFG as Graphviz DOT)\n"
+                 "             --dot FILE (write the CFG as Graphviz DOT, annotated\n"
+                 "              with block costs, loop bounds and the WCET path)\n"
+                 "             --wcet (print the line-rate certificate: per-root\n"
+                 "              WCET, loop bounds, stack bound, text-write proof)\n"
+                 "             --json FILE (write the certificates as JSON)\n"
                  "             (static firmware verification; exits 1 on any error)\n"
                  "  lint       --rpus N (omit to sweep 4/8/16) --dot FILE\n"
                  "             (elaborate every shipped config and run the static\n"
@@ -104,9 +108,11 @@ usage() {
 }
 
 /// Run the static verifier over one named program; print per-check
-/// verdicts; optionally dump the CFG. Returns the number of errors.
-size_t
-verify_one(const char* name, const fwlib::Program& prog, const std::string& dot_path) {
+/// verdicts (plus the line-rate certificate under `wcet`); optionally dump
+/// the CFG. Returns the report for error counting / JSON serialization.
+verify::Report
+verify_one(const char* name, const fwlib::Program& prog, const std::string& dot_path,
+           bool wcet) {
     verify::Options opts;
     opts.entry = prog.entry;
     verify::Report r = verify::verify_image(prog.image, opts);
@@ -122,6 +128,30 @@ verify_one(const char* name, const fwlib::Program& prog, const std::string& dot_
         std::printf("  %-12s %s\n", verify::check_name(c),
                     r.check_passed(c) ? "pass" : "FAIL");
     }
+    if (wcet) {
+        const verify::Certificate& cert = r.cert;
+        if (cert.wcet_bounded) {
+            std::printf("  wcet         %llu insns / %llu cycles per activation\n",
+                        (unsigned long long)cert.wcet_instructions,
+                        (unsigned long long)cert.wcet_cycles);
+        } else {
+            std::printf("  wcet         UNBOUNDED\n");
+        }
+        std::printf("  stack        %s (%u bytes)\n",
+                    cert.stack_bounded ? "bounded" : "UNBOUNDED", cert.stack_bytes);
+        std::printf("  text-write   %s (%u unproven stores)\n",
+                    cert.text_write_separation ? "separated" : "UNPROVEN",
+                    cert.unproven_stores);
+        for (const auto& lb : cert.loops) {
+            if (lb.bounded) {
+                std::printf("  loop 0x%04x  <= %llu trips (%u blocks)\n", lb.header,
+                            (unsigned long long)lb.max_trips, lb.blocks);
+            } else {
+                std::printf("  loop 0x%04x  %s (%u blocks)\n", lb.header,
+                            lb.observable ? "service loop" : "UNBOUNDED", lb.blocks);
+            }
+        }
+    }
     if (!r.diags.empty()) std::printf("%s", r.summary().c_str());
     if (!dot_path.empty()) {
         std::string dot = verify::cfg_dot(prog.image, r, name);
@@ -133,7 +163,7 @@ verify_one(const char* name, const fwlib::Program& prog, const std::string& dot_
             std::fprintf(stderr, "cannot write %s\n", dot_path.c_str());
         }
     }
-    return r.errors();
+    return r;
 }
 
 }  // namespace
@@ -147,7 +177,8 @@ main(int argc, char** argv) {
         if (std::strncmp(argv[i], "--", 2) != 0) return usage();
         // Value-less boolean flags.
         if (std::strcmp(argv[i], "--no-idle-skip") == 0 ||
-            std::strcmp(argv[i], "--no-predecode") == 0) {
+            std::strcmp(argv[i], "--no-predecode") == 0 ||
+            std::strcmp(argv[i], "--wcet") == 0) {
             args.kv[argv[i] + 2] = "1";
             continue;
         }
@@ -288,12 +319,29 @@ main(int argc, char** argv) {
             entries.push_back({"nat", fwlib::nat()});
         }
         if (entries.empty()) return usage();
+        const bool wcet = args.has("wcet");
+        const std::string json_path = args.str("json", "");
         size_t errors = 0;
+        std::string json = "[";
         for (const auto& e : entries) {
             // With --dot and multiple programs, suffix the file per program.
             std::string path = dot;
             if (!dot.empty() && entries.size() > 1) path = dot + "." + e.name;
-            errors += verify_one(e.name, e.prog, path);
+            verify::Report r = verify_one(e.name, e.prog, path, wcet);
+            errors += r.errors();
+            if (json.size() > 1) json += ",";
+            json += verify::certificate_json(r, e.name);
+        }
+        json += "]\n";
+        if (!json_path.empty()) {
+            if (FILE* f = std::fopen(json_path.c_str(), "w")) {
+                std::fwrite(json.data(), 1, json.size(), f);
+                std::fclose(f);
+                std::printf("certificate report written to %s\n", json_path.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+                return 1;
+            }
         }
         if (errors != 0) {
             std::printf("%zu verifier error(s)\n", errors);

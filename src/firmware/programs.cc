@@ -208,6 +208,13 @@ emit_match_drain(Assembler& a, bool strip_hash) {
     a.add(t4, t4, s7);
     a.lw(a0, 0, t4);   // ctx desc low
     a.lw(t3, 4, t4);   // ctx data address
+    // Rebase the data address into packet memory: the context always holds
+    // a PMEM slot address (low 20 bits = offset), and spelling that out
+    // lets the static certifier bound the rule-id append below (the
+    // text-write-separation proof). Runtime no-op.
+    a.slli(t3, t3, 12);
+    a.srli(t3, t3, 12);
+    a.add(t3, t3, s8);
     a.srli(t5, a0, 16);
     a.add(t6, t3, t5);  // data + len
     a.addi(t6, t6, 3);  // align up to 4

@@ -367,6 +367,7 @@ fw_kind_name(FwKind k) {
     case FwKind::kDiverge: return "diverge";
     case FwKind::kTimeout: return "timeout";
     case FwKind::kInadmissible: return "inadmissible";
+    case FwKind::kWcetExceeded: return "wcet-exceeded";
     }
     return "?";
 }
@@ -487,6 +488,20 @@ run_firmware_lockstep(const FwCase& c, const FwOptions& opts) {
         if (cc.mstatus != rc.mstatus || cc.mtvec != rc.mtvec || cc.mepc != rc.mepc ||
             cc.mcause != rc.mcause)
             return diverge("trap CSRs differ at halt");
+    }
+
+    // WCET soundness oracle: a single-root program that ran to completion
+    // must retire no more instructions than its certified static bound.
+    // Multi-root images are excluded — handler roots make the per-root
+    // bounds non-composable into a whole-run bound.
+    const verify::Certificate& cert = report.cert;
+    if (report.roots.size() == 1 && cert.wcet_bounded &&
+        v.steps > cert.wcet_instructions) {
+        v.kind = FwKind::kWcetExceeded;
+        v.detail = "retired " + std::to_string(v.steps) +
+                   " instructions, certified WCET bound is " +
+                   std::to_string(cert.wcet_instructions);
+        return v;
     }
     return v;
 }

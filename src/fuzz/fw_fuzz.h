@@ -58,6 +58,8 @@ enum class FwKind : uint8_t {
     kDiverge,       ///< core and reference disagreed
     kTimeout,       ///< max_steps exceeded (generator bug: unbounded loop)
     kInadmissible,  ///< the static verifier rejected the generated image
+    kWcetExceeded,  ///< retired more instructions than the certified WCET
+                    ///< bound (the certifier is unsound for this image)
 };
 
 const char* fw_kind_name(FwKind k);

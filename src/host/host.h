@@ -59,6 +59,17 @@ class HostContext {
     /// Set the verifier-gate policy for subsequent firmware loads.
     void set_firmware_check(FirmwareCheck mode) { firmware_check_ = mode; }
     FirmwareCheck firmware_check() const { return firmware_check_; }
+
+    /// Line-rate admission gate: when not kOff, firmware must certify with
+    /// a finite per-activation WCET, a finite stack bound, and a clean
+    /// text-segment write-separation proof; with a non-zero budget the
+    /// certified worst-case cycles must also fit it. This is the per-RPU /
+    /// per-tenant cycle-budget contract the multi-tenant control plane
+    /// admits against.
+    void set_wcet_check(FirmwareCheck mode) { wcet_check_ = mode; }
+    FirmwareCheck wcet_check() const { return wcet_check_; }
+    void set_wcet_budget_cycles(uint64_t cycles) { wcet_budget_cycles_ = cycles; }
+    uint64_t wcet_budget_cycles() const { return wcet_budget_cycles_; }
     void boot(unsigned rpu);
     void boot_all();
 
@@ -111,6 +122,8 @@ class HostContext {
     void gate_firmware(const std::vector<uint32_t>& image, uint32_t entry) const;
 
     FirmwareCheck firmware_check_ = FirmwareCheck::kEnforce;
+    FirmwareCheck wcet_check_ = FirmwareCheck::kOff;
+    uint64_t wcet_budget_cycles_ = 0;  ///< 0 = no budget comparison
     sim::Kernel& kernel_;
     sim::Stats& stats_;
     lb::LoadBalancer& lb_;

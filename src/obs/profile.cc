@@ -16,6 +16,8 @@ collect_profile(const rv::Core& core) {
     CoreProfile p;
     p.name = core.name();
     p.cycles = core.profiled_cycles();
+    p.instret = core.instret();
+    p.halted = core.halted();
     p.pc_cycles = core.pc_histogram();
     return p;
 }
@@ -85,12 +87,30 @@ annotate(const std::vector<uint32_t>& image, const CoreProfile& profile, uint32_
     return os.str();
 }
 
+std::vector<WcetCrossCheck>
+wcet_cross_check(const std::vector<CoreProfile>& profiles,
+                 const verify::Certificate& cert) {
+    std::vector<WcetCrossCheck> out;
+    for (const auto& p : profiles) {
+        WcetCrossCheck c;
+        c.core = p.name;
+        c.observed = p.instret;
+        c.bound = cert.wcet_instructions;
+        c.applicable = p.halted && cert.wcet_bounded;
+        c.ok = !c.applicable || c.observed <= c.bound;
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
 std::string
 profile_json(const CoreProfile& profile) {
     JsonWriter w;
     w.begin_object();
     w.key("name").value(profile.name);
     w.key("cycles").value(profile.cycles);
+    w.key("instret").value(profile.instret);
+    w.key("halted").value(profile.halted);
     w.key("pcs").begin_array();
     for (const auto& [pc, cy] : profile.pc_cycles) {
         w.begin_object();

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "verify/verifier.h"
+
 namespace rosebud {
 class System;
 namespace rv {
@@ -27,6 +29,8 @@ namespace rosebud::obs {
 struct CoreProfile {
     std::string name;
     uint64_t cycles = 0;  ///< == sum of pc_cycles values
+    uint64_t instret = 0;  ///< retired instructions (for the WCET cross-check)
+    bool halted = false;   ///< core ran to completion (ebreak/stop)
     std::map<uint32_t, uint64_t> pc_cycles;
 };
 
@@ -58,6 +62,25 @@ std::string annotate(const std::vector<uint32_t>& image, const CoreProfile& prof
 
 /// JSON rendering of a profile (pc -> cycles, plus totals).
 std::string profile_json(const CoreProfile& profile);
+
+/// One core's verdict from the static-vs-observed WCET cross-check.
+struct WcetCrossCheck {
+    std::string core;
+    uint64_t observed = 0;  ///< retired instructions the core executed
+    uint64_t bound = 0;     ///< certified static bound
+    bool applicable = false;  ///< core ran to completion and the bound is finite
+    bool ok = true;           ///< applicable implies observed <= bound
+};
+
+/// Validate the line-rate certificate against observed execution (the
+/// FireSim-style calibration loop): a core that ran to completion must have
+/// retired no more instructions than the certified single-activation WCET
+/// bound. Only applicable to halted cores — a live service loop activates
+/// per packet and legitimately exceeds any single-activation bound. A
+/// failed check means the certifier is *unsound* for this image; the fuzz
+/// campaign enforces the same oracle over random programs.
+std::vector<WcetCrossCheck> wcet_cross_check(const std::vector<CoreProfile>& profiles,
+                                             const verify::Certificate& cert);
 
 }  // namespace rosebud::obs
 

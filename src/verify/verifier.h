@@ -32,6 +32,7 @@
 #define ROSEBUD_VERIFY_VERIFIER_H
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -85,12 +86,81 @@ struct Options {
     bool check_loops = true;   ///< enable the busy-loop pass
 };
 
+// --- line-rate certificate ---------------------------------------------------
+//
+// Beyond the safety checks above, the verifier emits a *certificate* of
+// quantitative facts about the image. Where the safety checks are sound for
+// rejection (a diagnostic means every concrete execution misbehaves), the
+// certificate is sound in the opposite direction: every number is an upper
+// bound over all concrete executions, and every proof flag is only set when
+// the property holds on all executions. The host admission gate, the JIT
+// plans (ROADMAP item 2), and the multi-tenant control plane (item 4) all
+// consume these facts.
+
+/// Inferred trip bound for one CFG cycle (a nontrivial SCC).
+struct LoopBound {
+    uint32_t header = 0;    ///< entry block of the loop (lowest address)
+    bool bounded = false;   ///< trip count proven finite
+    uint64_t max_trips = 0; ///< iteration bound when `bounded`
+    bool observable = false;///< touches MMIO/broadcast (service/poll loop)
+    uint32_t blocks = 0;    ///< SCC size in basic blocks
+};
+
+/// Worst case for one CFG root (boot entry or interrupt handler), measured
+/// per *handler activation*: an unbounded loop that polls MMIO (the main
+/// packet-service loop, accelerator-done polls) contributes one traversal —
+/// the per-packet handler path — while an unbounded loop with no observable
+/// side effect poisons the bound to unbounded.
+struct RootWcet {
+    uint32_t root = 0;
+    bool bounded = false;      ///< finite per-activation WCET
+    uint64_t instructions = 0; ///< worst-case retired instructions
+    uint64_t cycles = 0;       ///< worst-case cycles (worst memory latency)
+};
+
+/// Tightest byte range a reachable store may touch inside one region.
+struct RegionWrites {
+    std::string region;
+    uint32_t lo = 0;
+    uint32_t hi = 0;  ///< inclusive
+};
+
+/// Static cost of one basic block (for the DOT dump and timing debug).
+struct BlockCost {
+    uint32_t instructions = 0;
+    uint32_t cycles = 0;
+    bool critical = false;  ///< on some root's worst-case path
+};
+
+struct Certificate {
+    std::vector<LoopBound> loops;  ///< every CFG cycle, header order
+    std::vector<RootWcet> roots;   ///< per-root worst cases
+
+    bool wcet_bounded = false;       ///< every root has a finite WCET
+    uint64_t wcet_instructions = 0;  ///< max over roots
+    uint64_t wcet_cycles = 0;        ///< max over roots
+
+    bool stack_bounded = false;  ///< sp writes span a finite range (or none)
+    uint32_t stack_bytes = 0;    ///< span of all values ever written to sp
+
+    /// Proof that no reachable store can land in the text segment (IMEM).
+    /// Sound for *acceptance*: granted only when every reachable store's
+    /// address interval is finite and disjoint from IMEM — the exact fact
+    /// that lets a JIT/DBT elide code-invalidation checks.
+    bool text_write_separation = false;
+    uint32_t unproven_stores = 0;  ///< stores whose target could not be bounded
+
+    std::vector<RegionWrites> writes;         ///< store footprint per region
+    std::map<uint32_t, BlockCost> block_costs;///< block first-addr -> cost
+};
+
 struct Report {
     std::vector<Diagnostic> diags;
     std::vector<BasicBlock> blocks;  ///< reachable blocks, address order
     std::vector<uint32_t> roots;     ///< entry + discovered interrupt vectors
     uint32_t instructions = 0;       ///< reachable decoded instructions
     bool interrupts_possible = false;
+    Certificate cert;                ///< line-rate certificate (always computed)
 
     bool ok() const { return errors() == 0; }
     size_t errors() const;
@@ -105,9 +175,15 @@ struct Report {
 Report verify_image(const std::vector<uint32_t>& image, const Options& opts = {});
 
 /// Render the CFG as Graphviz DOT, one record node per basic block with
-/// the disassembly of its instructions.
+/// the disassembly of its instructions, annotated with the certificate's
+/// per-block cost and inferred loop bounds; blocks on the worst-case
+/// (WCET-critical) path are highlighted.
 std::string cfg_dot(const std::vector<uint32_t>& image, const Report& report,
                     const std::string& name = "firmware");
+
+/// JSON rendering of the certificate (plus check verdicts) for one image,
+/// as uploaded by the CI `wcet-report` step and `rosebud_cli verify --wcet`.
+std::string certificate_json(const Report& report, const std::string& name);
 
 }  // namespace rosebud::verify
 

@@ -137,6 +137,25 @@ TEST(FuzzCampaign, DefaultSeedSmokeSliceIsClean) {
     EXPECT_EQ(rep.total_cases(), 9u);
 }
 
+// --- WCET soundness oracle -------------------------------------------------
+
+TEST(FuzzWcet, KindNameRoundTrips) {
+    EXPECT_STREQ(fuzz::fw_kind_name(fuzz::FwKind::kWcetExceeded), "wcet-exceeded");
+}
+
+/// Every admissible generated program that runs to completion must retire
+/// no more instructions than its certified static WCET bound. A
+/// kWcetExceeded verdict anywhere in this fixed-seed slice means the
+/// certifier's longest-path/loop-bound arithmetic is unsound.
+TEST(FuzzWcet, FixedSeedSliceHasNoWcetSoundnessViolations) {
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        fuzz::FwCase c = fuzz::generate_firmware(seed);
+        fuzz::FwVerdict v = fuzz::run_firmware_lockstep(c);
+        EXPECT_NE(v.kind, fuzz::FwKind::kWcetExceeded)
+            << "seed " << seed << ": " << v.detail;
+    }
+}
+
 // --- minimizers vs injected bugs -------------------------------------------
 
 TEST(FuzzMinimize, InjectedRefModelBugShrinksToEightInstructions) {

@@ -10,6 +10,7 @@
 
 #include "core/system.h"
 #include "firmware/programs.h"
+#include "obs/profile.h"
 #include "rpu/descriptor.h"
 #include "rv/assembler.h"
 #include "rv/isa.h"
@@ -413,6 +414,352 @@ TEST(VerifierGate, ReconfigureVerifiesBeforeDraining) {
                  sim::FatalError);
     // The RPU was never halted: the gate fired before the drain started.
     EXPECT_FALSE(sys.rpu(0).core_halted());
+}
+
+// --- bounded-shift interval transfer functions ------------------------------
+
+TEST(Verifier, SllWithBoundedAmountScalesTheRange) {
+    // A table stride computed as 1 << k for unknown k in [0, 7]: the
+    // bounded-shift transfer keeps [1, 128], which rebased into DMEM is a
+    // provably legal store. Without it the result is top.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);  // unknown word
+    a.andi(t0, t0, 0x7);             // shift amount [0, 7]
+    a.li(t1, 1);
+    a.sll(t2, t1, t0);  // [1, 128]
+    a.li(t3, rpu::kDmemBase);
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, SrlWithBoundedAmountBoundsAnUnknownWord) {
+    // An unknown word shifted right by at least 24 is at most 255 even
+    // though the operand itself is top: the minimum-shift fallback.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);  // top
+    a.lw(t1, rpu::kRegRxReady, gp);
+    a.andi(t1, t1, 0x7);
+    a.addi(t1, t1, 24);  // amount [24, 31]
+    a.srl(t2, t0, t1);   // [0, 255]
+    a.slli(t2, t2, 2);   // [0, 1020]
+    a.li(t3, rpu::kDmemBase);
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, SraWithBoundedAmountKeepsExactCorners) {
+    // [0, 2047] >> [4, 7] = [0, 127]: a word-range operand takes the exact
+    // corner evaluation, not the unknown-operand fallback.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);
+    a.andi(t0, t0, 0x7ff);  // [0, 2047]
+    a.lw(t1, rpu::kRegRxReady, gp);
+    a.andi(t1, t1, 0x3);
+    a.addi(t1, t1, 4);  // amount [4, 7]
+    a.sra(t2, t0, t1);  // [0, 127]
+    a.slli(t2, t2, 2);  // [0, 508]
+    a.li(t3, rpu::kDmemBase);
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Verifier, SrlRangePlacedOutsideEveryRegionIsRejected) {
+    // Negative control that only fires *because of* the shift transfer:
+    // top >> [28, 31] is [0, 15], provably outside every mapped region once
+    // rebased past the broadcast window. With the shift going to top the
+    // address would be unknown and the violation unprovable.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);  // top
+    a.lw(t1, rpu::kRegRxReady, gp);
+    a.andi(t1, t1, 0x3);
+    a.addi(t1, t1, 28);  // amount [28, 31]
+    a.srl(t2, t0, t1);   // [0, 15]
+    a.li(t3, 0x03000000);
+    a.add(t3, t3, t2);
+    a.sw(zero, 0, t3);
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(has_error(r, Check::kMemory)) << r.summary();
+}
+
+// --- line-rate certificate ---------------------------------------------------
+
+/// The five dataplane images named by the line-rate acceptance criteria
+/// (plus the hash-steered NAT variant): each must certify a finite WCET, a
+/// finite stack bound, and a clean text-segment write-separation proof.
+std::vector<Shipped>
+dataplane_programs() {
+    std::vector<Shipped> out;
+    out.push_back({"forwarder", fwlib::forwarder()});
+    out.push_back({"two_step_forwarder", fwlib::two_step_forwarder(16)});
+    out.push_back({"firewall", fwlib::firewall()});
+    out.push_back({"pigasus_hw_reorder", fwlib::pigasus_hw_reorder()});
+    out.push_back({"pigasus_sw_reorder", fwlib::pigasus_sw_reorder()});
+    out.push_back({"nat", fwlib::nat()});
+    return out;
+}
+
+TEST(Certifier, ShippedDataplaneFirmwareCertifiesFinite) {
+    for (const auto& s : dataplane_programs()) {
+        Options opts;
+        opts.entry = s.prog.entry;
+        Report r = verify::verify_image(s.prog.image, opts);
+        const verify::Certificate& cert = r.cert;
+        EXPECT_TRUE(cert.wcet_bounded) << s.name;
+        EXPECT_GT(cert.wcet_instructions, 0u) << s.name;
+        EXPECT_GE(cert.wcet_cycles, cert.wcet_instructions) << s.name;
+        EXPECT_TRUE(cert.stack_bounded) << s.name;
+        EXPECT_TRUE(cert.text_write_separation) << s.name;
+        EXPECT_EQ(cert.unproven_stores, 0u) << s.name;
+        ASSERT_FALSE(cert.roots.empty()) << s.name;
+        for (const auto& root : cert.roots) {
+            EXPECT_TRUE(root.bounded) << s.name;
+        }
+        // Per-activation semantics: any unbounded cycle left in the CFG must
+        // be an observable service/poll loop, or the WCET could not be finite.
+        for (const auto& lb : cert.loops) {
+            if (!lb.bounded) {
+                EXPECT_TRUE(lb.observable) << s.name;
+            }
+        }
+    }
+}
+
+TEST(Certifier, CountedDelayLoopIsBoundedAndExemptFromBusyLoopCheck) {
+    // A pure delay loop has no observable side effect; only the trip-count
+    // inference keeps it out of the busy-loop diagnostic, and the inferred
+    // bound (100 trips + slack) feeds the WCET.
+    Assembler a;
+    a.li(t0, 0);
+    a.li(t1, 100);
+    a.label("spin");
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, "spin");
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_FALSE(has_error(r, Check::kLoop)) << r.summary();
+    ASSERT_EQ(r.cert.loops.size(), 1u);
+    EXPECT_TRUE(r.cert.loops[0].bounded);
+    EXPECT_GE(r.cert.loops[0].max_trips, 100u);
+    EXPECT_LE(r.cert.loops[0].max_trips, 110u);  // formula slack only
+    EXPECT_TRUE(r.cert.wcet_bounded);
+    EXPECT_GE(r.cert.wcet_instructions, 200u);  // ~2 insns x 100 trips
+}
+
+TEST(Certifier, UnknownTripComputeLoopIsUnbounded) {
+    // The limit register is an arbitrary MMIO word and the body touches
+    // nothing observable: no trip bound exists, so the certificate must
+    // report an unbounded WCET — while the *safety* verdict stays clean
+    // (the loop has an exit edge; it is merely unprovable, not illegal).
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t1, rpu::kRegRxReady, gp);  // unknown trip limit
+    a.li(t0, 0);
+    a.label("spin");
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, "spin");
+    a.ebreak();
+    Report r = verify::verify_image(a.assemble(), Options{});
+    EXPECT_TRUE(r.ok()) << r.summary();
+    ASSERT_EQ(r.cert.loops.size(), 1u);
+    EXPECT_FALSE(r.cert.loops[0].bounded);
+    EXPECT_FALSE(r.cert.loops[0].observable);
+    EXPECT_FALSE(r.cert.wcet_bounded);
+    EXPECT_EQ(r.cert.wcet_instructions, 0u);
+}
+
+TEST(Certifier, CfgDotCarriesCostsLoopBoundsAndCriticalPath) {
+    auto fw = fwlib::pigasus_sw_reorder();
+    Options opts;
+    opts.entry = fw.entry;
+    Report r = verify::verify_image(fw.image, opts);
+    std::string dot = verify::cfg_dot(fw.image, r, "ids-sw");
+    EXPECT_NE(dot.find("cyc]"), std::string::npos);       // per-block cost
+    EXPECT_NE(dot.find("loop <="), std::string::npos);    // counted loop bound
+    EXPECT_NE(dot.find("service loop"), std::string::npos);
+    EXPECT_NE(dot.find("color=red"), std::string::npos);  // critical path
+}
+
+TEST(Certifier, CertificateJsonCarriesTheBounds) {
+    auto fw = fwlib::forwarder();
+    Report r = verify::verify_image(fw.image, Options{});
+    std::string json = verify::certificate_json(r, "forwarder");
+    EXPECT_NE(json.find("\"name\":\"forwarder\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"wcet\":"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"bounded\":true"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"text_write_separation\":true"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"stack\":"), std::string::npos) << json;
+}
+
+// --- obs PC-profiler cross-check --------------------------------------------
+
+TEST(Certifier, WcetCrossCheckUnitVerdicts) {
+    obs::CoreProfile p;
+    p.name = "rpu0";
+    p.halted = true;
+    p.instret = 100;
+
+    verify::Certificate cert;
+    cert.wcet_bounded = true;
+    cert.wcet_instructions = 99;  // deliberately understated
+    auto checks = obs::wcet_cross_check({p}, cert);
+    ASSERT_EQ(checks.size(), 1u);
+    EXPECT_TRUE(checks[0].applicable);
+    EXPECT_FALSE(checks[0].ok);
+
+    cert.wcet_instructions = 100;  // exact bound: sound
+    EXPECT_TRUE(obs::wcet_cross_check({p}, cert)[0].ok);
+
+    p.halted = false;  // live service loop: not applicable, never fails
+    auto live = obs::wcet_cross_check({p}, cert);
+    EXPECT_FALSE(live[0].applicable);
+    EXPECT_TRUE(live[0].ok);
+}
+
+TEST(Certifier, ObsCrossCheckFiresOnUnderstatedBoundEndToEnd) {
+    // Run a halting image on real cores, certify it, then hand the profiler
+    // a certificate with a deliberately understated bound: the cross-check
+    // must fire for every core, and must pass with the genuine certificate.
+    Assembler a;
+    a.li(t0, 1);
+    a.addi(t0, t0, 1);
+    a.addi(t0, t0, 1);
+    a.ebreak();
+    auto image = a.assemble();
+
+    System sys(small_cfg());
+    sys.host().load_firmware_all(image);
+    sys.host().boot_all();
+    sys.run_cycles(200);
+    auto profiles = obs::collect_profiles(sys);
+    ASSERT_FALSE(profiles.empty());
+    for (const auto& p : profiles) {
+        ASSERT_TRUE(p.halted);
+        ASSERT_GT(p.instret, 0u);
+    }
+
+    Report r = verify::verify_image(image, Options{});
+    ASSERT_TRUE(r.cert.wcet_bounded);
+    for (const auto& c : obs::wcet_cross_check(profiles, r.cert)) {
+        EXPECT_TRUE(c.ok) << c.core << ": observed " << c.observed
+                          << " > bound " << c.bound;
+    }
+
+    verify::Certificate lied = r.cert;
+    lied.wcet_instructions = profiles[0].instret - 1;
+    for (const auto& c : obs::wcet_cross_check(profiles, lied)) {
+        EXPECT_TRUE(c.applicable);
+        EXPECT_FALSE(c.ok);
+    }
+}
+
+// --- host line-rate admission gate ------------------------------------------
+
+std::vector<uint32_t>
+unbounded_loop_image() {
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t1, rpu::kRegRxReady, gp);
+    a.li(t0, 0);
+    a.label("spin");
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, "spin");
+    a.ebreak();
+    return a.assemble();
+}
+
+std::vector<uint32_t>
+unproven_store_image() {
+    // The store address is an arbitrary word: the safety pass cannot prove
+    // it out of bounds (sound for rejection), but the certificate cannot
+    // prove it misses the text segment either — a self-modifying-code risk
+    // the admission gate must reject.
+    Assembler a;
+    a.lui(gp, 0x2000);
+    a.lw(t0, rpu::kRegRxReady, gp);
+    a.sw(zero, 0, t0);
+    a.ebreak();
+    return a.assemble();
+}
+
+TEST(WcetGate, OffByDefaultAdmitsUncertifiableFirmware) {
+    System sys(small_cfg());
+    EXPECT_NO_THROW(sys.host().load_firmware(0, unbounded_loop_image()));
+    EXPECT_NO_THROW(sys.host().load_firmware(1, unproven_store_image()));
+}
+
+TEST(WcetGate, EnforceRejectsUnboundedComputeLoop) {
+    SystemConfig cfg = small_cfg();
+    cfg.wcet_check = host::FirmwareCheck::kEnforce;
+    System sys(cfg);
+    EXPECT_THROW(sys.host().load_firmware(0, unbounded_loop_image()),
+                 sim::FatalError);
+}
+
+TEST(WcetGate, EnforceRejectsUnprovenStore) {
+    SystemConfig cfg = small_cfg();
+    cfg.wcet_check = host::FirmwareCheck::kEnforce;
+    System sys(cfg);
+    EXPECT_THROW(sys.host().load_firmware(0, unproven_store_image()),
+                 sim::FatalError);
+}
+
+TEST(WcetGate, EnforceAdmitsCertifiedDataplaneFirmware) {
+    SystemConfig cfg = small_cfg();
+    cfg.wcet_check = host::FirmwareCheck::kEnforce;
+    System sys(cfg);
+    auto fw = fwlib::forwarder();
+    EXPECT_NO_THROW(sys.host().load_firmware_all(fw.image, fw.entry));
+}
+
+TEST(WcetGate, WarnModeAdmitsUncertifiableFirmware) {
+    SystemConfig cfg = small_cfg();
+    cfg.wcet_check = host::FirmwareCheck::kWarn;
+    System sys(cfg);
+    EXPECT_NO_THROW(sys.host().load_firmware(0, unbounded_loop_image()));
+    EXPECT_NO_THROW(sys.host().load_firmware(1, unproven_store_image()));
+}
+
+TEST(WcetGate, CycleBudgetIsEnforced) {
+    auto fw = fwlib::forwarder();
+    {
+        SystemConfig cfg = small_cfg();
+        cfg.wcet_check = host::FirmwareCheck::kEnforce;
+        cfg.wcet_budget_cycles = 1;  // forwarder needs ~38
+        System sys(cfg);
+        EXPECT_THROW(sys.host().load_firmware(0, fw.image, fw.entry),
+                     sim::FatalError);
+    }
+    {
+        SystemConfig cfg = small_cfg();
+        cfg.wcet_check = host::FirmwareCheck::kEnforce;
+        cfg.wcet_budget_cycles = 1'000'000;
+        System sys(cfg);
+        EXPECT_NO_THROW(sys.host().load_firmware(0, fw.image, fw.entry));
+    }
+}
+
+TEST(WcetGate, SystemConfigPolicyIsForwarded) {
+    SystemConfig cfg = small_cfg();
+    cfg.wcet_check = host::FirmwareCheck::kWarn;
+    cfg.wcet_budget_cycles = 12345;
+    System sys(cfg);
+    EXPECT_EQ(sys.host().wcet_check(), host::FirmwareCheck::kWarn);
+    EXPECT_EQ(sys.host().wcet_budget_cycles(), 12345u);
 }
 
 }  // namespace
