@@ -53,24 +53,32 @@ Fabric::declare_netlist(sim::Kernel& kernel) {
     const unsigned kSw = 512;  // stage-1 switch datapath (64 B/cycle)
 
     // MAC-side FIFOs: depth in 512-bit words. The wire side is external.
+    // mac_rx admission works on a committed+staged snapshot (see
+    // IngressSource: admission cannot observe same-cycle pops), so its
+    // credit return is registered — one cycle of provable lookahead on the
+    // source->fabric feedback edge. mac_tx drains self-paced onto the line
+    // (the sink never returns credit), so no feedback edge exists at all.
     for (unsigned p = 0; p < 2; ++p) {
         std::string rx = "fabric.mac_rx.p" + std::to_string(p);
         kernel.declare_net({rx, NetRecord::kFifo, kSw, config_.mac_rx_fifo_bytes / 64,
-                            sim::kNetExternalSource});
+                            sim::kNetExternalSource, NetRecord::kCreditRegistered});
         kernel.declare_port({name(), rx, PortRecord::kRead, kSw, 0});
         std::string tx = "fabric.mac_tx.p" + std::to_string(p);
         kernel.declare_net({tx, NetRecord::kFifo, kSw, config_.mac_tx_fifo_bytes / 64,
-                            sim::kNetExternalSink});
+                            sim::kNetExternalSink, NetRecord::kCreditNone});
         kernel.declare_port({name(), tx, PortRecord::kWrite, kSw,
                              config_.mac_tx_fifo_bytes / 64});
     }
 
     // Host (PCIe virtual Ethernet) and loopback share the ingress plane.
+    // host_q shares the registered ingress admission; host_out is drained
+    // by the PCIe DMA engine inside our own tick (tag credit is fabric-
+    // internal accounting, not a reader-side return).
     kernel.declare_net({"fabric.host_q", NetRecord::kFifo, kSw, config_.host_queue_packets,
-                        sim::kNetExternalSource});
+                        sim::kNetExternalSource, NetRecord::kCreditRegistered});
     kernel.declare_port({name(), "fabric.host_q", PortRecord::kRead, kSw, 0});
     kernel.declare_net({"fabric.host_out", NetRecord::kFifo, kSw, config_.pcie_tags,
-                        sim::kNetExternalSink});
+                        sim::kNetExternalSink, NetRecord::kCreditNone});
     kernel.declare_port(
         {name(), "fabric.host_out", PortRecord::kWrite, kSw, config_.pcie_tags});
     kernel.declare_net(
@@ -89,8 +97,11 @@ Fabric::declare_netlist(sim::Kernel& kernel) {
             kernel.declare_port({name(), v, PortRecord::kRead, kSw, 0});
         }
         // Per-RPU egress queues: the RPU's TX engine writes, we arbitrate.
+        // Admission checks committed+staged occupancy (never same-cycle
+        // pops), so the RPU-facing credit return is registered.
         std::string e = "fabric.egress.r" + rn;
-        kernel.declare_net({e, NetRecord::kFifo, 128, config_.egress_queue_depth, 0});
+        kernel.declare_net({e, NetRecord::kFifo, 128, config_.egress_queue_depth, 0,
+                            NetRecord::kCreditRegistered});
         kernel.declare_port(
             {rpus_[r]->name(), e, PortRecord::kWrite, 128, config_.egress_queue_depth});
         kernel.declare_port({name(), e, PortRecord::kRead, 128, 0});

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace rosebud::lint {
 
 using sim::NetRecord;
@@ -252,6 +254,25 @@ component_of(const std::string& net_name) {
 }
 
 std::string
+dot_escape(const std::string& s) {
+    // Inside a double-quoted DOT ID only '"' needs escaping, but a lone
+    // backslash would start an unintended escape sequence and raw
+    // newlines split the ID — double the former, encode the latter.
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
 to_dot(const sim::Kernel& kernel) {
     std::ostringstream os;
     os << "digraph netlist {\n  rankdir=LR;\n"
@@ -260,25 +281,66 @@ to_dot(const sim::Kernel& kernel) {
     std::set<std::string> components;
     for (const PortRecord& p : kernel.ports()) components.insert(p.component);
     for (const std::string& c : components) {
-        os << "  \"" << c << "\" [shape=box, style=filled, fillcolor=lightblue];\n";
+        os << "  \"" << dot_escape(c)
+           << "\" [shape=box, style=filled, fillcolor=lightblue];\n";
     }
     for (const NetRecord& n : kernel.nets()) {
         const char* kind = n.kind == NetRecord::kFifo   ? "fifo"
                            : n.kind == NetRecord::kReg  ? "reg"
                                                         : "link";
-        os << "  \"" << n.name << "\" [shape=ellipse, label=\"" << n.name
-           << "\\n" << kind << " " << n.width_bits << "b x" << n.depth
-           << "\"];\n";
+        os << "  \"" << dot_escape(n.name) << "\" [shape=ellipse, label=\""
+           << dot_escape(n.name) << "\\n" << kind << " " << n.width_bits
+           << "b x" << n.depth << "\"];\n";
     }
     for (const PortRecord& p : kernel.ports()) {
         if (p.dir == PortRecord::kWrite) {
-            os << "  \"" << p.component << "\" -> \"" << p.net << "\";\n";
+            os << "  \"" << dot_escape(p.component) << "\" -> \""
+               << dot_escape(p.net) << "\";\n";
         } else {
-            os << "  \"" << p.net << "\" -> \"" << p.component << "\";\n";
+            os << "  \"" << dot_escape(p.net) << "\" -> \""
+               << dot_escape(p.component) << "\";\n";
         }
     }
     os << "}\n";
     return os.str();
+}
+
+std::string
+lint_json(const sim::Kernel& kernel, const std::vector<Violation>& violations) {
+    size_t fifo = 0, reg = 0, link = 0;
+    for (const NetRecord& n : kernel.nets()) {
+        switch (n.kind) {
+        case NetRecord::kFifo: ++fifo; break;
+        case NetRecord::kReg: ++reg; break;
+        case NetRecord::kLink: ++link; break;
+        }
+    }
+    std::set<std::string> components;
+    for (const PortRecord& p : kernel.ports()) components.insert(p.component);
+
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("netlist").begin_object();
+    w.key("nets").value(uint64_t(kernel.nets().size()));
+    w.key("fifo_nets").value(uint64_t(fifo));
+    w.key("reg_nets").value(uint64_t(reg));
+    w.key("link_nets").value(uint64_t(link));
+    w.key("ports").value(uint64_t(kernel.ports().size()));
+    w.key("components").value(uint64_t(components.size()));
+    w.key("checks").value(uint64_t(kCheckCount));
+    w.end_object();
+    w.key("violation_count").value(uint64_t(violations.size()));
+    w.key("violations").begin_array();
+    for (const Violation& v : violations) {
+        w.begin_object();
+        w.key("check").value(check_name(v.check));
+        w.key("subject").value(v.subject);
+        w.key("message").value(v.message);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
 }
 
 std::string

@@ -113,12 +113,27 @@ const sim::NetRecord* find_net(const sim::Kernel& kernel, const std::string& nam
 /// grouping rule the lint reports and the stall-attribution rollups share.
 std::string component_of(const std::string& net_name);
 
+/// Number of distinct static checks (the Check enum), reported in the
+/// JSON netlist summary.
+inline constexpr unsigned kCheckCount = 13;
+
+/// Escape a name for use inside a double-quoted DOT ID or label: doubles
+/// backslashes and escapes embedded quotes, so indexed/bracketed net names
+/// survive `dot -Tcanon` and GTK-style viewers.
+std::string dot_escape(const std::string& s);
+
 /// Render the netlist as a GraphViz digraph: component boxes, net ellipses,
 /// write edges component->net, read edges net->component.
 std::string to_dot(const sim::Kernel& kernel);
 
 /// Human-readable multi-line report ("" when no violations).
 std::string report(const std::vector<Violation>& violations);
+
+/// Machine-readable JSON of a lint run — the netlist summary (net/port/
+/// component counts per kind, number of checks) plus every violation —
+/// matching the `verify --json` convention.
+std::string lint_json(const sim::Kernel& kernel,
+                      const std::vector<Violation>& violations);
 
 }  // namespace rosebud::lint
 

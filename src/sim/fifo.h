@@ -56,7 +56,10 @@ class Fifo : public Clocked {
         assert(capacity >= 1);
         kernel.add_clocked(this, /*lazy=*/true);
         kernel.declare_net({name_, NetRecord::kFifo, width_bits, capacity_,
-                            net_flags});
+                            net_flags,
+                            credit == CreditPolicy::kRegistered
+                                ? NetRecord::kCreditRegistered
+                                : NetRecord::kCreditSkid});
     }
 
     /// True if a push this cycle will be accepted. A false answer counts
@@ -125,6 +128,11 @@ class Fifo : public Clocked {
         assert(popped_ < stable_.size());
         telemetry(TelemetrySink::NetEvent::kPop);
         kernel_.request_commit(this);
+        // Registered credit returns with one cycle of latency, so this pop
+        // is an observable event for the producer: wake it (the net's wake
+        // list includes registered-credit writers) so a component sleeping
+        // on a full FIFO sees the freed slot.
+        if (credit_ == CreditPolicy::kRegistered) wake_readers();
         return std::move(stable_[popped_++]);
     }
 

@@ -98,13 +98,27 @@ Kernel::build_wake_map() {
     std::unordered_map<std::string, Component*> by_name;
     by_name.reserve(components_.size());
     for (Component* c : components_) by_name[c->name()] = c;
+    auto add = [&](const std::string& net, const std::string& component) {
+        auto it = by_name.find(component);
+        if (it == by_name.end()) return;  // external endpoint (host, wire)
+        auto& targets = wake_readers_[net];
+        if (std::find(targets.begin(), targets.end(), it->second) == targets.end())
+            targets.push_back(it->second);
+    };
+    // Registered-credit nets return credit with one cycle of latency: a
+    // pop is an observable event for the *writer* (its can_push answer
+    // changes next cycle), so the writer needs a wake edge too — a
+    // producer sleeping on a full FIFO must tick again when space opens.
+    std::unordered_map<std::string, bool> registered_credit;
+    for (const NetRecord& n : nets_) {
+        registered_credit[n.name] = n.credit == NetRecord::kCreditRegistered;
+    }
     for (const PortRecord& p : ports_) {
-        if (p.dir != PortRecord::kRead) continue;
-        auto it = by_name.find(p.component);
-        if (it == by_name.end()) continue;  // external reader (host, wire)
-        auto& readers = wake_readers_[p.net];
-        if (std::find(readers.begin(), readers.end(), it->second) == readers.end())
-            readers.push_back(it->second);
+        if (p.dir == PortRecord::kRead) {
+            add(p.net, p.component);
+        } else if (p.dir == PortRecord::kWrite && registered_credit[p.net]) {
+            add(p.net, p.component);
+        }
     }
     wake_map_built_ = true;
     ++wake_epoch_;

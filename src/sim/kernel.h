@@ -118,11 +118,24 @@ enum NetFlag : unsigned {
 struct NetRecord {
     enum Kind : uint8_t { kFifo, kReg, kLink };
 
+    /// Credit-return discipline the writer observes, declared so the
+    /// shard-cut certifier (lint/shard.h) can prove reverse-edge latency:
+    /// a registered credit return means a reader-side pop at cycle N is
+    /// first visible to the writer's admission check at N+1 (one cycle of
+    /// lookahead on the reader->writer feedback edge), while a skid-buffer
+    /// credit is combinational (zero latency). kCreditNone states the
+    /// writer never observes reader-side credit at all (self-paced drains
+    /// such as the MAC TX line), so no feedback edge exists.
+    enum CreditKind : uint8_t { kCreditNone, kCreditSkid, kCreditRegistered };
+
     std::string name;        ///< unique instance name, e.g. "rpu3.rx_fifo"
     Kind kind = kFifo;
     unsigned width_bits = 0; ///< datapath width (0 = unspecified)
     size_t depth = 0;        ///< entries (fifo capacity; 1 for reg/link)
     unsigned flags = 0;      ///< NetFlag bits
+    /// Conservative default: an unspecified credit path is assumed
+    /// combinational, which can only under-state lookahead, never claim it.
+    CreditKind credit = kCreditSkid;
 };
 
 /// A directed endpoint: `component` writes to / reads from `net`.
@@ -423,8 +436,10 @@ class Kernel {
     bool wake_map_built() const { return wake_map_built_; }
     uint64_t wake_epoch() const { return wake_epoch_; }
 
-    /// Reader components of `net` per the elaboration netlist, or null if
-    /// none are registered. Valid until the next netlist change.
+    /// Components woken by activity on `net` per the elaboration netlist
+    /// (its readers, plus its writers when the net returns registered
+    /// credit), or null if none are registered. Valid until the next
+    /// netlist change.
     const std::vector<Component*>* wake_list(const std::string& net) const;
 
     /// Hook run once, immediately before the first step(). System installs

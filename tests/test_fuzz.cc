@@ -200,7 +200,11 @@ TEST(FuzzMinimize, InjectedConfigBugShrinksToThreeCoupledFields) {
 /// 1000 fuzzed configurations, each executed twice by run_config_case —
 /// once in registration order, once with the kernel's component tick order
 /// shuffled — must land on identical state fingerprints. A kFingerprint
-/// (or kDiverge) verdict here is a config-dependent two-phase race.
+/// (or kDiverge) verdict here is a config-dependent two-phase race. The
+/// same sweep doubles as the shard-plan fuzz campaign: run_config_case
+/// certifies a 2-way partition of every clean netlist, so a kShardPlan
+/// verdict means the certifier produced an internally inconsistent plan
+/// (e.g. a cut edge with zero lookahead) for some configuration.
 TEST(FuzzConfig, FingerprintStableUnderShuffledTickOrderAcross1kConfigs) {
     fuzz::CfgOptions opts;
     opts.with_oracle = false;  // fingerprint-only probe: keeps 1k samples fast
@@ -212,6 +216,8 @@ TEST(FuzzConfig, FingerprintStableUnderShuffledTickOrderAcross1kConfigs) {
         ASSERT_NE(v.kind, fuzz::CfgKind::kFingerprint)
             << "seed " << seed << ": " << v.detail;
         ASSERT_NE(v.kind, fuzz::CfgKind::kDiverge)
+            << "seed " << seed << ": " << v.detail;
+        ASSERT_NE(v.kind, fuzz::CfgKind::kShardPlan)
             << "seed " << seed << ": " << v.detail;
     }
 }
