@@ -15,8 +15,10 @@
 ///
 /// Set ROSEBUD_BENCH_JSON=<dir> to export machine-readable rows.
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
+#include <vector>
 
 #include "accel/firewall.h"
 #include "accel/pigasus.h"
@@ -24,6 +26,7 @@
 #include "core/experiments.h"
 #include "firmware/programs.h"
 #include "net/tracegen.h"
+#include "obs/health.h"
 
 using namespace rosebud;
 
@@ -63,8 +66,14 @@ enum class Pipeline { kForwarder, kFirewall, kPigasus };
 
 /// One fixed workload run under explicit tuning; returns host time, the
 /// simulated cycle count, delivered packets, and the state fingerprint.
+/// When `health` is non-null, a HealthMonitor with that config rides along
+/// for the whole run (attached before traffic, detached only after the
+/// fingerprint is read) — this is how the <=5% production-health overhead
+/// claim is measured.
 RunResult
-run_pipeline(Pipeline which, const exp::SimTuning& t) {
+run_pipeline(Pipeline which, const exp::SimTuning& t,
+             const obs::HealthConfig* health = nullptr,
+             uint64_t run_cycles = 60'000) {
     double t0 = now_s();
 
     SystemConfig cfg;
@@ -107,6 +116,12 @@ run_pipeline(Pipeline which, const exp::SimTuning& t) {
     sys.host().set_rx_handler([](net::PacketPtr) {});
     sys.run_cycles(500);
 
+    std::unique_ptr<obs::HealthMonitor> mon;
+    if (health) {
+        mon = std::make_unique<obs::HealthMonitor>(*health);
+        mon->attach(sys);
+    }
+
     for (unsigned port = 0; port < 2; ++port) {
         net::TrafficSpec spec;
         spec.packet_size = 512;
@@ -118,13 +133,19 @@ run_pipeline(Pipeline which, const exp::SimTuning& t) {
         sys.add_source({.port = port, .line_gbps = 100.0, .load = 0.7},
                        [gen]() { return gen->next(); });
     }
-    sys.run_cycles(60'000);
+    sys.run_cycles(run_cycles);
 
     RunResult out;
     out.cycles = sys.kernel().now();
     out.packets = sys.sink(0).frames() + sys.sink(1).frames();
+    // Fingerprint taken while the monitor is still attached: the health
+    // layer must not perturb a single bit of architectural state.
     out.fingerprint = sys.state_fingerprint();
     out.host_s = now_s() - t0;
+    if (mon) {
+        mon->flush_epoch();
+        mon->detach();
+    }
     return out;
 }
 
@@ -173,7 +194,16 @@ main() {
         uint64_t ref_fp = 0;
         double ref_s = 0;
         for (const Mode& m : kModes) {
-            RunResult r = run_pipeline(w, m.tuning);
+            // Long runs + best-of-3: these per-mode rows feed the
+            // perf-regression gate (bench/check_regression.py), which
+            // applies a 10% tolerance — the timing floor has to be stable
+            // to a few percent for that to hold on shared machines.
+            const uint64_t kGateCycles = 240'000;
+            RunResult r = run_pipeline(w, m.tuning, nullptr, kGateCycles);
+            for (int rep = 1; rep < 3; ++rep) {
+                RunResult again = run_pipeline(w, m.tuning, nullptr, kGateCycles);
+                if (again.host_s < r.host_s) r = again;
+            }
             if (m.tuning.predecode == false) {
                 ref_fp = r.fingerprint;
                 ref_s = r.host_s;
@@ -197,6 +227,75 @@ main() {
                 std::fprintf(stderr,
                              "FATAL: %s/%s fingerprint diverges from reference\n",
                              pipeline_name(w), m.name);
+                ++failures;
+            }
+        }
+    }
+
+    bench::heading("Health-layer overhead: tuned mode, detached vs attached");
+    {
+        // Full production health config: flight recorder, watchdog, SLO
+        // histograms, metrics registry — everything `rosebud_cli health`
+        // attaches. Longer runs (240k cycles) plus best-of-3 on each side
+        // keep host-timer noise well under the 5% threshold being gated.
+        obs::HealthConfig hc;
+        hc.slo = obs::parse_slo("latency_p99 <= 200us, drop_rate <= 0.05");
+        const uint64_t kOverheadCycles = 480'000;
+        std::printf("%-10s %12s %12s %10s %18s\n", "workload", "detached(s)",
+                    "attached(s)", "overhead", "fingerprint");
+        for (Pipeline w : {Pipeline::kForwarder, Pipeline::kPigasus}) {
+            // Warm caches/allocator before timing anything.
+            run_pipeline(w, kModes[1].tuning, nullptr, kOverheadCycles);
+            // Host clocks on shared machines drift (frequency scaling,
+            // co-tenancy), so absolute best-of-N is unstable. Instead run
+            // detached/attached back-to-back in pairs — drift within a pair
+            // is negligible — and take the median of the per-pair ratios,
+            // which is robust to a few noise-contaminated pairs.
+            RunResult det, att;
+            std::vector<double> ratios;
+            for (int rep = 0; rep < 7; ++rep) {
+                // Alternate order each rep to cancel any ordering bias.
+                RunResult a, d;
+                if (rep % 2 == 0) {
+                    d = run_pipeline(w, kModes[1].tuning, nullptr, kOverheadCycles);
+                    a = run_pipeline(w, kModes[1].tuning, &hc, kOverheadCycles);
+                } else {
+                    a = run_pipeline(w, kModes[1].tuning, &hc, kOverheadCycles);
+                    d = run_pipeline(w, kModes[1].tuning, nullptr, kOverheadCycles);
+                }
+                ratios.push_back(a.host_s / d.host_s);
+                det = d;
+                att = a;
+            }
+            std::sort(ratios.begin(), ratios.end());
+            double overhead = ratios[ratios.size() / 2] - 1.0;
+            bool match = att.fingerprint == det.fingerprint;
+            std::printf("%-10s %12.3f %12.3f %+9.1f%%   %s%s\n",
+                        pipeline_name(w), det.host_s, att.host_s,
+                        overhead * 100.0, match ? "identical" : "MISMATCH",
+                        overhead > 0.05 ? "  (over 5% target)" : "");
+            json.row({{"workload", pipeline_name(w)},
+                      {"mode", "tuned+health"},
+                      {"host_s", bench::num(att.host_s)},
+                      {"detached_s", bench::num(det.host_s)},
+                      {"health_overhead", bench::num(overhead)},
+                      {"cycles", std::to_string(att.cycles)},
+                      {"packets", std::to_string(att.packets)},
+                      {"fingerprint_match", match ? "yes" : "NO"}});
+            if (!match) {
+                std::fprintf(stderr,
+                             "FATAL: %s health-attached fingerprint diverges\n",
+                             pipeline_name(w));
+                ++failures;
+            }
+            // Hard-fail only at 2x the target: shared runners jitter a few
+            // percent even with paired medians, and the JSON row is the
+            // precise record the regression gate diffs against baselines.
+            if (overhead > 0.10) {
+                std::fprintf(stderr,
+                             "FATAL: %s health overhead %.1f%% exceeds 5%% "
+                             "target by more than 2x\n",
+                             pipeline_name(w), overhead * 100.0);
                 ++failures;
             }
         }

@@ -26,6 +26,7 @@
 #include "lint/netlist.h"
 #include "lint/shard.h"
 #include "obs/harness.h"
+#include "obs/health.h"
 #include "obs/profile.h"
 #include "obs/report.h"
 #include "oracle/harness.h"
@@ -111,7 +112,19 @@ usage() {
                  "             (full-stack telemetry run: stall attribution report,\n"
                  "              GTKWave waveforms, Perfetto trace, firmware hot spots;\n"
                  "              default outputs rosebud_profile.vcd,\n"
-                 "              rosebud_trace.json, rosebud_profile.json)\n");
+                 "              rosebud_trace.json, rosebud_profile.json)\n"
+                 "  health     --pipeline forwarder|firewall|ids-hw|ids-sw|nat\n"
+                 "             --policy rr|hash|ll --rpus N --seed N\n"
+                 "             --sizes 64,256,...|--size N --load F --cycles N\n"
+                 "             --slo \"latency_p99 <= 200us, drop_rate <= 0.05\"\n"
+                 "             --epoch N --deep --inject-stall --stall-rpu N\n"
+                 "             --stall-at N --json FILE --dump FILE --prom FILE\n"
+                 "             (production health sweep: per-size SLO verdicts from\n"
+                 "              the always-on monitor, metrics-registry snapshot,\n"
+                 "              flight-recorder dump; --inject-stall wedges one RPU\n"
+                 "              with a busy-loop image to exercise the watchdog.\n"
+                 "              exits 1 on SLO violation, on an unexpected watchdog\n"
+                 "              trip, or when an injected stall goes undetected)\n");
     return 2;
 }
 
@@ -186,7 +199,9 @@ main(int argc, char** argv) {
         // Value-less boolean flags.
         if (std::strcmp(argv[i], "--no-idle-skip") == 0 ||
             std::strcmp(argv[i], "--no-predecode") == 0 ||
-            std::strcmp(argv[i], "--wcet") == 0) {
+            std::strcmp(argv[i], "--wcet") == 0 ||
+            std::strcmp(argv[i], "--deep") == 0 ||
+            std::strcmp(argv[i], "--inject-stall") == 0) {
             args.kv[argv[i] + 2] = "1";
             continue;
         }
@@ -565,6 +580,87 @@ main(int argc, char** argv) {
                            ",\"stalls\":" + obs::stall_report_json(r.stalls) +
                            ",\"firmware\":" + obs::profile_json(r.aggregate) + "}";
         write_file(args.str("json", "rosebud_profile.json"), json);
+    } else if (args.experiment == "health") {
+        obs::HealthSpec s;
+        s.pipeline = oracle::parse_pipeline(args.str("pipeline", "forwarder"));
+        std::string pol = args.str(
+            "policy", s.pipeline == oracle::Pipeline::kPigasusSwReorder ? "hash" : "rr");
+        s.policy = pol == "hash" ? lb::Policy::kHash
+                   : pol == "ll" ? lb::Policy::kLeastLoaded
+                                 : lb::Policy::kRoundRobin;
+        s.rpu_count = args.u32("rpus", 8);
+        s.seed = args.u32("seed", 1);
+        s.load = args.f64("load", 0.9);
+        s.run_cycles = args.u32("cycles", 40'000);
+        s.slo = args.str("slo", s.slo);
+        s.health.epoch_cycles = args.u32("epoch", 16'384);
+        s.deep = args.has("deep");
+        s.inject_stall = args.has("inject-stall");
+        s.stall_rpu = args.u32("stall-rpu", 0);
+        s.stall_at = args.u32("stall-at", 10'000);
+        if (args.has("size")) {
+            s.packet_sizes = {args.u32("size", 256)};
+        } else if (args.has("sizes")) {
+            s.packet_sizes.clear();
+            std::string list = args.str("sizes", "");
+            size_t start = 0;
+            while (start <= list.size()) {
+                size_t comma = list.find(',', start);
+                if (comma == std::string::npos) comma = list.size();
+                if (comma > start)
+                    s.packet_sizes.push_back(
+                        uint32_t(std::stoul(list.substr(start, comma - start))));
+                start = comma + 1;
+            }
+            if (s.packet_sizes.empty()) return usage();
+        }
+        auto r = obs::run_health(s);
+
+        std::printf("pipeline=%s policy=%s rpus=%u load=%.2f slo=\"%s\"%s\n\n",
+                    oracle::pipeline_name(s.pipeline), pol.c_str(), s.rpu_count,
+                    s.load, r.slo.text.c_str(),
+                    s.inject_stall ? " [stall injected]" : "");
+        std::printf("  size   cycles   ingress    egress     drops    Gbps  "
+                    "p50_us   p99_us  p999_us  drop%%  epochs  slo  watchdog\n");
+        for (const auto& row : r.rows) {
+            std::printf("  %4u %8llu %9llu %9llu %9llu %7.2f %7.2f %8.2f %8.2f "
+                        "%6.2f %7llu  %-4s %s\n",
+                        row.packet_size, (unsigned long long)row.cycles,
+                        (unsigned long long)row.ingress,
+                        (unsigned long long)row.egress,
+                        (unsigned long long)row.drops, row.gbps, row.p50_us,
+                        row.p99_us, row.p999_us, 100.0 * row.drop_rate,
+                        (unsigned long long)row.epochs,
+                        row.slo_pass ? "ok" : "FAIL",
+                        row.tripped ? "TRIPPED" : "-");
+        }
+        if (r.watchdog_tripped)
+            std::printf("\nwatchdog: %s\n", r.trip_summary.c_str());
+        auto write_file = [](const std::string& path, const std::string& data) {
+            if (path.empty()) return;
+            if (FILE* f = std::fopen(path.c_str(), "w")) {
+                std::fwrite(data.data(), 1, data.size(), f);
+                std::fclose(f);
+                std::printf("wrote %s (%zu bytes)\n", path.c_str(), data.size());
+            } else {
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            }
+        };
+        write_file(args.str("json", "rosebud_health.json"), r.flight_json);
+        write_file(args.str("dump", "rosebud_health.txt"), r.flight_text);
+        write_file(args.str("prom", "rosebud_metrics.prom"), r.metrics_prom);
+
+        // An injected stall is *supposed* to trip the watchdog (SLO misses
+        // are expected collateral); everything else expects a quiet run
+        // that meets its SLO.
+        bool fail;
+        if (s.inject_stall) {
+            fail = !r.watchdog_tripped;
+            if (fail) std::printf("FAIL: injected stall was not detected\n");
+        } else {
+            fail = !r.slo_ok || r.watchdog_tripped;
+        }
+        if (fail) return 1;
     } else if (args.experiment == "resources") {
         SystemConfig cfg;
         cfg.rpu_count = args.u32("rpus", 16);
@@ -581,7 +677,7 @@ main(int argc, char** argv) {
     // (static analyses — verify, lint, resources — print nothing extra).
     static const char* kTimed[] = {"forward",  "latency",   "ips",    "firewall",
                                    "loopback", "broadcast", "reconfig", "oracle",
-                                   "profile"};
+                                   "profile",  "health"};
     for (const char* name : kTimed) {
         if (args.experiment != name) continue;
         double host_s = std::chrono::duration<double>(

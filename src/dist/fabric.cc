@@ -44,6 +44,33 @@ Fabric::Fabric(sim::Kernel& kernel, sim::Stats& stats, const FabricConfig& confi
     ctr_loopback_frames_ = &stats.counter("loopback.frames");
     ctr_loopback_bytes_ = &stats.counter("loopback.bytes");
     declare_netlist(kernel);
+    // Occupancy probes on the abstract (non-sim::Fifo) queues, so the
+    // health layer's backlog census and metrics gauges can read committed
+    // occupancy on demand without a TelemetrySink attached. Same names as
+    // report_occupancies() emits.
+    for (unsigned s = 0; s < kSourceCount; ++s) {
+        kernel.register_occupancy_probe(
+            source_net(s), 0, this,
+            [this, s] { return sources_[s].queue.size(); });
+    }
+    for (unsigned r = 0; r < config_.rpu_count; ++r) {
+        for (unsigned s = 0; s < kSourceCount; ++s) {
+            kernel.register_occupancy_probe(
+                voq_net(uint8_t(r), s), config_.voq_depth, this,
+                [this, r, s] { return voqs_[r * kSourceCount + s].size(); });
+        }
+        kernel.register_occupancy_probe(
+            "fabric.egress.r" + std::to_string(r), config_.egress_queue_depth,
+            this, [this, r] { return egress_queues_[r].size(); });
+    }
+    for (unsigned p = 0; p < 2; ++p) {
+        kernel.register_occupancy_probe(
+            "fabric.mac_tx.p" + std::to_string(p), 0, this,
+            [this, p] { return mac_tx_[p].fifo.size(); });
+    }
+    kernel.register_occupancy_probe(
+        "fabric.host_out", config_.pcie_tags, this,
+        [this] { return size_t(pcie_tags_in_use_); });
 }
 
 void

@@ -709,6 +709,18 @@ chained_firewall(unsigned rpu_count, const SlotParams& slots) {
 }
 
 Program
+busy_loop(const SlotParams& slots) {
+    Assembler a;
+    emit_prologue(a, slots);
+    // Announce slots like a healthy image, then wedge: never read RECV,
+    // never release a descriptor. Assigned packets pile up in the RPU
+    // until the forward-progress watchdog notices the silence.
+    a.label("spin");
+    a.j("spin");
+    return {a.assemble(), 0};
+}
+
+Program
 broadcast_sender(uint32_t period_cycles) {
     Assembler a;
     emit_prologue(a, SlotParams{4, 16 * 1024});

@@ -77,6 +77,15 @@ Program nat(const SlotParams& slots = SlotParams{16, 16 * 1024},
 /// its own firmware) takes over.
 Program chained_firewall(unsigned rpu_count, const SlotParams& slots = {});
 
+/// Fault-injection fixture for the forward-progress watchdog: announces
+/// its packet slots like a healthy image (so the LB keeps assigning
+/// traffic to it) and then spins forever without ever reading RECV or
+/// releasing a descriptor — a firmware busy-loop wedge. The static
+/// verifier flags the unbounded loop, so loading it requires
+/// FirmwareCheck::kWarn/kOff (the same gate-lowering idiom as the other
+/// failure-injection tests).
+Program busy_loop(const SlotParams& slots = {});
+
 /// Broadcast sender: writes its cycle counter into the broadcast region
 /// every `period_cycles` (0 = as fast as possible). The receiver side of
 /// the measurement is in every program below: broadcast_sink accumulates

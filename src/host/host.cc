@@ -118,6 +118,9 @@ HostContext::reconfigure(unsigned rpu_idx,
                          const std::vector<uint32_t>& image, uint32_t entry, sim::Rng& rng) {
     PrTiming t;
     rpu::Rpu& target = *rpus_.at(rpu_idx);
+    auto phase = [&](const char* name) {
+        if (reconfig_observer_) reconfig_observer_(name, rpu_idx);
+    };
 
     // 0. Verify the replacement image up front so a bad one fails the
     //    reconfiguration before traffic is stopped or the RPU drained.
@@ -126,12 +129,14 @@ HostContext::reconfigure(unsigned rpu_idx,
     // 1. Tell the LB to stop sending traffic to this RPU.
     uint32_t mask = lb_.recv_mask();
     lb_.host_write(lb::kLbRegRecvMask, mask & ~(1u << rpu_idx));
+    phase("stop_traffic");
 
     // 2. Drain: wait until no packets remain inside the RPU.
     sim::Cycle drain_start = kernel_.now();
     bool drained = kernel_.run_until([&] { return target.occupancy() == 0; }, 2'000'000);
     if (!drained) sim::warn("reconfigure: RPU did not drain; proceeding anyway");
     t.drain_us = sim::cycles_to_us(kernel_.now() - drain_start);
+    phase(drained ? "drain_done" : "drain_timeout");
 
     // 3. Evict interrupt, then halt the core.
     target.raise_evict();
@@ -147,6 +152,7 @@ HostContext::reconfigure(unsigned rpu_idx,
     double bitstream_bytes = kDeviceBitstreamBytes * region_share;
     double mcap_rate = 3.35e6 * (1.0 + (rng.uniform() - 0.5) * 0.06);
     t.bitstream_ms = bitstream_bytes / mcap_rate * 1e3;
+    phase("bitstream_write");
 
     // 5. Swap the accelerator, reload firmware, boot, let it settle.
     if (accel_factory) target.attach_accelerator(accel_factory());
@@ -156,9 +162,11 @@ HostContext::reconfigure(unsigned rpu_idx,
     kernel_.run_until([&] { return target.slot_config().count != 0 || target.core_halted(); },
                       50'000);
     t.boot_us = sim::cycles_to_us(kernel_.now() - boot_start);
+    phase("boot_done");
 
     // 6. Resume traffic.
     lb_.host_write(lb::kLbRegRecvMask, mask);
+    phase("resume");
 
     t.total_ms = t.drain_us / 1e3 + t.bitstream_ms + t.boot_us / 1e3;
     stats_.counter("host.pr_loads").add();

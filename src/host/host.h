@@ -38,6 +38,12 @@ enum class FirmwareCheck {
     kOff,      ///< no static verification
 };
 
+/// Snapshot format for the health layer's metrics query. Mirrors
+/// obs::MetricsFormat — the host layer sits below obs and cannot include
+/// it; the provider closure installed by obs::HealthMonitor bridges the
+/// two enums.
+enum class MetricsFormat : uint8_t { kPrometheus, kJson };
+
 /// Breakdown of one partial-reconfiguration cycle.
 struct PrTiming {
     double drain_us = 0;      ///< waiting for in-flight packets (simulated)
@@ -116,6 +122,33 @@ class HostContext {
     rpu::Rpu& rpu(unsigned idx) { return *rpus_.at(idx); }
     unsigned rpu_count() const { return unsigned(rpus_.size()); }
 
+    // --- production health -----------------------------------------------------
+
+    /// Observer of the reconfigure() flow's phase transitions (phase name,
+    /// target RPU). The health layer installs this so the flight recorder
+    /// can correlate drop bursts and latency spikes with PR phases.
+    using ReconfigObserver = std::function<void(const char* phase, unsigned rpu)>;
+    void set_reconfig_observer(ReconfigObserver fn) {
+        reconfig_observer_ = std::move(fn);
+    }
+
+    /// Provider of metrics snapshots, installed by obs::HealthMonitor on
+    /// attach. A closure keeps the dependency direction intact: the host
+    /// layer never links against obs.
+    using MetricsProvider = std::function<std::string(MetricsFormat)>;
+    void set_metrics_provider(MetricsProvider fn) {
+        metrics_provider_ = std::move(fn);
+    }
+    bool has_metrics_provider() const { return bool(metrics_provider_); }
+
+    /// Point-in-time metrics snapshot from the attached health layer
+    /// (paper §4.3's "status counters", grown into a full registry);
+    /// empty when no health layer is attached.
+    std::string metrics_snapshot(
+        MetricsFormat fmt = MetricsFormat::kPrometheus) const {
+        return metrics_provider_ ? metrics_provider_(fmt) : std::string();
+    }
+
  private:
     /// Run the static verifier over `image` per the current policy;
     /// sim::fatal on errors when enforcing.
@@ -123,6 +156,8 @@ class HostContext {
 
     FirmwareCheck firmware_check_ = FirmwareCheck::kEnforce;
     FirmwareCheck wcet_check_ = FirmwareCheck::kOff;
+    ReconfigObserver reconfig_observer_;
+    MetricsProvider metrics_provider_;
     uint64_t wcet_budget_cycles_ = 0;  ///< 0 = no budget comparison
     sim::Kernel& kernel_;
     sim::Stats& stats_;

@@ -12,56 +12,89 @@
 
 namespace rosebud::obs {
 
-ProfileResult
-run_profile(const ProfileSpec& spec) {
+PipelineFixture
+build_pipeline(const PipelineSpec& spec) {
+    PipelineFixture fx;
+
     SystemConfig scfg;
     scfg.rpu_count = spec.rpu_count;
     scfg.lb_policy = spec.policy;
     // The HW-reorder IDS firmware expects the inline reassembler in the LB.
     scfg.hw_reassembler = spec.pipeline == oracle::Pipeline::kPigasusHwReorder;
-    System sys(scfg);
+    fx.sys = std::make_unique<System>(scfg);
+    System& sys = *fx.sys;
 
     sim::Rng rng(spec.seed);
-    net::IdsRuleSet rules;
-    net::Blacklist blacklist;
     accel::NatEngine::Params nat_params{};
-    const net::IdsRuleSet* gen_rules = nullptr;
-    const net::Blacklist* gen_blacklist = nullptr;
 
-    fwlib::Program fw;
     switch (spec.pipeline) {
     case oracle::Pipeline::kForwarder:
-        fw = fwlib::forwarder();
+        fx.firmware = fwlib::forwarder();
         break;
     case oracle::Pipeline::kFirewall:
-        blacklist = net::Blacklist::synthesize(spec.blacklist_count, rng);
+        fx.blacklist = std::make_unique<net::Blacklist>(
+            net::Blacklist::synthesize(spec.blacklist_count, rng));
         sys.attach_accelerators(
-            [&] { return std::make_unique<accel::FirewallMatcher>(blacklist); });
-        fw = fwlib::firewall();
-        gen_blacklist = &blacklist;
+            [&] { return std::make_unique<accel::FirewallMatcher>(*fx.blacklist); });
+        fx.firmware = fwlib::firewall();
+        fx.gen_blacklist = fx.blacklist.get();
         break;
     case oracle::Pipeline::kPigasusHwReorder:
     case oracle::Pipeline::kPigasusSwReorder:
-        rules = net::IdsRuleSet::synthesize(spec.rule_count, rng);
+        fx.rules = std::make_unique<net::IdsRuleSet>(
+            net::IdsRuleSet::synthesize(spec.rule_count, rng));
         sys.attach_accelerators(
-            [&] { return std::make_unique<accel::PigasusMatcher>(rules); });
-        fw = spec.pipeline == oracle::Pipeline::kPigasusHwReorder
-                 ? fwlib::pigasus_hw_reorder()
-                 : fwlib::pigasus_sw_reorder();
-        gen_rules = &rules;
+            [&] { return std::make_unique<accel::PigasusMatcher>(*fx.rules); });
+        fx.firmware = spec.pipeline == oracle::Pipeline::kPigasusHwReorder
+                          ? fwlib::pigasus_hw_reorder()
+                          : fwlib::pigasus_sw_reorder();
+        fx.gen_rules = fx.rules.get();
         break;
     case oracle::Pipeline::kNat:
-        blacklist = net::Blacklist::synthesize(spec.blacklist_count, rng);
+        fx.blacklist = std::make_unique<net::Blacklist>(
+            net::Blacklist::synthesize(spec.blacklist_count, rng));
         sys.attach_accelerators(
             [&] { return std::make_unique<accel::NatEngine>(nat_params); });
-        fw = fwlib::nat(fwlib::SlotParams{16, 16 * 1024},
-                        spec.policy == lb::Policy::kHash);
-        gen_blacklist = &blacklist;
+        fx.firmware = fwlib::nat(fwlib::SlotParams{16, 16 * 1024},
+                                 spec.policy == lb::Policy::kHash);
+        fx.gen_blacklist = fx.blacklist.get();
         break;
     }
 
-    sys.host().load_firmware_all(fw.image, fw.entry);
+    sys.host().load_firmware_all(fx.firmware.image, fx.firmware.entry);
     sys.host().boot_all();
+    return fx;
+}
+
+void
+add_traffic(PipelineFixture& fx, const TrafficParams& traffic) {
+    net::TrafficSpec tspec;
+    tspec.packet_size = traffic.packet_size;
+    tspec.attack_fraction = traffic.attack_fraction;
+    tspec.flow_count = traffic.flow_count;
+    tspec.udp_fraction = traffic.udp_fraction;
+    tspec.seed = traffic.seed * 2654435761u + 1;
+    auto gen = std::make_shared<net::TraceGenerator>(tspec, fx.gen_rules,
+                                                     fx.gen_blacklist);
+
+    dist::TrafficSource::Config src;
+    src.port = 0;
+    src.load = traffic.load;
+    src.max_packets = traffic.max_packets;
+    fx.system().add_source(src, [gen] { return gen->next(); });
+}
+
+ProfileResult
+run_profile(const ProfileSpec& spec) {
+    PipelineSpec pspec;
+    pspec.pipeline = spec.pipeline;
+    pspec.rpu_count = spec.rpu_count;
+    pspec.policy = spec.policy;
+    pspec.seed = spec.seed;
+    pspec.rule_count = spec.rule_count;
+    pspec.blacklist_count = spec.blacklist_count;
+    PipelineFixture fx = build_pipeline(pspec);
+    System& sys = fx.system();
 
     // The full observability stack, attached before the first cycle so the
     // per-net cycle classification covers the entire run.
@@ -78,19 +111,15 @@ run_profile(const ProfileSpec& spec) {
 
     for (unsigned i = 0; i < sys.rpu_count(); ++i) sys.rpu(i).core().set_profile(true);
 
-    net::TrafficSpec tspec;
-    tspec.packet_size = spec.packet_size;
-    tspec.attack_fraction = spec.attack_fraction;
-    tspec.flow_count = spec.flow_count;
-    tspec.udp_fraction = spec.udp_fraction;
-    tspec.seed = spec.seed * 2654435761u + 1;
-    auto gen = std::make_shared<net::TraceGenerator>(tspec, gen_rules, gen_blacklist);
-
-    dist::TrafficSource::Config src;
-    src.port = 0;
-    src.load = spec.load;
-    src.max_packets = spec.max_packets;
-    sys.add_source(src, [gen] { return gen->next(); });
+    TrafficParams traffic;
+    traffic.packet_size = spec.packet_size;
+    traffic.load = spec.load;
+    traffic.max_packets = spec.max_packets;
+    traffic.attack_fraction = spec.attack_fraction;
+    traffic.udp_fraction = spec.udp_fraction;
+    traffic.flow_count = spec.flow_count;
+    traffic.seed = spec.seed;
+    add_traffic(fx, traffic);
 
     sys.run_cycles(spec.run_cycles);
 
@@ -99,7 +128,7 @@ run_profile(const ProfileSpec& spec) {
     res.stalls = build_stall_report(telem);
     res.cores = collect_profiles(sys);
     res.aggregate = aggregate_profiles(res.cores);
-    res.firmware = fw;
+    res.firmware = fx.firmware;
     res.trace = trace_json(tracer, &telem, spec.trace_max_packets);
     if (spec.capture_vcd) res.vcd = telem.vcd().str();
     for (unsigned p = 0; p < 2; ++p) {

@@ -103,6 +103,14 @@ class JsonWriter {
         return *this;
     }
 
+    /// Splice pre-rendered JSON (e.g. another writer's output) in value
+    /// position. The caller is responsible for its validity.
+    JsonWriter& raw(const std::string& json) {
+        sep();
+        os_ << json;
+        return *this;
+    }
+
     std::string str() const { return os_.str(); }
 
  private:

@@ -1,0 +1,256 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "sim/kernel.h"
+#include "sim/stats.h"
+
+namespace rosebud::obs {
+
+uint64_t
+Histogram::percentile(double p) const {
+    if (count_ == 0) return 0;
+    if (std::isnan(p) || p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    uint64_t target = uint64_t(std::ceil(p * double(count_)));
+    if (target == 0) target = 1;
+    uint64_t cum = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        cum += buckets_[i];
+        if (cum >= target) return bucket_upper(i);
+    }
+    return max_;
+}
+
+void
+Histogram::clear() {
+    for (uint64_t& b : buckets_) b = 0;
+    count_ = sum_ = min_ = max_ = 0;
+}
+
+void
+Histogram::merge(const Histogram& o) {
+    if (o.count_ == 0) return;
+    for (unsigned i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+}
+
+std::string
+prom_name(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 1);
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    // Names may not start with a digit; prepend rather than substitute so
+    // "9lives" stays recognizable as "_9lives".
+    if (out.empty()) out.push_back('_');
+    else if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+prom_label_value(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+void
+MetricsRegistry::add_counter(std::string name, std::string help,
+                             std::string labels, IntGetter fn) {
+    entries_.push_back({Kind::kCounter, prom_name(name), std::move(help),
+                        std::move(labels), std::move(fn), nullptr, 1.0});
+}
+
+void
+MetricsRegistry::add_gauge(std::string name, std::string help,
+                           std::string labels, IntGetter fn) {
+    entries_.push_back({Kind::kGauge, prom_name(name), std::move(help),
+                        std::move(labels), std::move(fn), nullptr, 1.0});
+}
+
+void
+MetricsRegistry::add_histogram(std::string name, std::string help,
+                               std::string labels, const Histogram* h,
+                               double scale) {
+    entries_.push_back({Kind::kHistogram, prom_name(name), std::move(help),
+                        std::move(labels), IntGetter(), h, scale});
+}
+
+namespace {
+
+std::string
+fmt_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+prom_series(std::string& out, const std::string& name,
+            const std::string& labels, const std::string& value) {
+    out += name;
+    if (!labels.empty()) {
+        out += '{';
+        out += labels;
+        out += '}';
+    }
+    out += ' ';
+    out += value;
+    out += '\n';
+}
+
+}  // namespace
+
+std::string
+MetricsRegistry::prometheus_text() const {
+    std::string out;
+    out.reserve(4096);
+    std::string prev_family;
+    for (const Entry& e : entries_) {
+        if (e.name != prev_family) {
+            out += "# HELP " + e.name + " " + e.help + "\n";
+            out += "# TYPE " + e.name + " ";
+            out += e.kind == Kind::kCounter
+                       ? "counter"
+                       : e.kind == Kind::kGauge ? "gauge" : "histogram";
+            out += "\n";
+            prev_family = e.name;
+        }
+        if (e.kind == Kind::kHistogram) {
+            uint64_t cum = 0;
+            const Histogram& h = *e.hist;
+            h.for_each_nonzero([&](uint64_t upper, uint64_t n) {
+                cum += n;
+                std::string l = "le=\"" + fmt_double(double(upper) * e.scale) + "\"";
+                if (!e.labels.empty()) l = e.labels + "," + l;
+                prom_series(out, e.name + "_bucket", l, std::to_string(cum));
+            });
+            std::string linf = "le=\"+Inf\"";
+            if (!e.labels.empty()) linf = e.labels + "," + linf;
+            prom_series(out, e.name + "_bucket", linf, std::to_string(h.count()));
+            prom_series(out, e.name + "_sum", e.labels,
+                        fmt_double(double(h.sum()) * e.scale));
+            prom_series(out, e.name + "_count", e.labels,
+                        std::to_string(h.count()));
+        } else {
+            prom_series(out, e.name, e.labels, std::to_string(e.fn ? e.fn() : 0));
+        }
+    }
+    if (stats_) {
+        out += "# HELP rosebud_stat_total Simulator stats-registry counter (paper sec. 4.3 status counters).\n";
+        out += "# TYPE rosebud_stat_total counter\n";
+        for (const auto& [name, ctr] : stats_->counters()) {
+            prom_series(out, "rosebud_stat_total",
+                        "name=\"" + prom_label_value(name) + "\"",
+                        std::to_string(ctr.get()));
+        }
+        out += "# HELP rosebud_stat_sampler_count Samples accumulated by a stats-registry sampler.\n";
+        out += "# TYPE rosebud_stat_sampler_count counter\n";
+        for (const auto& [name, s] : stats_->samplers()) {
+            prom_series(out, "rosebud_stat_sampler_count",
+                        "name=\"" + prom_label_value(name) + "\"",
+                        std::to_string(s.seen()));
+        }
+    }
+    if (kernel_) {
+        out += "# HELP rosebud_net_occupancy Committed occupancy of a registered net (entries).\n";
+        out += "# TYPE rosebud_net_occupancy gauge\n";
+        for (const auto& p : kernel_->occupancy_probes()) {
+            prom_series(out, "rosebud_net_occupancy",
+                        "net=\"" + prom_label_value(p.net) + "\"",
+                        std::to_string(p.fn()));
+        }
+        out += "# HELP rosebud_sim_cycles Simulated cycles since reset.\n";
+        out += "# TYPE rosebud_sim_cycles gauge\n";
+        prom_series(out, "rosebud_sim_cycles", "", std::to_string(kernel_->now()));
+        out += "# HELP rosebud_awake_components Components in the kernel's active set.\n";
+        out += "# TYPE rosebud_awake_components gauge\n";
+        prom_series(out, "rosebud_awake_components", "",
+                    std::to_string(kernel_->awake_count()));
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.key("metrics").begin_array();
+    for (const Entry& e : entries_) {
+        w.begin_object();
+        w.key("name").value(e.name);
+        if (!e.labels.empty()) w.key("labels").value(e.labels);
+        if (e.kind == Kind::kHistogram) {
+            const Histogram& h = *e.hist;
+            w.key("kind").value("histogram");
+            w.key("count").value(h.count());
+            w.key("sum").value(double(h.sum()) * e.scale);
+            w.key("mean").value(h.mean() * e.scale);
+            w.key("min").value(double(h.min()) * e.scale);
+            w.key("max").value(double(h.max()) * e.scale);
+            w.key("p50").value(double(h.percentile(0.50)) * e.scale);
+            w.key("p99").value(double(h.percentile(0.99)) * e.scale);
+            w.key("p999").value(double(h.percentile(0.999)) * e.scale);
+            w.key("buckets").begin_array();
+            uint64_t cum = 0;
+            h.for_each_nonzero([&](uint64_t upper, uint64_t n) {
+                cum += n;
+                w.begin_object();
+                w.key("le").value(double(upper) * e.scale);
+                w.key("count").value(cum);
+                w.end_object();
+            });
+            w.end_array();
+        } else {
+            w.key("kind").value(e.kind == Kind::kCounter ? "counter" : "gauge");
+            w.key("value").value(e.fn ? e.fn() : 0);
+        }
+        w.end_object();
+    }
+    w.end_array();
+    if (stats_) {
+        w.key("stats").begin_object();
+        for (const auto& [name, ctr] : stats_->counters())
+            w.key(name).value(ctr.get());
+        w.end_object();
+    }
+    if (kernel_) {
+        w.key("nets").begin_array();
+        for (const auto& p : kernel_->occupancy_probes()) {
+            w.begin_object();
+            w.key("net").value(p.net);
+            w.key("occupancy").value(uint64_t(p.fn()));
+            w.key("capacity").value(uint64_t(p.capacity));
+            w.end_object();
+        }
+        w.end_array();
+        w.key("cycles").value(kernel_->now());
+        w.key("awake_components").value(uint64_t(kernel_->awake_count()));
+    }
+    w.end_object();
+    return w.str();
+}
+
+std::string
+MetricsRegistry::snapshot(MetricsFormat fmt) const {
+    return fmt == MetricsFormat::kPrometheus ? prometheus_text() : json();
+}
+
+}  // namespace rosebud::obs

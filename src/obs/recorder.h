@@ -1,0 +1,134 @@
+/// \file
+/// Flight recorder — a fixed-capacity, zero-allocation ring of compact
+/// typed events for post-mortem debugging (DESIGN.md §15).
+///
+/// The production story this serves: a run wedges or blows an SLA at cycle
+/// 40M, and we need the story *without* re-running under a tracer. The
+/// health layer (obs/health.h) feeds the recorder from the per-packet
+/// observer and watchdog hooks; on a fault, a watchdog trip, or an explicit
+/// dump() the ring is rendered as JSON plus a human-readable timeline.
+///
+/// Recording is write-one-POD-struct-into-a-preallocated-ring — no strings,
+/// no allocation, no branches beyond the wrap check — so it is legal on the
+/// hot path under the zero-allocation proof of tests/test_perf_hotpath.cc.
+/// Rare events (trips, faults, reconfig phases, SLO violations) may carry a
+/// short detail string; those intern into a bounded side table and only
+/// those events pay for it.
+
+#ifndef ROSEBUD_OBS_RECORDER_H
+#define ROSEBUD_OBS_RECORDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rosebud::obs {
+
+/// Event types held by the flight recorder. Keep this enum dense — the
+/// dump code indexes a name table by it.
+enum class FlightEventType : uint8_t {
+    kIngress = 0,      ///< packet entered at a MAC/host port (a = port, b = size, c = id)
+    kEgress,           ///< packet left (a = port/stage, b = size, c = id, d = latency cycles)
+    kDrop,             ///< packet dropped (a = where, b = size, c = id)
+    kFault,            ///< component fault observed (a = rpu, note)
+    kReconfigPhase,    ///< host PR flow phase (a = rpu, note = phase)
+    kWatchdogTrip,     ///< forward-progress watchdog fired (note = summary)
+    kSloViolation,     ///< per-epoch SLO check failed (note = verdict)
+    kStallWarn,        ///< per-component liveness stall attributed (a = rpu, note)
+    kTypeCount,
+};
+
+/// Drop sites for FlightEventType::kDrop's `a` argument.
+enum class DropSite : uint8_t { kMacRxFifo = 0, kFirmware, kSiteCount };
+
+/// One recorded event: 32 bytes, POD, no ownership.
+struct FlightEvent {
+    uint64_t cycle = 0;
+    uint64_t c = 0;       ///< packet id or wide argument
+    uint32_t d = 0;       ///< extra argument (e.g. latency in cycles)
+    uint16_t b = 0;       ///< size or small argument
+    uint8_t a = 0;        ///< port / rpu / site
+    FlightEventType type = FlightEventType::kIngress;
+    int32_t note = -1;    ///< index into the note table, -1 = none
+};
+
+/// Fixed-capacity event ring. Construction sizes the ring (the only
+/// allocation); record() never allocates. When full, the oldest events are
+/// overwritten — a flight recorder keeps the *recent* past.
+class FlightRecorder {
+ public:
+    explicit FlightRecorder(size_t capacity = 4096);
+
+    /// Record a hot-path event (no note). Never allocates.
+    void record(FlightEventType type, uint64_t cycle, uint8_t a = 0,
+                uint16_t b = 0, uint64_t c = 0, uint32_t d = 0) {
+        FlightEvent& e = ring_[head_];
+        e.cycle = cycle;
+        e.c = c;
+        e.d = d;
+        e.b = b;
+        e.a = a;
+        e.type = type;
+        e.note = -1;
+        advance();
+    }
+
+    /// Record a rare event carrying a detail string. The note interns into
+    /// a bounded table (allocates; never call from the per-packet path).
+    void record_note(FlightEventType type, uint64_t cycle, std::string note,
+                     uint8_t a = 0, uint16_t b = 0, uint64_t c = 0,
+                     uint32_t d = 0);
+
+    /// Events currently held, oldest first.
+    size_t size() const { return count_; }
+    size_t capacity() const { return ring_.size(); }
+
+    /// Total events ever recorded (so dumps report how much history the
+    /// ring has already shed).
+    uint64_t recorded() const { return recorded_; }
+    uint64_t overwritten() const { return recorded_ - count_; }
+
+    /// Visit held events oldest-first.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        size_t start = (head_ + ring_.size() - count_) % ring_.size();
+        for (size_t i = 0; i < count_; ++i)
+            fn(ring_[(start + i) % ring_.size()]);
+    }
+
+    /// Resolve a FlightEvent::note index ("" for -1 / out of range).
+    const std::string& note(int32_t idx) const;
+
+    /// Human-readable name of an event type.
+    static const char* type_name(FlightEventType t);
+
+    /// Drop the ring contents (capacity and notes are kept).
+    void clear();
+
+    /// Render the held events as a JSON object (schema in
+    /// docs/OBSERVABILITY.md, "Production health").
+    std::string dump_json() const;
+
+    /// Render the held events as an aligned, human-readable timeline.
+    std::string dump_text() const;
+
+ private:
+    void advance() {
+        ++recorded_;
+        head_ = (head_ + 1) % ring_.size();
+        if (count_ < ring_.size()) ++count_;
+    }
+
+    std::vector<FlightEvent> ring_;
+    size_t head_ = 0;   ///< next write position
+    size_t count_ = 0;
+    uint64_t recorded_ = 0;
+    /// Interned detail strings for rare events. Bounded: once full, new
+    /// notes all collapse onto a final "<note table full>" entry.
+    std::vector<std::string> notes_;
+    static constexpr size_t kMaxNotes = 1024;
+};
+
+}  // namespace rosebud::obs
+
+#endif  // ROSEBUD_OBS_RECORDER_H

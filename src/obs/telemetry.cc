@@ -166,6 +166,35 @@ Telemetry::close_epoch() {
         }
     }
     epochs_.push_back(std::move(ep));
+    if (cfg_.max_epochs && epochs_.size() > cfg_.max_epochs) coarsen_epochs();
+}
+
+void
+Telemetry::coarsen_epochs() {
+    // Merge adjacent pairs: each fraction averages weighted by how many
+    // base epochs the entries already cover, counter deltas sum, so the
+    // coarse series conserves the totals of the fine one.
+    std::vector<Epoch> merged;
+    merged.reserve(epochs_.size() / 2 + 1);
+    size_t i = 0;
+    for (; i + 1 < epochs_.size(); i += 2) {
+        Epoch& a = epochs_[i];
+        Epoch& b = epochs_[i + 1];
+        Epoch m;
+        m.end_cycle = b.end_cycle;
+        m.span = a.span + b.span;
+        const double wa = double(a.span) / double(m.span);
+        const double wb = double(b.span) / double(m.span);
+        for (const auto& [comp, f] : a.busy_frac) m.busy_frac[comp] += f * wa;
+        for (const auto& [comp, f] : b.busy_frac) m.busy_frac[comp] += f * wb;
+        for (const auto& [comp, f] : a.stall_frac) m.stall_frac[comp] += f * wa;
+        for (const auto& [comp, f] : b.stall_frac) m.stall_frac[comp] += f * wb;
+        for (const auto& [name, d] : a.counter_delta) m.counter_delta[name] += d;
+        for (const auto& [name, d] : b.counter_delta) m.counter_delta[name] += d;
+        merged.push_back(std::move(m));
+    }
+    if (i < epochs_.size()) merged.push_back(std::move(epochs_.back()));
+    epochs_.swap(merged);
 }
 
 }  // namespace rosebud::obs

@@ -60,6 +60,12 @@ class Telemetry : public sim::TelemetrySink {
         /// sim::Stats counters sampled (as per-epoch deltas) into the
         /// epoch series.
         std::vector<std::string> watch_counters;
+        /// Bound on retained epochs (0 = unbounded). When the series would
+        /// exceed it, adjacent epochs merge pairwise — fractions average
+        /// weighted by span, counter deltas sum — so an arbitrarily long
+        /// run keeps a fixed-size series at progressively coarser (but
+        /// conserved) resolution.
+        size_t max_epochs = 0;
     };
 
     /// Lifetime totals for one net.
@@ -99,6 +105,11 @@ class Telemetry : public sim::TelemetrySink {
     /// One closed epoch of the utilization time series.
     struct Epoch {
         uint64_t end_cycle = 0;  ///< cycles_observed() when the epoch closed
+        /// Base epochs folded into this entry (1 until Config::max_epochs
+        /// coarsening kicks in; an odd-length series merges its tail into
+        /// non-power-of-two spans, but the spans always sum to the number
+        /// of base epochs closed).
+        uint64_t span = 1;
         /// Per-component fraction of net-cycles spent busy / stalled
         /// (averaged over the component's instrumented nets).
         std::map<std::string, double> busy_frac;
@@ -136,6 +147,7 @@ class Telemetry : public sim::TelemetrySink {
  private:
     NetStats& net(const std::string& name);
     void close_epoch();
+    void coarsen_epochs();
     void capture_net(const std::string& name, NetStats& ns, NetState state,
                      uint64_t completed_cycle);
 

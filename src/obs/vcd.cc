@@ -20,6 +20,25 @@ id_code(size_t index) {
     return id;
 }
 
+// Scope/var names land verbatim in "$scope module <name> $end" and
+// "$var wire <w> <id> <name> $end" lines, where whitespace, '$', or
+// brackets would corrupt the declaration stream (net names are
+// user/test-controlled strings, not a trusted vocabulary). Map every
+// character outside [A-Za-z0-9_] to '_' and keep the first character
+// non-numeric; empty segments become "_".
+std::string
+sanitize_name(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 1);
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+    return out;
+}
+
 std::vector<std::string>
 split_dots(const std::string& s) {
     std::vector<std::string> parts;
@@ -102,9 +121,10 @@ VcdWriter::str() const {
     for (size_t i = 0; i < signals_.size(); ++i) {
         auto parts = split_dots(signals_[i].path);
         ScopeNode* node = &root;
-        for (size_t p = 0; p + 1 < parts.size(); ++p) node = &node->children[parts[p]];
+        for (size_t p = 0; p + 1 < parts.size(); ++p)
+            node = &node->children[sanitize_name(parts[p])];
         node->vars.push_back(i);
-        vars.emplace_back(parts.back(), signals_[i].width);
+        vars.emplace_back(sanitize_name(parts.back()), signals_[i].width);
         ids.push_back(signals_[i].id);
     }
     emit_scope(os, root, vars, ids, 0);

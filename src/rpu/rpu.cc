@@ -40,6 +40,12 @@ Rpu::Rpu(sim::Kernel& kernel, sim::Stats& stats, const Config& config)
       bcast_notify_(kernel, name() + ".bcast_notify", config.bcast_notify_depth,
                     kDescWidthBits, 0, sim::CreditPolicy::kRegistered) {
     declare_netlist(kernel);
+    // Packet-slot occupancy for the health layer's backlog census: slots
+    // are not a sim::Fifo (the DMA engine scatters into slot memory), so
+    // the RPU registers the probe itself. occupancy_ mirrors rx_pending_
+    // race-free, so a host-phase read is always consistent.
+    kernel.register_occupancy_probe(name() + ".slots", slot_pkts_.size(), this,
+                                    [this] { return size_t(occupancy_); });
     ctr_rx_packets_ = &stats.counter(stat("rx_packets"));
     ctr_rx_bytes_ = &stats.counter(stat("rx_bytes"));
     ctr_rx_bad_slot_ = &stats.counter(stat("rx_bad_slot"));

@@ -60,7 +60,14 @@ class Fifo : public Clocked {
                             credit == CreditPolicy::kRegistered
                                 ? NetRecord::kCreditRegistered
                                 : NetRecord::kCreditSkid});
+        // Raw-field read (not size()): probes run in the host phase where
+        // the race checks are moot, and must not emit telemetry events.
+        kernel.register_occupancy_probe(
+            name_, capacity_, this,
+            [this] { return stable_.size() - popped_; });
     }
+
+    ~Fifo() override { kernel_.unregister_occupancy_probe(name_, this); }
 
     /// True if a push this cycle will be accepted. A false answer counts
     /// as a stalled-on-credit observation for the telemetry sink.

@@ -256,6 +256,7 @@ Kernel::step() {
     }
     phase_ = Phase::kIdle;
     if (telemetry_) telemetry_->end_cycle(now_);
+    if (health_probe_) health_probe_->on_cycle(now_);
     ++now_;
     // Sweep for sleepers every 4th cycle only: quiescent() is virtual and
     // the sweep polls every awake component. Delaying sleep is always exact
@@ -311,6 +312,32 @@ Kernel::tick_order() const {
     names.reserve(components_.size());
     for (const Component* c : components_) names.push_back(c->name());
     return names;
+}
+
+void
+Kernel::register_occupancy_probe(std::string net, size_t capacity,
+                                 const void* owner, std::function<size_t()> fn) {
+    for (OccupancyProbe& p : occupancy_probes_) {
+        if (p.net == net) {
+            p.capacity = capacity;
+            p.owner = owner;
+            p.fn = std::move(fn);
+            return;
+        }
+    }
+    occupancy_probes_.push_back(
+        {std::move(net), capacity, owner, std::move(fn)});
+}
+
+void
+Kernel::unregister_occupancy_probe(const std::string& net, const void* owner) {
+    for (auto it = occupancy_probes_.begin(); it != occupancy_probes_.end();
+         ++it) {
+        if (it->net == net && it->owner == owner) {
+            occupancy_probes_.erase(it);
+            return;
+        }
+    }
 }
 
 void

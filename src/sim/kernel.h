@@ -350,6 +350,50 @@ class Kernel {
     }
     TelemetrySink* telemetry() const { return telemetry_; }
 
+    // --- health probe ---------------------------------------------------------
+
+    /// Attach/detach the always-on health heartbeat (obs::HealthMonitor).
+    /// Null (the default) costs one pointer compare per stepped cycle.
+    /// Deliberately does NOT wake anything and does NOT disable idle
+    /// skipping or parallel ticking — the probe contract (sim/telemetry.h)
+    /// tolerates fast-forward gaps, which is what keeps the health layer
+    /// within its production overhead budget. The caller owns the probe
+    /// and must detach (or outlive the kernel) before it dies.
+    void set_health_probe(HealthProbe* probe) { health_probe_ = probe; }
+    HealthProbe* health_probe() const { return health_probe_; }
+
+    // --- occupancy probes -----------------------------------------------------
+
+    /// A registered on-demand reader of one net's committed occupancy.
+    /// Primitives (sim::Fifo) and components owning abstract buffered links
+    /// (fabric VOQs, RPU packet slots) register a getter at construction so
+    /// host-side diagnostics — the watchdog's deepest-backlog census, the
+    /// metrics registry's gauges — can take a full occupancy snapshot at
+    /// any host-phase point without a TelemetrySink attached. Getters read
+    /// committed state only and are never called during tick/commit.
+    struct OccupancyProbe {
+        std::string net;        ///< netlist name, e.g. "rpu3.rx_fifo"
+        size_t capacity = 0;    ///< same unit as the getter (entries)
+        const void* owner = nullptr;  ///< registrant, for matched removal
+        std::function<size_t()> fn;   ///< committed occupancy right now
+    };
+
+    /// Register (or, for the same net name, replace) an occupancy probe.
+    /// Re-registration mirrors declare_net: a reconfigured accelerator's
+    /// fresh primitive takes over its predecessor's net name.
+    void register_occupancy_probe(std::string net, size_t capacity,
+                                  const void* owner, std::function<size_t()> fn);
+
+    /// Remove the probe for `net` iff `owner` still owns it. Owner-matched
+    /// so that destroying a replaced (stale) registrant cannot drop its
+    /// successor's probe during reconfiguration handover.
+    void unregister_occupancy_probe(const std::string& net, const void* owner);
+
+    /// All live occupancy probes, in registration order (deterministic).
+    const std::vector<OccupancyProbe>& occupancy_probes() const {
+        return occupancy_probes_;
+    }
+
     // --- quiescence skipping --------------------------------------------------
 
     /// Master switch for the active set / fast-forward machinery (on by
@@ -471,6 +515,8 @@ class Kernel {
     const Component* active_ = nullptr;
     bool race_check_ = true;
     TelemetrySink* telemetry_ = nullptr;
+    HealthProbe* health_probe_ = nullptr;
+    std::vector<OccupancyProbe> occupancy_probes_;
 
     bool idle_skip_ = true;
     bool commit_compat_ = false;

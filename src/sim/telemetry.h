@@ -16,6 +16,14 @@
 /// (the default), so production sweeps pay nothing; no sim::Stats counters
 /// are created either way, which keeps System::state_fingerprint bit-identical
 /// with telemetry on or off.
+///
+/// HealthProbe is the *production* counterpart: where a TelemetrySink wants
+/// the complete per-primitive event stream (and therefore disables idle
+/// skipping and parallel ticking), a HealthProbe only needs a periodic
+/// heartbeat plus on-demand reads of committed state. Attaching one costs a
+/// single pointer compare per stepped cycle and leaves every kernel fast
+/// path enabled — that is what lets the always-on health layer (obs::
+/// HealthMonitor) ride along production sweeps within its overhead budget.
 
 #ifndef ROSEBUD_SIM_TELEMETRY_H
 #define ROSEBUD_SIM_TELEMETRY_H
@@ -53,6 +61,29 @@ class TelemetrySink {
     /// The clock edge: cycle `completed` has fully committed. Sinks close
     /// the per-cycle classification window here.
     virtual void end_cycle(uint64_t completed) = 0;
+};
+
+/// A lightweight per-cycle heartbeat for always-on health monitoring.
+///
+/// Called once at the end of every *stepped* cycle, after all commits (and
+/// after any TelemetrySink's end_cycle). Cycles elided by whole-system
+/// fast-forward are NOT reported individually: by construction nothing can
+/// change during them (every component is asleep and no host call can occur
+/// inside the run loop), so implementations must tolerate gaps in
+/// `completed` and may treat a gap as proof of system-wide idleness.
+///
+/// Unlike TelemetrySink, attaching a HealthProbe does not disable idle
+/// skipping or parallel ticking, creates no sim::Stats counters, and must
+/// not mutate simulation state — the fingerprint-invariance tests hold with
+/// a probe attached.
+class HealthProbe {
+ public:
+    virtual ~HealthProbe() = default;
+
+    /// Cycle `completed` has fully committed. Runs in the host phase
+    /// (Kernel::phase() == kIdle), so committed primitive state may be
+    /// read freely.
+    virtual void on_cycle(uint64_t completed) = 0;
 };
 
 }  // namespace rosebud::sim

@@ -20,6 +20,7 @@
 #include "core/system.h"
 #include "firmware/programs.h"
 #include "net/tracegen.h"
+#include "obs/health.h"
 
 namespace {
 
@@ -112,6 +113,59 @@ TEST(HotPath, TrafficAllocationsAreBoundedPerPacket) {
     EXPECT_LT(g_allocs.load(), packets * 64)
         << "allocations grew with cycles, not packets ("
         << g_allocs.load() << " allocs for " << packets << " packets)";
+}
+
+// The production health layer's cost contract: attaching it must not add
+// heap traffic to the steady-state path. Its per-packet/per-cycle work
+// lands in preallocated PODs (flight-recorder ring, HDR histogram buckets,
+// open-addressed in-flight table); allocation is reserved for rare events
+// (trips, notes, epoch verdicts).
+TEST(HotPath, IdleSteadyStateWithHealthAttachedAllocatesNothing) {
+    auto sys = make_forwarder_system(4);
+    obs::HealthMonitor mon;
+    mon.attach(*sys);
+    sys->kernel().set_idle_skip(false);
+    sys->run_cycles(2000);  // warm-up, same as the detached audit
+
+    g_allocs.store(0);
+    g_counting.store(true);
+    sys->run_cycles(5000);
+    g_counting.store(false);
+
+    EXPECT_EQ(g_allocs.load(), 0u)
+        << "health layer touched the heap on the idle per-cycle path";
+    mon.detach();
+}
+
+TEST(HotPath, TrafficWithHealthAttachedStaysBoundedPerPacket) {
+    auto sys = make_forwarder_system(4);
+    obs::HealthMonitor mon;
+    mon.attach(*sys);
+
+    net::TrafficSpec tspec;
+    tspec.packet_size = 512;
+    tspec.seed = 31;
+    auto gen = std::make_shared<net::TraceGenerator>(tspec, nullptr, nullptr);
+    sys->add_source({.port = 0, .line_gbps = 100.0, .load = 0.5},
+                    [gen] { return gen->next(); });
+    sys->run_cycles(10'000);  // steady state
+
+    uint64_t frames_before = sys->sink(0).frames() + sys->sink(1).frames();
+    g_allocs.store(0);
+    g_counting.store(true);
+    sys->run_cycles(20'000);
+    g_counting.store(false);
+    uint64_t packets =
+        sys->sink(0).frames() + sys->sink(1).frames() - frames_before;
+
+    ASSERT_GT(packets, 100u);
+    EXPECT_GT(mon.ingress_packets(), 100u);  // the monitor really observed
+    // Same per-packet budget as the detached audit: the health layer's
+    // per-packet cost must be allocation-free, so the bound does not move.
+    EXPECT_LT(g_allocs.load(), packets * 64)
+        << "health layer allocations grew with cycles, not packets ("
+        << g_allocs.load() << " allocs for " << packets << " packets)";
+    mon.detach();
 }
 
 }  // namespace
