@@ -1,11 +1,13 @@
 /// Simulation-speed benchmark (host time, not simulated time).
 ///
-/// Three execution modes of the same workloads:
+/// Four execution modes of the same workloads:
 ///  * reference — predecode off, idle skipping off, serial ticking: the
 ///    plain interpret-everything two-phase kernel;
 ///  * tuned     — predecoded RV32 dispatch + quiescence skipping (the
 ///    defaults every experiment harness runs with);
-///  * parallel  — tuned plus the thread-pool tick executor.
+///  * parallel  — tuned plus the thread-pool tick executor;
+///  * decoupled — tuned plus time-decoupled cooperative execution over
+///    the certified 4-way ShardPlan (DESIGN.md §16).
 ///
 /// All three must produce bit-identical architectural state: every run is
 /// fingerprinted (System::state_fingerprint) and any divergence aborts the
@@ -53,6 +55,12 @@ const Mode kModes[] = {
       .commit_compat = true}},
     {"tuned", {.predecode = true, .idle_skip = true, .parallel_ticks = 0}},
     {"parallel", {.predecode = true, .idle_skip = true, .parallel_ticks = 2}},
+    // Time-decoupled cooperative execution over the certified 4-way
+    // ShardPlan (DESIGN.md §16). Pigasus falls back to the barrier kernel
+    // (the hardware reassembler is a structural obstacle) — the row then
+    // simply measures tuned, still fingerprint-gated.
+    {"decoupled", {.predecode = true, .idle_skip = true, .parallel_ticks = 0,
+                   .shards = 4, .shard_workers = 1}},
 };
 
 struct RunResult {
@@ -132,6 +140,12 @@ run_pipeline(Pipeline which, const exp::SimTuning& t,
             which == Pipeline::kFirewall ? &blacklist : nullptr);
         sys.add_source({.port = port, .line_gbps = 100.0, .load = 0.7},
                        [gen]() { return gen->next(); });
+    }
+    if (t.shards > 1) {
+        // Single host thread: cooperative interleaving is the honest
+        // executor (kThreads would just add rendezvous spinning).
+        sys.set_decouple_exec(sim::ShardSpec::Exec::kCoop);
+        sys.set_decouple_shards(t.shards, t.shard_workers);
     }
     sys.run_cycles(run_cycles);
 

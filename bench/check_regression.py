@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for bench_simspeed JSON results.
+"""Perf-regression gate for bench JSON results (simspeed, cluster).
 
-Compares a current run (bench-json/simspeed.json) against a blessed
-baseline (bench/baselines/simspeed.json, itself a verbatim bench output).
+Compares a current run (e.g. bench-json/simspeed.json) against a blessed
+baseline (bench/baselines/<bench>.json, itself a verbatim bench output).
 Machines differ in absolute speed, so raw throughput is never compared
 directly: the `reference` mode of each workload calibrates a per-workload
 machine-speed scale, and the tuned/parallel/tuned+health modes are gated
@@ -28,8 +28,10 @@ import sys
 HEALTH_OVERHEAD_MAX = 0.10
 # Modes whose host-time numbers are stable enough to gate. The parallel
 # executor's wall time depends on scheduler contention and core count, so
-# it is reported (and fingerprint-checked) but not throughput-gated.
-GATED_MODES = ("tuned", "tuned+health")
+# it is reported (and fingerprint-checked) but not throughput-gated. The
+# decoupled modes run on one thread (coop executor) and their speedups
+# are serial-vs-decoupled ratios from the same run, so they gate cleanly.
+GATED_MODES = ("tuned", "tuned+health", "decoupled", "decoupled-4shard")
 # Floor for the Figure 7 sweep tuned-vs-reference speedup (paper target).
 FIG7_SPEEDUP_MIN = 2.0
 

@@ -33,6 +33,12 @@ struct SimTuning {
     /// Benchmarking only: restore the pre-fast-path per-cycle commit and
     /// scan regime (sim::Kernel::set_commit_compat) as the A/B reference.
     bool commit_compat = false;
+    /// >1 = time-decoupled execution over the certified N-way ShardPlan
+    /// (System::set_decouple_shards; DESIGN.md §16). Supersedes
+    /// parallel_ticks at the top level; shard_workers recovers intra-DUT-
+    /// shard tick parallelism (0 = auto).
+    unsigned shards = 0;
+    unsigned shard_workers = 0;
 };
 
 /// Install process-wide tuning for subsequent run_* calls (the bench

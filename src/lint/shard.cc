@@ -22,6 +22,25 @@ edge_kind_name(LatencyEdge::Kind k) {
     return k == LatencyEdge::kData ? "data" : "credit";
 }
 
+/// Net-family name: digit runs collapsed to '#', so the 16 instances of
+/// one RTL definition ("rpu0.link_in".."rpu15.link_in" -> "rpu#.link_in")
+/// count as one registerization decision.
+std::string
+family_name(const std::string& net) {
+    std::string out;
+    bool in_digits = false;
+    for (char c : net) {
+        if (c >= '0' && c <= '9') {
+            if (!in_digits) out += '#';
+            in_digits = true;
+        } else {
+            out += c;
+            in_digits = false;
+        }
+    }
+    return out;
+}
+
 std::string
 render_hop(const LatencyEdge& e) {
     return e.from + " -[" + e.net + " " + edge_kind_name(e.kind) + "]-> " + e.to;
@@ -232,8 +251,24 @@ certify_partition(const sim::Kernel& kernel, unsigned shards) {
     std::set<std::string> nodes = component_set(kernel);
     std::vector<LatencyEdge> edges = latency_graph(kernel);
     plan.zero_cycles = zero_latency_cycles(edges);
-    for (const LatencyEdge& e : edges)
-        if (e.latency == 0) plan.blockers.push_back(e);
+
+    // Dedupe blockers by net: every writer/reader pair of one
+    // combinational net is fixed by the same registerization, so the
+    // report names each net once with its collapsed pair count.
+    size_t zero_edges = 0;
+    {
+        std::map<std::string, std::pair<LatencyEdge, unsigned>> by_net;
+        for (const LatencyEdge& e : edges) {
+            if (e.latency != 0) continue;
+            ++zero_edges;
+            auto it = by_net.emplace(e.net, std::make_pair(e, 0u)).first;
+            it->second.second += 1;
+        }
+        for (auto& [net, rep] : by_net) {
+            plan.blockers.push_back(rep.first);
+            plan.blocker_multiplicity.push_back(rep.second);
+        }
+    }
 
     // Condense: any zero-latency edge (in either direction) pins its two
     // endpoints into the same shard, so contract them undirected.
@@ -251,15 +286,70 @@ certify_partition(const sim::Kernel& kernel, unsigned shards) {
         return plan;
     }
     if (atoms.size() < shards) {
+        // Cheapest registerization: which set of net families, if their
+        // zero-latency edges were registered (made latency >= 1), would
+        // unlock enough independent groups? A family (digit runs
+        // collapsed — one RTL definition, N instances) is the unit of
+        // change a designer actually makes. Greedy forward selection
+        // stalls on zero-latency cycles (no single family strictly
+        // improves until the whole cycle is registered), so eliminate
+        // backward instead: start with every family registered, then
+        // re-admit (lexicographically, for determinism) any family whose
+        // return keeps the request satisfiable. The survivors are a
+        // minimal-by-inclusion registerization set.
+        {
+            std::set<std::string> chosen;
+            for (const LatencyEdge& b : plan.blockers)
+                chosen.insert(family_name(b.net));
+
+            auto roots_with = [&](const std::set<std::string>& registered) {
+                UnionFind trial;
+                for (const std::string& n : nodes) trial.add(n);
+                for (const LatencyEdge& e : edges) {
+                    if (e.latency != 0) continue;
+                    if (registered.count(family_name(e.net))) continue;
+                    trial.unite(e.from, e.to);
+                }
+                std::set<std::string> roots;
+                for (const std::string& n : nodes) roots.insert(trial.find(n));
+                return roots.size();
+            };
+
+            if (roots_with(chosen) >= shards) {
+                for (const std::string& fam :
+                     std::set<std::string>(chosen)) {
+                    std::set<std::string> without = chosen;
+                    without.erase(fam);
+                    if (roots_with(without) >= shards) chosen = std::move(without);
+                }
+                plan.unlocked_atoms = roots_with(chosen);
+                for (const std::string& fam : chosen) {
+                    if (!plan.cheapest_registerization.empty())
+                        plan.cheapest_registerization += " + ";
+                    plan.cheapest_registerization += fam;
+                }
+            }
+        }
+
         std::ostringstream os;
         os << "no safe " << shards << "-way cut: the zero-latency condensation "
            << "leaves only " << atoms.size() << " independent component group(s) ("
-           << plan.blockers.size() << " zero-latency edge(s) pin components together)";
+           << plan.blockers.size() << " zero-latency net(s) spanning "
+           << zero_edges << " edge(s) pin components together)";
         if (!plan.zero_cycles.empty()) {
             os << "; limiting zero-latency cycle: " << plan.zero_cycles.front().path;
         } else if (!plan.blockers.empty()) {
             const LatencyEdge& b = plan.blockers.front();
             os << "; e.g. " << render_hop(b) << " (" << b.reason << ")";
+        }
+        if (plan.unlocked_atoms >= shards) {
+            os << "; cheapest registerization: " << plan.cheapest_registerization
+               << " -> " << plan.unlocked_atoms << " independent group(s)";
+        } else if (!plan.cheapest_registerization.empty()) {
+            os << "; best registerization found: " << plan.cheapest_registerization
+               << " -> only " << plan.unlocked_atoms << " group(s)";
+        } else {
+            os << "; no net-family registerization unlocks more groups";
         }
         plan.verdict = os.str();
         return plan;
@@ -374,9 +464,39 @@ std::string
 plan_report(const ShardPlan& plan) {
     std::ostringstream os;
     os << "shard plan (" << plan.requested << "-way): " << plan.verdict << "\n";
-    os << "  atoms " << plan.atom_count << ", zero-latency edges "
+    os << "  atoms " << plan.atom_count << ", zero-latency blocker nets "
        << plan.blockers.size() << ", zero-latency cycles "
        << plan.zero_cycles.size() << "\n";
+    // Blockers grouped by net family: one line per RTL definition, not
+    // one per instance.
+    {
+        struct Group { std::string hop; unsigned nets = 0; unsigned pairs = 0; };
+        std::map<std::string, Group> fams;
+        for (size_t i = 0; i < plan.blockers.size(); ++i) {
+            const LatencyEdge& b = plan.blockers[i];
+            LatencyEdge rep = b;
+            rep.from = family_name(b.from);
+            rep.to = family_name(b.to);
+            rep.net = family_name(b.net);
+            Group& g = fams[rep.net + "\x01" + rep.from + "\x01" + rep.to +
+                            char('0' + int(rep.kind))];
+            if (g.nets == 0) g.hop = render_hop(rep) + " (" + b.reason + ")";
+            g.nets += 1;
+            g.pairs += i < plan.blocker_multiplicity.size()
+                           ? plan.blocker_multiplicity[i]
+                           : 1;
+        }
+        for (const auto& [key, g] : fams) {
+            os << "  blocker: " << g.hop;
+            if (g.nets > 1) os << " [x" << g.nets << " nets]";
+            if (g.pairs > g.nets) os << " [" << g.pairs << " pairs]";
+            os << "\n";
+        }
+    }
+    if (!plan.cheapest_registerization.empty()) {
+        os << "  cheapest registerization: " << plan.cheapest_registerization
+           << " -> " << plan.unlocked_atoms << " independent group(s)\n";
+    }
     for (size_t s = 0; s < plan.shards.size(); ++s) {
         os << "  shard " << s << " (" << plan.shards[s].size() << " components):";
         for (const std::string& c : plan.shards[s]) os << " " << c;
@@ -431,12 +551,17 @@ plan_json(const ShardPlan& plan) {
     }
     w.end_array();
     w.key("blockers").begin_array();
-    for (const LatencyEdge& b : plan.blockers) {
+    for (size_t i = 0; i < plan.blockers.size(); ++i) {
         w.begin_object();
-        edge(b);
+        edge(plan.blockers[i]);
+        w.key("pairs").value(uint64_t(i < plan.blocker_multiplicity.size()
+                                          ? plan.blocker_multiplicity[i]
+                                          : 1));
         w.end_object();
     }
     w.end_array();
+    w.key("cheapest_registerization").value(plan.cheapest_registerization);
+    w.key("unlocked_atoms").value(uint64_t(plan.unlocked_atoms));
     w.key("zero_cycles").begin_array();
     for (const ZeroCycle& z : plan.zero_cycles) {
         w.begin_object();

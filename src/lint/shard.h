@@ -88,10 +88,25 @@ struct ShardPlan {
 
     /// Zero-latency-condensed component groups found before partitioning.
     size_t atom_count = 0;
-    /// Zero-latency edges between *distinct* components: the exact call
-    /// boundaries the kernel refactor must registerize to unlock finer
-    /// cuts (each one pins its endpoints into the same atom today).
+    /// Zero-latency edges between *distinct* components, deduplicated by
+    /// net (one representative edge per net — a fabric link that fans out
+    /// to 16 RPUs is one registerization decision, not 16): the exact
+    /// call boundaries the kernel refactor must registerize to unlock
+    /// finer cuts. blocker_multiplicity[i] counts the writer/reader pairs
+    /// collapsed into blockers[i].
     std::vector<LatencyEdge> blockers;
+    std::vector<unsigned> blocker_multiplicity;
+    /// For a no-safe-cut verdict: the cheapest set of blocker net
+    /// *families* (digit runs collapsed — "lb.resp.r#" is one RTL
+    /// definition) whose registerization unlocks the requested shard
+    /// count, found by backward elimination (start with every blocker
+    /// family registered, re-admit any family whose return keeps the
+    /// request satisfiable — robust against zero-latency cycles that
+    /// stall forward-greedy), rendered "famA + famB"; unlocked_atoms is
+    /// the resulting group count. Empty / 0 when the plan is sound or
+    /// even registering every family cannot satisfy the request.
+    std::string cheapest_registerization;
+    size_t unlocked_atoms = 0;
     /// Directed zero-latency cycles (diagnostics; always inside atoms).
     std::vector<ZeroCycle> zero_cycles;
     /// What the certificate rests on — each obligation is discharged

@@ -47,6 +47,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -92,6 +93,7 @@ class Clocked {
 };
 
 class Kernel;
+struct ShardSpec;  // sim/shard.h: time-decoupled execution (DESIGN.md §16)
 
 // --- elaboration netlist -----------------------------------------------------
 
@@ -215,6 +217,39 @@ class Component : public Clocked {
     /// firmware polls), so the replayed cycles see pre-mutation state.
     void flush_skipped();
 
+    // --- time-decoupled self-advance contract (DESIGN.md §16) ---------------
+    //
+    // These hooks are consulted only by the decoupled shard runner, and
+    // only for components that opted in by setting decoupled_gated_ (so
+    // the common case pays one flag test, not a virtual call, per cycle).
+
+    /// May local cycle `t` be decided right now? Return false when this
+    /// component's tick at `t` depends on peer-shard state that is not
+    /// yet conservatively bounded (e.g. a cut-FIFO admission too close to
+    /// capacity while the consumer shard is behind). The runner then
+    /// parks this shard until the peer advances.
+    virtual bool decoupled_runnable(Cycle t) const {
+        (void)t;
+        return true;
+    }
+
+    /// How many upcoming ticks (starting at the shard's current cycle)
+    /// are pure internal time advance — no output, no staged state, no
+    /// cross-component effect. The runner may batch them through
+    /// decoupled_advance() instead of calling tick(). Conservative: 0 is
+    /// always correct.
+    virtual Cycle decoupled_lookahead() const { return 0; }
+
+    /// Replay `n` ticks previously promised by decoupled_lookahead().
+    /// Must reproduce bit-identical internal state to `n` live tick()
+    /// calls (replay the arithmetic; never summarize floating point).
+    virtual void decoupled_advance(Cycle n) { (void)n; }
+
+ protected:
+    /// Subclasses overriding the hooks above must set this so the shard
+    /// runner knows to consult them.
+    bool decoupled_gated_ = false;
+
  private:
     friend class Kernel;
 
@@ -235,7 +270,7 @@ class Kernel {
     /// Where the clock currently stands within Kernel::step().
     enum class Phase : uint8_t { kIdle, kTick, kCommit };
 
-    Kernel() = default;
+    Kernel();  // out of line: members reference the incomplete ShardRun
     ~Kernel();
     Kernel(const Kernel&) = delete;
     Kernel& operator=(const Kernel&) = delete;
@@ -266,6 +301,10 @@ class Kernel {
     /// unobservable).
     void request_commit(Clocked* c) {
         if (c->commit_queued_.exchange(true, std::memory_order_relaxed)) return;
+        if (decoupled_live_.load(std::memory_order_relaxed)) {
+            decoupled_request_commit(c);
+            return;
+        }
         if (phase_ == Phase::kTick && parallel_effective()) {
             std::lock_guard<std::mutex> lock(commit_queue_mu_);
             commit_queue_.push_back(c);
@@ -307,22 +346,35 @@ class Kernel {
         return hit;
     }
 
-    /// Current simulation time in cycles since reset.
-    Cycle now() const { return now_; }
+    /// Current simulation time in cycles since reset. During a decoupled
+    /// run (DESIGN.md §16) every shard thread sees its *local* clock here;
+    /// between runs all clocks agree and this is the single global time.
+    Cycle now() const {
+        if (decoupled_live_.load(std::memory_order_relaxed)) return decoupled_now();
+        return now_;
+    }
 
     /// Current simulation time in nanoseconds.
-    double now_ns() const { return cycles_to_ns(now_); }
+    double now_ns() const { return cycles_to_ns(now()); }
 
     /// Number of registered components.
     size_t component_count() const { return components_.size(); }
 
+    /// Registered components in current tick order (shard-spec builders
+    /// map certified plan shards onto these).
+    const std::vector<Component*>& components() const { return components_; }
+
     // --- phase/actor tracking (race detector substrate) ---------------------
 
-    /// Where the clock stands right now.
-    Phase phase() const { return phase_; }
+    /// Where the clock stands right now (the calling shard's local phase
+    /// during a decoupled run).
+    Phase phase() const {
+        if (decoupled_live_.load(std::memory_order_relaxed)) return decoupled_phase();
+        return phase_;
+    }
 
     /// True while some component's tick() is on the stack.
-    bool in_tick() const { return phase_ == Phase::kTick; }
+    bool in_tick() const { return phase() == Phase::kTick; }
 
     /// The component whose tick()/commit() is currently running (null
     /// between steps, i.e. for host/test code, and null during a parallel
@@ -434,6 +486,53 @@ class Kernel {
         return parallel_ticks_ > 1 && !race_check_ && telemetry_ == nullptr;
     }
 
+    // --- time-decoupled execution (DESIGN.md §16) -----------------------------
+
+    /// Install an executable shard specification (derived from a certified
+    /// lint::ShardPlan — System::set_decouple_shards is the production
+    /// path). Every registered component must appear in exactly one shard.
+    /// Returns an empty string on success; otherwise a reason and nothing
+    /// is installed. While installed and effective, run() executes each
+    /// shard on its own worker thread under a local cycle counter with
+    /// conservative lookahead synchronization; this supersedes
+    /// set_parallel_ticks at the top level (per-shard tick_workers recover
+    /// intra-shard tick parallelism).
+    std::string set_shard_spec(ShardSpec spec);
+
+    /// Drop the installed spec; run() returns to the barrier executor.
+    void clear_shard_spec();
+
+    bool shard_spec_installed() const { return spec_ != nullptr; }
+
+    /// True while a decoupled run() is in flight — i.e. the calling thread
+    /// is on a shard-local clock. Cheap enough to poll per frame.
+    bool decoupled_running() const {
+        return decoupled_live_.load(std::memory_order_relaxed);
+    }
+
+    /// True when the next run() will use the decoupled executor: a spec is
+    /// installed and nothing demanding a single global clock is attached
+    /// (the race detector, a telemetry sink, a health probe, and
+    /// commit-compat mode all require the barrier regime).
+    bool decoupled_effective() const;
+
+    /// Progress counter ("done" cursor) of an installed shard: the number
+    /// of cycles that shard has completed in the current (or last) run.
+    /// Stable for the lifetime of the spec — System binds these into the
+    /// cut channels so endpoints can reason about peer progress.
+    const std::atomic<Cycle>* shard_done_ptr(unsigned shard) const;
+
+    /// Cumulative per-shard execution accounting while decoupled: how many
+    /// local cycles ran through tick+commit vs were collapsed by time-skip
+    /// jumps. Diagnostics only (bench_cluster reports it); empty unless a
+    /// spec is installed. Read between runs, not during one.
+    struct ShardProgress {
+        uint64_t executed = 0;
+        uint64_t skipped = 0;
+        uint64_t jumps = 0;
+    };
+    std::vector<ShardProgress> decoupled_progress() const;
+
     // --- baseline-compat (A/B benchmarking) -----------------------------------
 
     /// Emulate the pre-fast-path kernel's per-cycle regime: every clocked
@@ -497,12 +596,21 @@ class Kernel {
  private:
     friend class Component;
 
+    struct ShardRun;
+
     void note_wake(Component& c);
     void flush_wake_accounting(Component* c);
     void sleep_sweep();
     void build_wake_map();
     void tick_partition(unsigned part, unsigned nparts);
     void stop_pool();
+    void decoupled_request_commit(Clocked* c);
+    Cycle decoupled_now() const;
+    Phase decoupled_phase() const;
+    void run_decoupled(Cycle cycles);
+    bool advance_shard(ShardRun& sr, Cycle budget);
+    void run_shard_threaded(ShardRun& sr);
+    void shard_sleep_sweep(ShardRun& sr, Cycle next);
 
     std::vector<Component*> components_;
     std::vector<Clocked*> clocked_;
@@ -535,6 +643,15 @@ class Kernel {
     uint64_t pool_gen_ = 0;
     unsigned pool_pending_ = 0;
     bool pool_stop_ = false;
+
+    std::unique_ptr<ShardSpec> spec_;
+    std::vector<std::unique_ptr<ShardRun>> shard_runs_;
+    std::atomic<bool> decoupled_live_{false};
+    /// The shard the calling thread executes during a decoupled run (null
+    /// on host threads and between runs). Static: shard identity is a
+    /// property of the thread, and one thread never serves two kernels at
+    /// once (each board's kernel runs on its own thread in a cluster).
+    static thread_local ShardRun* t_shard_;
 
     std::vector<NetRecord> nets_;
     std::vector<PortRecord> ports_;
